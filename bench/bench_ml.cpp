@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks for the model zoo: train and score
+// throughput on a representative IDS-shaped table.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ml/bayes.h"
+#include "ml/forest.h"
+#include "ml/gmm.h"
+#include "ml/kernel.h"
+#include "ml/kitnet.h"
+#include "ml/knn.h"
+#include "ml/linear.h"
+#include "ml/mlp.h"
+#include "ml/tree.h"
+
+namespace {
+
+using namespace lumen;
+using ml::FeatureTable;
+
+FeatureTable ids_shaped_table(size_t rows, size_t cols) {
+  std::vector<std::string> names;
+  for (size_t c = 0; c < cols; ++c) names.push_back("f" + std::to_string(c));
+  FeatureTable t = FeatureTable::make(rows, names);
+  Rng rng(12345);
+  for (size_t r = 0; r < rows; ++r) {
+    const bool mal = rng.bernoulli(0.2);
+    for (size_t c = 0; c < cols; ++c) {
+      t.at(r, c) = rng.lognormal(mal ? 1.0 : 0.0, 1.0);
+    }
+    t.labels[r] = mal ? 1 : 0;
+  }
+  return t;
+}
+
+template <typename M>
+void bench_fit(benchmark::State& state, M make) {
+  const FeatureTable t = ids_shaped_table(
+      static_cast<size_t>(state.range(0)), 20);
+  for (auto _ : state) {
+    auto m = make();
+    m->fit(t);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+template <typename M>
+void bench_score(benchmark::State& state, M make) {
+  const FeatureTable t = ids_shaped_table(1000, 20);
+  auto m = make();
+  m->fit(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->score(t));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+
+void BM_FitDecisionTree(benchmark::State& state) {
+  bench_fit(state, [] { return std::make_shared<ml::DecisionTree>(); });
+}
+BENCHMARK(BM_FitDecisionTree)->Arg(500)->Arg(2000);
+
+void BM_FitRandomForest(benchmark::State& state) {
+  bench_fit(state, [] { return std::make_shared<ml::RandomForest>(); });
+}
+BENCHMARK(BM_FitRandomForest)->Arg(500)->Arg(2000);
+
+void BM_FitGaussianNB(benchmark::State& state) {
+  bench_fit(state, [] { return std::make_shared<ml::GaussianNB>(); });
+}
+BENCHMARK(BM_FitGaussianNB)->Arg(2000);
+
+void BM_FitLinearSvm(benchmark::State& state) {
+  bench_fit(state, [] { return std::make_shared<ml::LinearSvm>(); });
+}
+BENCHMARK(BM_FitLinearSvm)->Arg(2000);
+
+void BM_FitOcsvm(benchmark::State& state) {
+  bench_fit(state, [] { return std::make_shared<ml::OneClassSvm>(); });
+}
+BENCHMARK(BM_FitOcsvm)->Arg(500);
+
+void BM_FitGmm(benchmark::State& state) {
+  bench_fit(state, [] { return std::make_shared<ml::Gmm>(); });
+}
+BENCHMARK(BM_FitGmm)->Arg(1000);
+
+void BM_FitKitNet(benchmark::State& state) {
+  bench_fit(state, [] { return std::make_shared<ml::KitNet>(); });
+}
+BENCHMARK(BM_FitKitNet)->Arg(1000);
+
+void BM_FitMlp(benchmark::State& state) {
+  bench_fit(state, [] {
+    ml::MlpConfig cfg;
+    cfg.epochs = 10;
+    return std::make_shared<ml::Mlp>(cfg);
+  });
+}
+BENCHMARK(BM_FitMlp)->Arg(1000);
+
+void BM_ScoreRandomForest(benchmark::State& state) {
+  bench_score(state, [] { return std::make_shared<ml::RandomForest>(); });
+}
+BENCHMARK(BM_ScoreRandomForest);
+
+void BM_ScoreKitNet(benchmark::State& state) {
+  bench_score(state, [] { return std::make_shared<ml::KitNet>(); });
+}
+BENCHMARK(BM_ScoreKitNet);
+
+void BM_ScoreKnn(benchmark::State& state) {
+  bench_score(state, [] { return std::make_shared<ml::Knn>(); });
+}
+BENCHMARK(BM_ScoreKnn);
+
+void BM_NystromTransform(benchmark::State& state) {
+  const FeatureTable t = ids_shaped_table(1000, 20);
+  ml::NystromMap map;
+  map.fit(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.transform(t));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_NystromTransform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks for the framework operations — the
+// counterpart of the execution engine's per-op time/memory profile (§3.2).
+#include <benchmark/benchmark.h>
+
+#include "core/algorithms.h"
+#include "netio/parse.h"
+#include "trace/registry.h"
+
+namespace {
+
+using namespace lumen;
+
+const trace::Dataset& dataset() {
+  static const trace::Dataset ds = trace::make_dataset("P1", 0.5);
+  return ds;
+}
+
+core::Value packets() {
+  core::PacketSet ps;
+  ps.dataset = &dataset();
+  for (uint32_t i = 0; i < dataset().trace.view.size(); ++i) {
+    ps.idx.push_back(i);
+  }
+  return core::Value(std::move(ps));
+}
+
+void run_single_op(benchmark::State& state, const std::string& func,
+                   const std::string& params_json,
+                   const std::vector<const core::Value*>& inputs) {
+  core::register_builtin_operations();
+  core::OpSpec spec;
+  spec.func = func;
+  spec.output = "out";
+  spec.params = core::Json::parse(params_json).value();
+  core::OpContext ctx;
+  ctx.dataset = &dataset();
+  auto op = core::OperationRegistry::instance().create(spec);
+  for (auto _ : state) {
+    auto out = op.value()->run(inputs, ctx);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset().trace.view.size()));
+}
+
+void BM_ParseTrace(benchmark::State& state) {
+  trace::Dataset ds = trace::make_dataset("P1", 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netio::parse_trace(ds.trace));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ds.trace.raw.size()));
+}
+BENCHMARK(BM_ParseTrace);
+
+void BM_OpGroupby(benchmark::State& state) {
+  const core::Value src = packets();
+  run_single_op(state, "groupby", R"({"flowid": ["srcip"]})", {&src});
+}
+BENCHMARK(BM_OpGroupby);
+
+void BM_OpPacketFeatures(benchmark::State& state) {
+  const core::Value src = packets();
+  run_single_op(state, "packet_features",
+                R"({"param": ["len", "iat", "dport", "proto"]})", {&src});
+}
+BENCHMARK(BM_OpPacketFeatures);
+
+void BM_OpDampedStats(benchmark::State& state) {
+  const core::Value src = packets();
+  run_single_op(state, "damped_stats", R"({"lambdas": [5, 3, 1, 0.1, 0.01]})",
+                {&src});
+}
+BENCHMARK(BM_OpDampedStats);
+
+void BM_OpNprint(benchmark::State& state) {
+  const core::Value src = packets();
+  run_single_op(state, "nprint", R"({"layers": ["ipv4", "tcp", "udp"]})",
+                {&src});
+}
+BENCHMARK(BM_OpNprint);
+
+void BM_OpConnections(benchmark::State& state) {
+  const core::Value src = packets();
+  run_single_op(state, "connections", "{}", {&src});
+}
+BENCHMARK(BM_OpConnections);
+
+void BM_OpWindowStats(benchmark::State& state) {
+  const core::Value src = packets();
+  run_single_op(state, "window_stats",
+                R"({"key": "srcip", "window": 10,
+                    "list": [{"field": "len", "funcs": ["mean", "std"]},
+                             {"func": "count"}]})",
+                {&src});
+}
+BENCHMARK(BM_OpWindowStats);
+
+void BM_FullKitsunePipeline(benchmark::State& state) {
+  const core::AlgorithmDef* algo = core::find_algorithm("A06");
+  for (auto _ : state) {
+    auto feats = core::compute_features(*algo, dataset());
+    benchmark::DoNotOptimize(feats);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dataset().trace.view.size()));
+}
+BENCHMARK(BM_FullKitsunePipeline);
+
+void BM_EngineTypeCheck(benchmark::State& state) {
+  const core::AlgorithmDef* algo = core::find_algorithm("A06");
+  auto spec = core::PipelineSpec::parse(algo->feature_template);
+  core::Engine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.type_check(spec.value()));
+  }
+}
+BENCHMARK(BM_EngineTypeCheck);
+
+void BM_DatasetGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::make_dataset("F4", 0.5));
+  }
+}
+BENCHMARK(BM_DatasetGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

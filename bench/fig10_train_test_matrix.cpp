@@ -1,0 +1,116 @@
+// Figure 10: median precision/recall across algorithms for every train x
+// test dataset combination (connection-level grid). Reproduces the diagonal
+// dominance, the train/test asymmetry, and the F5 (Torii) anomaly. Prints
+// Observation 3.
+#include <map>
+
+#include "fig_common.h"
+
+#include "features/stats.h"
+
+int main() {
+  using namespace lumen;
+  bench::print_header("Figure 10: training-dataset choice matters");
+
+  eval::ResultStore store;
+  // Connection-granularity grid (10x10), as in the paper's figure.
+  std::vector<std::string> algos;
+  for (const std::string& a : bench::all_algorithms()) {
+    const core::AlgorithmDef* def = core::find_algorithm(a);
+    if (def->granularity != trace::Granularity::kPacket) algos.push_back(a);
+  }
+  bench::sweep_same_dataset(algos, store);
+  bench::sweep_cross_dataset(algos, store);
+
+  const std::vector<std::string> datasets = trace::connection_dataset_ids();
+  for (const char* metric : {"precision", "recall"}) {
+    eval::Heatmap heat = eval::Heatmap::make(
+        std::string("Fig. 10 median ") + metric +
+            " across algorithms (rows = TEST dataset, cols = TRAIN dataset)",
+        datasets, datasets);
+    for (size_t c = 0; c < datasets.size(); ++c) {
+      for (size_t r = 0; r < datasets.size(); ++r) {
+        std::vector<double> vals;
+        for (const auto& row :
+             store.query("", datasets[c], datasets[r], metric)) {
+          vals.push_back(row.value);
+        }
+        if (!vals.empty()) {
+          heat.at(r, c) = lumen::features::median(vals);
+        }
+      }
+    }
+    std::printf("%s\n", heat.render().c_str());
+    bench::write_artifact(std::string("fig10_") + metric + ".csv",
+                          heat.to_csv());
+
+    if (std::string(metric) == "precision") {
+      // Diagonal dominance.
+      double diag = 0.0, off = 0.0;
+      size_t n_off = 0;
+      for (size_t i = 0; i < datasets.size(); ++i) {
+        diag += heat.at(i, i);
+        for (size_t j = 0; j < datasets.size(); ++j) {
+          if (i != j && !std::isnan(heat.at(i, j))) {
+            off += heat.at(i, j);
+            ++n_off;
+          }
+        }
+      }
+      diag /= static_cast<double>(datasets.size());
+      off /= static_cast<double>(n_off);
+      std::printf(
+          "Diagonal (same-dataset) median precision %.2f vs off-diagonal "
+          "%.2f.\n",
+          diag, off);
+
+      // Train/test asymmetry (the paper's F5/F6 example generalized): find
+      // the most asymmetric pair in the grid.
+      double best_gap = 0.0;
+      size_t bi = 0, bj = 0;
+      for (size_t i = 0; i < datasets.size(); ++i) {
+        for (size_t j = i + 1; j < datasets.size(); ++j) {
+          const double a = heat.at(j, i);  // train i -> test j
+          const double b = heat.at(i, j);  // train j -> test i
+          if (std::isnan(a) || std::isnan(b)) continue;
+          if (std::fabs(a - b) > best_gap) {
+            best_gap = std::fabs(a - b);
+            bi = i;
+            bj = j;
+          }
+        }
+      }
+      std::printf(
+          "Asymmetry: training on %s and testing on %s gives median "
+          "precision %.2f,\nwhile the reverse direction gives %.2f — "
+          "certain datasets are better to\ntrain on than to transfer into "
+          "(paper's F5/F6 example: 0.90 vs 0.19).\n",
+          datasets[bi].c_str(), datasets[bj].c_str(), heat.at(bj, bi),
+          heat.at(bi, bj));
+
+      // The F5 (Torii) hard-target finding: no other training dataset
+      // produces a usable detector for the stealthy C2 traffic.
+      const size_t f5 = 5;
+      double into_f5_max = 0.0;
+      for (size_t j = 0; j < datasets.size(); ++j) {
+        if (j != f5 && !std::isnan(heat.at(f5, j))) {
+          into_f5_max = std::max(into_f5_max, heat.at(f5, j));
+        }
+      }
+      std::printf(
+          "F5 (Torii): no training dataset generalizes to F5 — best median\n"
+          "precision when testing on F5 with foreign training data is %.2f,\n"
+          "vs %.2f when training on F5 itself. %s the paper's finding that\n"
+          "F5 is the hardest transfer target.\n\n",
+          into_f5_max, heat.at(f5, f5),
+          into_f5_max < heat.at(f5, f5) ? "REPRODUCES" : "DOES NOT reproduce");
+    }
+  }
+  auto saved = store.save_csv("results/fig10_runs.csv");
+  (void)saved;
+  std::printf(
+      "Observation 3: strategically selecting the training dataset leads to\n"
+      "a more accurate anomaly detection model (greener columns = better\n"
+      "training sets; redder rows = harder test sets).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 1: why an operator cannot compare algorithms today.
+//  (a) possible literature-level comparisons per algorithm;
+//  (b) measured precision spread when training/testing on the same dataset;
+//  (c) the further degradation when training and testing datasets differ.
+#include "fig_common.h"
+
+#include "eval/literature.h"
+
+int main() {
+  using namespace lumen;
+  bench::print_header("Figure 1: the operator's comparison problem");
+
+  // ---- (a) literature-only comparisons.
+  std::printf("-- Fig. 1a: possible comparisons from the published record --\n");
+  size_t zero = 0;
+  const auto comparisons = eval::possible_comparisons();
+  for (const auto& [algo, n] : comparisons) {
+    std::printf("  %-36.36s %d %s\n", algo.c_str(), n,
+                std::string(static_cast<size_t>(n), '#').c_str());
+    zero += (n == 0);
+  }
+  std::printf(
+      "\n  %zu of %zu algorithms cannot be compared with ANY other published\n"
+      "  algorithm (private datasets, no overlap).\n\n",
+      zero, comparisons.size());
+
+  // ---- (b)/(c): a measured subset (connection-level algorithms).
+  const std::vector<std::string> algos = {"A10", "A13", "A14", "A15"};
+  const std::vector<std::string> datasets = {"F0", "F1", "F4", "F5"};
+  bench::Benchmark& bench = bench::shared_benchmark();
+
+  std::printf("-- Fig. 1b: precision, trained and tested on the SAME dataset --\n");
+  std::vector<eval::Distribution> same_dists;
+  std::map<std::string, std::vector<double>> same, cross;
+  for (const std::string& a : algos) {
+    for (const std::string& d : datasets) {
+      auto run = bench.same_dataset(a, d);
+      if (run.ok()) same[a].push_back(run.value().record.precision);
+      for (const std::string& d2 : datasets) {
+        if (d2 == d) continue;
+        auto x = bench.cross_dataset(a, d, d2);
+        if (x.ok()) cross[a].push_back(x.value().record.precision);
+      }
+    }
+    same_dists.push_back(eval::Distribution::from(a, same[a]));
+  }
+  std::printf("%s\n",
+              eval::render_distributions("precision (same dataset)", same_dists)
+                  .c_str());
+
+  std::printf("-- Fig. 1c: precision, trained and tested on DIFFERENT datasets --\n");
+  std::vector<eval::Distribution> cross_dists;
+  for (const std::string& a : algos) {
+    cross_dists.push_back(eval::Distribution::from(a, cross[a]));
+  }
+  std::printf(
+      "%s\n",
+      eval::render_distributions("precision (cross dataset)", cross_dists)
+          .c_str());
+
+  // The paper's qualitative claim: wide ranges in (b), worse in (c).
+  double same_med = 0.0, cross_med = 0.0;
+  for (const auto& d : same_dists) same_med += d.median;
+  for (const auto& d : cross_dists) cross_med += d.median;
+  same_med /= static_cast<double>(same_dists.size());
+  cross_med /= static_cast<double>(cross_dists.size());
+  std::printf(
+      "Shape check: mean-of-median precision %.2f (same) vs %.2f (cross) —\n"
+      "%s the paper's 'cross-dataset degrades further' observation.\n",
+      same_med, cross_med,
+      cross_med < same_med ? "REPRODUCES" : "DOES NOT reproduce");
+  return 0;
+}

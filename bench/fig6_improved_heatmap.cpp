@@ -1,0 +1,115 @@
+// Figure 6: improving the state of the art with Lumen — merged-dataset
+// training for existing connection-level algorithms (A08, A09, A13, A14)
+// and the Lumen-synthesized module recombinations (AM01-AM03). Prints
+// Observation 5 with the measured improvement over the Fig. 5 baselines.
+#include <map>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace lumen;
+  bench::print_header(
+      "Figure 6: merged-dataset training + synthesized algorithms");
+
+  bench::Benchmark& bench = bench::shared_benchmark();
+
+  // ---- Baseline: connection-level per-attack precision from the Fig. 5
+  // protocol (same-dataset runs averaged per attack).
+  const std::vector<std::string> base_algos = {"A08", "A09", "A13", "A14"};
+  std::map<std::string, std::vector<double>> base_overall;
+  std::map<std::pair<std::string, uint8_t>, std::vector<double>> base_cells;
+  std::set<uint8_t> attacks_seen;
+  eval::ResultStore base_store;
+  bench::sweep_same_dataset(base_algos, base_store,
+                            [&](const bench::Benchmark::RunOutput& run) {
+    base_overall[run.record.algo].push_back(run.record.precision);
+    for (const eval::AttackScore& s : bench.per_attack(run)) {
+      base_cells[{run.record.algo, static_cast<uint8_t>(s.attack)}].push_back(
+          s.precision);
+      attacks_seen.insert(static_cast<uint8_t>(s.attack));
+    }
+  });
+
+  // ---- Improved: merged 10% training for the same algorithms, plus the
+  // synthesized AM01-AM03 under the same merged protocol.
+  std::vector<std::string> improved = base_algos;
+  for (const std::string& am : core::synthesized_algorithm_ids()) {
+    improved.push_back(am);
+  }
+  std::map<std::string, double> merged_precision;
+  std::map<std::pair<std::string, uint8_t>, double> merged_cells;
+  for (const std::string& algo : improved) {
+    auto run = bench.merged_training(algo, 0.10);
+    if (!run.ok()) {
+      std::fprintf(stderr, "[skip] %s merged: %s\n", algo.c_str(),
+                   run.error().message.c_str());
+      continue;
+    }
+    merged_precision[algo] = run.value().record.precision;
+    for (const eval::AttackScore& s : bench.per_attack(run.value())) {
+      merged_cells[{algo, static_cast<uint8_t>(s.attack)}] = s.precision;
+      attacks_seen.insert(static_cast<uint8_t>(s.attack));
+    }
+  }
+
+  // ---- Render the Fig. 6 heatmap: improved rows over attack columns.
+  std::vector<uint8_t> attack_ids(attacks_seen.begin(), attacks_seen.end());
+  std::vector<std::string> attack_names;
+  for (uint8_t a : attack_ids) {
+    attack_names.push_back(
+        trace::attack_name(static_cast<trace::AttackType>(a)));
+  }
+  std::vector<std::string> rows;
+  for (const std::string& a : improved) rows.push_back(a + "+m");
+  eval::Heatmap heat = eval::Heatmap::make(
+      "Fig. 6: per-attack precision with merged training (+m) and "
+      "Lumen-synthesized AM rows",
+      rows, attack_names);
+  for (size_t r = 0; r < improved.size(); ++r) {
+    for (size_t c = 0; c < attack_ids.size(); ++c) {
+      auto it = merged_cells.find({improved[r], attack_ids[c]});
+      if (it != merged_cells.end()) heat.at(r, c) = it->second;
+    }
+  }
+  std::printf("%s\n", heat.render().c_str());
+  bench::write_artifact("fig6_improved_heatmap.csv", heat.to_csv());
+
+  // ---- Observation 5: quantify the improvements.
+  std::printf("-- merged-dataset training vs per-dataset baseline --\n");
+  std::printf("%-6s %10s %10s %8s\n", "algo", "baseline", "merged", "delta");
+  double base_mean_sum = 0.0, best_delta = 0.0;
+  size_t base_n = 0;
+  for (const std::string& a : base_algos) {
+    double base = 0.0;
+    for (double v : base_overall[a]) base += v;
+    if (!base_overall[a].empty()) {
+      base /= static_cast<double>(base_overall[a].size());
+    }
+    base_mean_sum += base;
+    ++base_n;
+    const double delta = merged_precision[a] - base;
+    best_delta = std::max(best_delta, delta);
+    std::printf("%-6s %10.3f %10.3f %+8.3f\n", a.c_str(), base,
+                merged_precision.count(a) != 0 ? merged_precision[a] : 0.0,
+                delta);
+  }
+  double am_best = 0.0;
+  std::string am_best_id;
+  for (const std::string& a : core::synthesized_algorithm_ids()) {
+    if (merged_precision.count(a) != 0 && merged_precision[a] > am_best) {
+      am_best = merged_precision[a];
+      am_best_id = a;
+    }
+    std::printf("%-6s %10s %10.3f\n", a.c_str(), "-", merged_precision[a]);
+  }
+  const double base_mean = base_n > 0 ? base_mean_sum / static_cast<double>(base_n) : 0.0;
+  std::printf(
+      "\nObservation 5: merged-dataset training improves individual\n"
+      "algorithms by up to %+.1f precision points (paper: 12-27 points),\n"
+      "and the best Lumen-synthesized algorithm %s reaches %.3f average\n"
+      "precision vs %.3f for the average prior baseline (%+.1f points;\n"
+      "paper: +4 points over the best prior work).\n",
+      100.0 * best_delta, am_best_id.c_str(), am_best, base_mean,
+      100.0 * (am_best - base_mean));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 7: for every (train, test) pair, the gap between each algorithm's
+// precision/recall and the best algorithm's on that pair. A would-be optimal
+// algorithm sits at zero everywhere. Prints Observation 1.
+#include <map>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace lumen;
+  bench::print_header("Figure 7: distance from the per-pair best algorithm");
+
+  eval::ResultStore store;
+  const std::vector<std::string> algos = bench::all_algorithms();
+  bench::sweep_same_dataset(algos, store);
+  bench::sweep_cross_dataset(algos, store);
+
+  for (const char* metric : {"precision", "recall"}) {
+    // Best score per (train, test) pair.
+    std::map<std::pair<std::string, std::string>, double> best;
+    for (const auto& row : store.query("", "", "", metric)) {
+      auto& b = best[{row.train_ds, row.test_ds}];
+      b = std::max(b, row.value);
+    }
+    // Per-algorithm gap distribution, grouped by granularity like the paper.
+    std::vector<eval::Distribution> dists;
+    std::map<std::string, size_t> zero_gap_pairs;
+    for (const std::string& a : algos) {
+      std::vector<double> gaps;
+      size_t at_best = 0;
+      for (const auto& row : store.query(a, "", "", metric)) {
+        const double gap = best[{row.train_ds, row.test_ds}] - row.value;
+        gaps.push_back(gap);
+        at_best += gap < 1e-9;
+      }
+      zero_gap_pairs[a] = at_best;
+      const core::AlgorithmDef* def = core::find_algorithm(a);
+      const std::string tag =
+          a + (def->granularity == trace::Granularity::kPacket ? "/pkt"
+                                                               : "/flw");
+      dists.push_back(eval::Distribution::from(tag, gaps));
+    }
+    std::printf("%s\n", eval::render_distributions(
+                            std::string("Fig. 7 gap-to-best: ") + metric,
+                            dists)
+                            .c_str());
+
+    // Observation 1: nobody is uniformly best. Like the paper, algorithms
+    // that can run on only a handful of pairs (A05, and A06 to a lesser
+    // degree) "may seem like good candidates" but don't count — being
+    // unbeaten on one dataset is not generality.
+    size_t always_best = 0;
+    std::string trivially_best;
+    for (const std::string& a : algos) {
+      const size_t pairs = store.query(a, "", "", metric).size();
+      if (pairs == 0 || zero_gap_pairs[a] != pairs) continue;
+      if (pairs >= 5) {
+        ++always_best;
+      } else {
+        trivially_best += (trivially_best.empty() ? "" : ", ") + a;
+      }
+    }
+    std::printf(
+        "Observation 1 (%s): %zu broadly-runnable algorithms achieve the\n"
+        "best %s on every train/test pair — there is no single best\n"
+        "algorithm.%s%s\n\n",
+        metric, always_best, metric,
+        trivially_best.empty()
+            ? ""
+            : (" (" + trivially_best +
+               " only look optimal because they run on <5 pairs, the "
+               "paper's A05/A06 caveat.)")
+                  .c_str(),
+        "");
+  }
+  auto saved = store.save_csv("results/fig7_runs.csv");
+  (void)saved;
+  return 0;
+}

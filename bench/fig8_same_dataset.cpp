@@ -1,0 +1,52 @@
+// Figure 8: per-algorithm precision/recall when trained and tested on the
+// same dataset (time-ordered 70/30 split). Prints Observation 2's
+// same-dataset half.
+#include "fig_common.h"
+
+int main() {
+  using namespace lumen;
+  bench::print_header("Figure 8: same-dataset training and testing");
+
+  eval::ResultStore store;
+  const std::vector<std::string> algos = bench::all_algorithms();
+  bench::sweep_same_dataset(algos, store);
+
+  for (const char* metric : {"precision", "recall"}) {
+    std::vector<eval::Distribution> dists;
+    for (const std::string& a : algos) {
+      std::vector<double> vals;
+      for (const auto& row : store.query(a, "", "", metric)) {
+        vals.push_back(row.value);
+      }
+      dists.push_back(eval::Distribution::from(a, vals));
+    }
+    std::printf("%s\n",
+                eval::render_distributions(
+                    std::string("Fig. 8 ") + metric + " (same dataset)", dists)
+                    .c_str());
+  }
+  auto saved = store.save_csv("results/fig8_runs.csv");
+  (void)saved;
+
+  // Observation 2 (same-dataset half): count algorithms with at least one
+  // dataset where precision (resp. recall) drops below 20%.
+  size_t low_prec = 0, low_rec = 0;
+  for (const std::string& a : algos) {
+    bool lp = false, lr = false;
+    for (const auto& row : store.query(a, "", "", "precision")) {
+      lp |= row.value < 0.2;
+    }
+    for (const auto& row : store.query(a, "", "", "recall")) {
+      lr |= row.value < 0.2;
+    }
+    low_prec += lp;
+    low_rec += lr;
+  }
+  std::printf(
+      "Observation 2 (same-source half): precision of %zu/%zu algorithms and\n"
+      "recall of %zu/%zu algorithms drops below 20%% on at least one dataset\n"
+      "(paper: 8/16 and 4/16) — several published designs do not generalize\n"
+      "even in-distribution.\n",
+      low_prec, algos.size(), low_rec, algos.size());
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Shared machinery for the figure-regeneration binaries: a process-wide
+// Benchmark, sweep helpers over the strictly-faithful (algorithm, dataset)
+// pairs, and small output utilities. Each bench binary reproduces one table
+// or figure of the paper and prints the corresponding observation.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "eval/benchmark.h"
+#include "eval/report.h"
+#include "eval/results.h"
+
+namespace lumen::bench {
+
+using eval::Benchmark;
+using eval::EvalRecord;
+using eval::ResultStore;
+
+inline Benchmark& shared_benchmark() {
+  static Benchmark bench = [] {
+    Benchmark::Options opts;
+    opts.dataset_scale = 0.5;  // CI-sized captures; shapes preserved
+    opts.max_train_rows = 2000;
+    opts.max_test_rows = 2000;
+    return Benchmark(opts);
+  }();
+  return bench;
+}
+
+/// Every algorithm id, surveyed + synthesized.
+inline std::vector<std::string> all_algorithms(bool include_synth = false) {
+  std::vector<std::string> ids = core::surveyed_algorithm_ids();
+  if (include_synth) {
+    for (const std::string& id : core::synthesized_algorithm_ids()) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+/// The strictly-faithful dataset ids for an algorithm.
+inline std::vector<std::string> faithful_datasets(const std::string& algo_id) {
+  Benchmark& bench = shared_benchmark();
+  const core::AlgorithmDef* algo = core::find_algorithm(algo_id);
+  std::vector<std::string> out;
+  for (const std::string& ds : trace::all_dataset_ids()) {
+    if (algo != nullptr && core::strict_faithful(*algo, bench.dataset(ds))) {
+      out.push_back(ds);
+    }
+  }
+  return out;
+}
+
+/// Run every same-dataset pair; records land in `store`, and `on_run` (if
+/// set) sees each run for per-attack post-processing.
+template <typename OnRun>
+void sweep_same_dataset(const std::vector<std::string>& algos,
+                        ResultStore& store, OnRun on_run) {
+  Benchmark& bench = shared_benchmark();
+  for (const std::string& algo : algos) {
+    for (const std::string& ds : faithful_datasets(algo)) {
+      auto run = bench.same_dataset(algo, ds);
+      if (!run.ok()) {
+        std::fprintf(stderr, "[skip] %s on %s: %s\n", algo.c_str(), ds.c_str(),
+                     run.error().message.c_str());
+        continue;
+      }
+      store.add_record(run.value().record);
+      on_run(run.value());
+    }
+  }
+}
+
+inline void sweep_same_dataset(const std::vector<std::string>& algos,
+                               ResultStore& store) {
+  sweep_same_dataset(algos, store, [](const Benchmark::RunOutput&) {});
+}
+
+/// Run every cross-dataset pair (train != test) among faithful datasets.
+inline void sweep_cross_dataset(const std::vector<std::string>& algos,
+                                ResultStore& store) {
+  Benchmark& bench = shared_benchmark();
+  for (const std::string& algo : algos) {
+    const std::vector<std::string> datasets = faithful_datasets(algo);
+    for (const std::string& train : datasets) {
+      for (const std::string& test : datasets) {
+        if (train == test) continue;
+        auto run = bench.cross_dataset(algo, train, test);
+        if (!run.ok()) {
+          std::fprintf(stderr, "[skip] %s %s->%s: %s\n", algo.c_str(),
+                       train.c_str(), test.c_str(),
+                       run.error().message.c_str());
+          continue;
+        }
+        store.add_record(run.value().record);
+      }
+    }
+  }
+}
+
+/// Write CSV artifacts next to the binary under ./results/.
+inline void write_artifact(const std::string& name, const std::string& text) {
+  std::filesystem::create_directories("results");
+  const std::string path = "results/" + name;
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("[artifact] %s\n", path.c_str());
+  }
+}
+
+inline void print_header(const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("Lumen reproduction — %s\n", what.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace lumen::bench

@@ -1,0 +1,105 @@
+// §6 of the paper: "our proposed framework is, in fact, more general ...
+// if we were to extend our framework to do ML-based device classification,
+// we would only need to add a new dataset ... and the rest of the
+// functions/modules would be used directly."
+//
+// This example does exactly that: a new task (camera vs. smart-plug device
+// classification), reusing the same operations — field extraction, grouping
+// by source IP, time slicing, aggregation — and the same model zoo. Only the
+// labeling changes.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "ml/forest.h"
+#include "ml/metrics.h"
+#include "trace/sim.h"
+
+int main() {
+  using namespace lumen;
+
+  // A LAN with two device populations that BEHAVE differently:
+  // cameras (hosts .10-.13): TLS-heavy, large upstream payloads;
+  // plugs   (hosts .20-.23): MQTT keepalives, tiny payloads.
+  trace::Sim sim(909090);
+  trace::BenignStyle cameras;
+  cameras.host_base = 10;
+  cameras.size_scale = 2.5;
+  cameras.w_tls = 2.5;
+  cameras.w_mqtt = 0.1;
+  trace::BenignStyle plugs;
+  plugs.host_base = 20;
+  plugs.size_scale = 0.4;
+  plugs.w_tls = 0.2;
+  plugs.w_mqtt = 2.0;
+  sim.benign_iot_traffic(0.0, 240.0, 4, cameras);
+  sim.benign_iot_traffic(0.0, 240.0, 4, plugs);
+  const trace::Dataset ds =
+      sim.finish("DEV", "device-classification demo",
+                 trace::Granularity::kPacket);
+  std::printf("Generated %zu packets from 8 devices (4 cameras, 4 plugs)\n\n",
+              ds.packets());
+
+  // The identical pipeline fragment Lumen's IDS algorithms use.
+  auto spec = core::PipelineSpec::parse(R"([
+    {"func": "field_extract", "input": None, "output": "Packets",
+     "param": ["srcIP", "packetLength"]},
+    {"func": "groupby", "input": ["Packets"], "output": "Grouped",
+     "flowid": ["srcip"]},
+    {"func": "time_slice", "input": ["Grouped"], "output": "Windows",
+     "window": 15},
+    {"func": "apply_aggregates", "input": ["Windows"], "output": "Features",
+     "list": [{"field": "len", "funcs": ["mean", "std", "max"]},
+              {"field": "iat", "funcs": ["mean", "std"]},
+              {"func": "count"}, {"func": "bytes_rate"},
+              {"field": "dport", "funcs": ["distinct", "entropy"]}]},
+  ])");
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.error().message.c_str());
+    return 1;
+  }
+
+  // Keep the Grouped binding so we can read the group keys for relabeling.
+  core::Engine::Options opts;
+  opts.keep = {"Windows"};
+  core::OpContext ctx;
+  ctx.dataset = &ds;
+  auto report = core::Engine(opts).run(spec.value(), ctx);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.error().message.c_str());
+    return 1;
+  }
+  const auto* windows = report.value().get<core::GroupedPackets>("Windows");
+  const auto* feats = report.value().get<features::FeatureTable>("Features");
+  if (windows == nullptr || feats == nullptr) {
+    std::fprintf(stderr, "pipeline produced unexpected bindings\n");
+    return 1;
+  }
+
+  // THE ONLY NEW CODE FOR THE NEW TASK: relabel rows with the device type
+  // (1 = camera). Group keys are "192.168.1.<host>#w<k>".
+  features::FeatureTable task = *feats;
+  for (size_t r = 0; r < task.rows && r < windows->groups.size(); ++r) {
+    const std::string& key = windows->groups[r].key;
+    const size_t dot = key.rfind('.');
+    const int host = std::atoi(key.c_str() + dot + 1);
+    task.labels[r] = host < 20 ? 1 : 0;
+  }
+
+  // Same split/model machinery as the IDS benchmarks.
+  std::vector<size_t> train_idx, test_idx;
+  for (size_t r = 0; r < task.rows; ++r) {
+    (r % 3 == 0 ? test_idx : train_idx).push_back(r);
+  }
+  ml::RandomForest rf;
+  rf.fit(task.select_rows(train_idx));
+  const features::FeatureTable test = task.select_rows(test_idx);
+  const auto pred = rf.predict(test);
+  const ml::Confusion c = ml::confusion(test.labels, pred);
+  std::printf("Device classification (camera vs plug), per 15s window:\n");
+  std::printf("  accuracy  %.3f\n  precision %.3f\n  recall    %.3f\n",
+              ml::accuracy(c), ml::precision(c), ml::recall(c));
+  std::printf(
+      "\nNo framework changes were needed — the same ~30 operations and the\n"
+      "same model zoo served a different ML-on-network-data task.\n");
+  return 0;
+}

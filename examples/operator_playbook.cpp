@@ -1,0 +1,95 @@
+// The §2.2 operator scenario: a small business wants to detect brute-force
+// and DoS attacks on its IoT devices and needs to pick an algorithm. Lumen
+// answers with data instead of a literature search: it runs the faithful
+// per-attack evaluation and recommends the algorithm with the best worst-case
+// precision over the attacks the operator cares about.
+#include <cstdio>
+#include <map>
+
+#include "eval/benchmark.h"
+#include "eval/report.h"
+
+int main() {
+  using namespace lumen;
+
+  const std::vector<trace::AttackType> wanted = {
+      trace::AttackType::kBruteForce, trace::AttackType::kDosHulk,
+      trace::AttackType::kDosSlowloris, trace::AttackType::kDosGoldenEye,
+      trace::AttackType::kSynFlood};
+  std::printf("Operator goal: detect");
+  for (auto a : wanted) std::printf(" %s", trace::attack_name(a));
+  std::printf("\n(connection-level deployment at the gateway)\n\n");
+
+  eval::Benchmark::Options opts;
+  opts.dataset_scale = 0.4;
+  eval::Benchmark bench(opts);
+
+  // Candidate algorithms: everything that runs at connection/uniflow
+  // granularity (the deployment constraint).
+  std::vector<std::string> candidates;
+  for (const auto& algo : core::algorithm_registry()) {
+    if (algo.granularity != trace::Granularity::kPacket &&
+        algo.id.rfind("AM", 0) != 0) {
+      candidates.push_back(algo.id);
+    }
+  }
+
+  // Evaluate each candidate on every connection dataset containing one of
+  // the wanted attacks; track per-attack precision.
+  std::map<std::string, std::map<trace::AttackType, std::vector<double>>> per;
+  for (const std::string& algo : candidates) {
+    for (const std::string& ds_id : trace::connection_dataset_ids()) {
+      const trace::Dataset& ds = bench.dataset(ds_id);
+      bool relevant = false;
+      for (auto a : wanted) relevant |= ds.attack_types().count(a) != 0;
+      if (!relevant) continue;
+      auto run = bench.same_dataset(algo, ds_id);
+      if (!run.ok()) continue;
+      for (const eval::AttackScore& s : bench.per_attack(run.value())) {
+        for (auto a : wanted) {
+          if (s.attack == a) per[algo][a].push_back(s.precision);
+        }
+      }
+    }
+  }
+
+  // Render the decision table.
+  std::vector<std::string> cols;
+  for (auto a : wanted) cols.push_back(trace::attack_name(a));
+  eval::Heatmap heat = eval::Heatmap::make(
+      "per-attack precision (candidates x operator's attacks)", candidates,
+      cols);
+  std::string best_algo;
+  double best_worst = -1.0;
+  for (size_t r = 0; r < candidates.size(); ++r) {
+    double worst = 2.0;
+    bool covered = true;
+    for (size_t c = 0; c < wanted.size(); ++c) {
+      const auto& vals = per[candidates[r]][wanted[c]];
+      if (vals.empty()) {
+        covered = false;
+        continue;
+      }
+      double sum = 0.0;
+      for (double v : vals) sum += v;
+      const double mean = sum / static_cast<double>(vals.size());
+      heat.at(r, c) = mean;
+      worst = std::min(worst, mean);
+    }
+    if (covered && worst > best_worst) {
+      best_worst = worst;
+      best_algo = candidates[r];
+    }
+  }
+  std::printf("%s\n", heat.render().c_str());
+
+  const core::AlgorithmDef* pick = core::find_algorithm(best_algo);
+  std::printf(
+      "Recommendation: deploy %s (%s, %s) — worst-case mean precision %.2f\n"
+      "across the attacks you named. Re-run this playbook whenever your\n"
+      "traffic mix changes; Observation 4 says the answer is attack-"
+      "dependent.\n",
+      best_algo.c_str(), pick != nullptr ? pick->label.c_str() : "?",
+      pick != nullptr ? pick->paper.c_str() : "?", best_worst);
+  return 0;
+}

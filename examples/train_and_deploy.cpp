@@ -1,0 +1,83 @@
+// The deployment path: train a detector in the lab, persist the model and
+// its feature normalizer to disk, then — as a separate "gateway process"
+// would — load both back and score fresh traffic. Model persistence keeps
+// predictions bit-identical across the save/load boundary.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/algorithms.h"
+#include "eval/benchmark.h"
+#include "ml/metrics.h"
+#include "ml/persist.h"
+
+int main() {
+  using namespace lumen;
+  const auto dir = std::filesystem::temp_directory_path() / "lumen_deploy";
+  std::filesystem::create_directories(dir);
+  const std::string model_path = (dir / "a14.model").string();
+  const std::string norm_path = (dir / "a14.norm").string();
+
+  // ---- Lab side: train A14 (Zeek features + RF) on the CTU Mirai set.
+  std::printf("[lab] training A14 on F4 ...\n");
+  eval::Benchmark::Options opts;
+  opts.dataset_scale = 0.4;
+  eval::Benchmark bench(opts);
+  auto feats = bench.features("A14", "F4");
+  if (!feats.ok()) {
+    std::fprintf(stderr, "%s\n", feats.error().message.c_str());
+    return 1;
+  }
+  auto [train, test] = eval::Benchmark::split_by_time(*feats.value(), 0.7);
+
+  features::Normalizer norm(features::NormKind::kZScore);
+  norm.fit(train);
+  features::FeatureTable X = train;
+  norm.apply(X);
+  ml::RandomForest rf;
+  rf.fit(X);
+
+  {
+    std::ofstream out(model_path);
+    if (auto r = ml::save_model(rf, out); !r.ok()) {
+      std::fprintf(stderr, "%s\n", r.error().message.c_str());
+      return 1;
+    }
+    std::ofstream nout(norm_path);
+    if (auto r = ml::save_normalizer(norm, nout); !r.ok()) {
+      std::fprintf(stderr, "%s\n", r.error().message.c_str());
+      return 1;
+    }
+  }
+  std::printf("[lab] saved %s (%zu bytes) and %s\n", model_path.c_str(),
+              static_cast<size_t>(std::filesystem::file_size(model_path)),
+              norm_path.c_str());
+
+  // ---- Gateway side: a fresh process would start here.
+  std::printf("[gateway] loading artifacts ...\n");
+  auto loaded_rf = ml::load_forest_file(model_path);
+  std::ifstream nin(norm_path);
+  auto loaded_norm = ml::load_normalizer(nin);
+  if (!loaded_rf.ok() || !loaded_norm.ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+
+  features::FeatureTable T = test;
+  loaded_norm.value().apply(T);
+  const auto pred = loaded_rf.value().predict(T);
+  const auto c = ml::confusion(T.labels, pred);
+  std::printf("[gateway] scored %zu fresh connections: precision %.3f, "
+              "recall %.3f\n",
+              T.rows, ml::precision(c), ml::recall(c));
+
+  // Sanity: the loaded model is bit-identical to the lab model.
+  features::FeatureTable T2 = test;
+  norm.apply(T2);
+  const bool identical = rf.predict(T2) == pred;
+  std::printf("loaded model predictions identical to lab model: %s\n",
+              identical ? "yes" : "NO (bug!)");
+
+  std::filesystem::remove_all(dir);
+  return identical ? 0 : 1;
+}

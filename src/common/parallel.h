@@ -1,0 +1,119 @@
+// A small work-stealing-free thread pool with a parallel_for helper.
+//
+// Lumen's Python implementation leans on Ray/Modin for distributed map-reduce
+// style operators. Our substitution is shared-memory parallelism: operators
+// whose work decomposes per-packet or per-group run their map phase through
+// parallel_for. On a single-core host this degrades gracefully to a serial
+// loop (we never spawn more threads than hardware_concurrency).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lumen {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t n_threads = 0) {
+    if (n_threads == 0) {
+      n_threads = std::thread::hardware_concurrency();
+      if (n_threads == 0) n_threads = 1;
+    }
+    workers_.reserve(n_threads);
+    for (size_t i = 0; i < n_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  size_t size() const { return workers_.size(); }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push(std::move(task));
+      ++pending_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until every submitted task has finished.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  /// Process-wide pool, created on first use.
+  static ThreadPool& global() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [begin, end), chunked across the global pool.
+/// Falls back to a serial loop when the range is small or the pool has a
+/// single worker (no point paying synchronization costs).
+inline void parallel_for(size_t begin, size_t end,
+                         const std::function<void(size_t)>& body,
+                         size_t min_parallel = 1024) {
+  const size_t n = end > begin ? end - begin : 0;
+  ThreadPool& pool = ThreadPool::global();
+  if (n < min_parallel || pool.size() <= 1) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const size_t chunks = pool.size() * 4;
+  const size_t step = (n + chunks - 1) / chunks;
+  for (size_t c = begin; c < end; c += step) {
+    const size_t hi = std::min(end, c + step);
+    pool.submit([c, hi, &body] {
+      for (size_t i = c; i < hi; ++i) body(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace lumen

@@ -1,0 +1,79 @@
+// Minimal expected-style result type used across module boundaries for
+// recoverable failures (bad configs, malformed packets, type errors).
+// We deliberately avoid exceptions for these: a pipeline author's typo in a
+// template file is an expected event, not an exceptional one.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lumen {
+
+/// A human-readable error; carries the failing component for context.
+struct Error {
+  std::string message;
+
+  static Error make(std::string where, std::string what) {
+    return Error{where + ": " + std::move(what)};
+  }
+};
+
+/// Result<T> holds either a value or an Error. Modeled after
+/// std::expected (not available in this toolchain's libstdc++).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error err) : v_(std::move(err)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result<void>: success carries nothing.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error err) : err_(std::move(err)), failed_(true) {}  // NOLINT
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(failed_);
+    return err_;
+  }
+
+ private:
+  Error err_;
+  bool failed_ = false;
+};
+
+}  // namespace lumen

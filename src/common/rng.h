@@ -1,0 +1,157 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in Lumen (trace generators, model training,
+// splits) takes an explicit Rng so that datasets and experiments are
+// bit-reproducible across runs and platforms. We implement our own
+// distributions because the standard library's are not guaranteed to be
+// identical across implementations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace lumen {
+
+/// xoshiro256** by Blackman & Vigna, seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& si : s_) si = splitmix64(x);
+  }
+
+  /// Derive a stable seed from a string (e.g. dataset id).
+  static uint64_t seed_from(std::string_view name, uint64_t salt = 0) {
+    uint64_t h = 1469598103934665603ULL ^ salt;  // FNV-1a basis
+    for (char c : name) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t below(uint64_t n) { return next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double sd) { return mean + sd * normal(); }
+
+  /// Lognormal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Exponential with the given rate (events per unit time).
+  double exponential(double rate) {
+    double u = 0.0;
+    while (u <= 1e-300) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Poisson (Knuth's method; fine for the small lambdas we use).
+  int poisson(double lambda) {
+    const double limit = std::exp(-lambda);
+    double prod = uniform();
+    int n = 0;
+    while (prod > limit) {
+      prod *= uniform();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Pareto-like heavy tail used for flow sizes: xm * u^(-1/alpha).
+  double pareto(double xm, double alpha) {
+    double u = 0.0;
+    while (u <= 1e-300) u = uniform();
+    return xm * std::pow(u, -1.0 / alpha);
+  }
+
+  /// Pick a random index weighted by `weights` (need not be normalized).
+  size_t weighted_choice(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double r = uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = below(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A child generator with an independent stream (for sub-components).
+  Rng fork(uint64_t salt) {
+    return Rng(next() ^ (salt * 0x9e3779b97f4a7c15ULL));
+  }
+
+ private:
+  static uint64_t splitmix64(uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4]{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace lumen

@@ -1,0 +1,283 @@
+#include "core/algorithms.h"
+
+#include "core/models.h"
+
+namespace lumen::core {
+
+namespace {
+
+using trace::Granularity;
+
+// ---- feature pipeline templates (the paper's Fig. 4 format) ----
+
+constexpr const char* kTplMlDdos = R"(algorithm = [
+  {"func": "Field Extract", "input": None, "output": "Packets",
+   "param": ["srcIP", "dstIP", "packetLength", "proto"]},
+  {"func": "packet_features", "input": ["Packets"], "output": "Stateless",
+   "param": ["len", "iat", "is_tcp", "is_udp", "is_icmp", "dport"]},
+  {"func": "window_stats", "input": ["Packets"], "output": "Stateful",
+   "key": "srcip", "window": 10,
+   "list": [{"field": "len", "funcs": ["mean", "std"]},
+            {"func": "count"}, {"func": "bytes_rate"},
+            {"field": "dstip", "funcs": ["distinct"]},
+            {"field": "iat", "funcs": ["mean"]}]},
+  {"func": "concat_features", "input": ["Stateless", "Stateful"],
+   "output": "Features"},
+])";
+
+constexpr const char* kTplNprint1 = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets", "param": []},
+  {"func": "nprint", "input": ["Packets"], "output": "Features",
+   "layers": ["ipv4", "tcp", "udp", "icmp"], "payload_bytes": 10},
+])";
+
+constexpr const char* kTplNprint2 = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets", "param": []},
+  {"func": "nprint", "input": ["Packets"], "output": "Features",
+   "layers": ["tcp", "udp", "ipv4"]},
+])";
+
+constexpr const char* kTplNprint3 = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets", "param": []},
+  {"func": "nprint", "input": ["Packets"], "output": "Features",
+   "layers": ["tcp", "udp", "ipv4"], "payload_bytes": 10},
+])";
+
+constexpr const char* kTplNprint4 = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets", "param": []},
+  {"func": "nprint", "input": ["Packets"], "output": "Features",
+   "layers": ["tcp", "icmp", "ipv4"]},
+])";
+
+constexpr const char* kTplSmartHome = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets", "param": []},
+  {"func": "pdml_fields", "input": ["Packets"], "output": "Features"},
+])";
+
+constexpr const char* kTplKitsune = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets",
+   "param": ["len", "ts", "srcip", "dstip", "sport", "dport"]},
+  {"func": "damped_stats", "input": ["Packets"], "output": "Features",
+   "lambdas": [5, 3, 1, 0.1, 0.01]},
+])";
+
+constexpr const char* kTplFirstK = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets", "param": []},
+  {"func": "connections", "input": ["Packets"], "output": "Conns"},
+  {"func": "first_k_packets", "input": ["Conns"], "output": "Features",
+   "k": 16, "what": ["len", "iat"]},
+])";
+
+constexpr const char* kTplSmartDet = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets",
+   "param": ["srcIP", "dstIP", "TCPFlags", "packetLength"]},
+  {"func": "uniflows", "input": ["Packets"], "output": "Flows"},
+  {"func": "flow_features", "input": ["Flows"], "output": "Features",
+   "list": [{"field": "tcpflags", "funcs": ["change_rate", "entropy"]},
+            {"field": "sport", "funcs": ["entropy"]},
+            {"field": "ip_len", "funcs": ["std", "mean"]},
+            {"field": "len", "funcs": ["mean", "std"]},
+            {"field": "iat", "funcs": ["mean", "std"]},
+            {"func": "count"}, {"func": "rate"}, {"func": "bytes_rate"},
+            {"field": "dport", "funcs": ["distinct"]}]},
+])";
+
+constexpr const char* kTplNokia = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets",
+   "param": ["srcIP", "dstIP", "packetLength"]},
+  {"func": "Groupby", "input": ["Packets"], "output": "Pairs",
+   "flowid": ["srcdst"]},
+  {"func": "TimeSlice", "input": ["Pairs"], "output": "Sliced", "window": 30},
+  {"func": "ApplyAggregates", "input": ["Sliced"], "output": "Features",
+   "list": [{"field": "len", "funcs": ["mean", "std", "sum"]},
+            {"field": "iat", "funcs": ["mean", "std"]},
+            {"func": "count"}, {"func": "bytes_rate"},
+            {"field": "dport", "funcs": ["distinct", "entropy"]}]},
+])";
+
+constexpr const char* kTplEarly = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets", "param": []},
+  {"func": "uniflows", "input": ["Packets"], "output": "Flows"},
+  {"func": "first_k_packets", "input": ["Flows"], "output": "Features",
+   "k": 8, "what": ["len", "iat"]},
+])";
+
+constexpr const char* kTplBayes = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets", "param": []},
+  {"func": "connections", "input": ["Packets"], "output": "Conns"},
+  {"func": "conn_features", "input": ["Conns"], "output": "Features",
+   "set": ["bayes"]},
+])";
+
+constexpr const char* kTplZeek = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets", "param": []},
+  {"func": "connections", "input": ["Packets"], "output": "Conns"},
+  {"func": "conn_features", "input": ["Conns"], "output": "Features",
+   "set": ["zeek"]},
+])";
+
+constexpr const char* kTplIiot = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets", "param": []},
+  {"func": "connections", "input": ["Packets"], "output": "Conns"},
+  {"func": "conn_features", "input": ["Conns"], "output": "Features",
+   "set": ["iiot"]},
+])";
+
+// AM01/AM02: Lumen-synthesized — union feature sets plus the classic
+// train-setup improvements (normalization, decorrelation) the paper's
+// greedy search rediscovers.
+constexpr const char* kTplUnion2 = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets", "param": []},
+  {"func": "connections", "input": ["Packets"], "output": "Conns"},
+  {"func": "conn_features", "input": ["Conns"], "output": "Features",
+   "set": ["zeek", "bayes"]},
+])";
+
+constexpr const char* kTplUnion3 = R"([
+  {"func": "Field Extract", "input": None, "output": "Packets", "param": []},
+  {"func": "connections", "input": ["Packets"], "output": "Conns"},
+  {"func": "conn_features", "input": ["Conns"], "output": "Features",
+   "set": ["zeek", "bayes", "iiot"]},
+])";
+
+std::vector<AlgorithmDef> build_registry() {
+  std::vector<AlgorithmDef> algos;
+  auto add = [&](std::string id, std::string label, std::string paper,
+                 Granularity g, bool needs_ip, bool needs_app,
+                 const char* tpl, std::string model) {
+    algos.push_back(AlgorithmDef{std::move(id), std::move(label),
+                                 std::move(paper), g, needs_ip, needs_app, tpl,
+                                 std::move(model)});
+  };
+
+  add("A00", "ML DDoS", "Doshi et al., SPW'18", Granularity::kPacket, true,
+      false, kTplMlDdos,
+      R"({"model_type": "Ensemble",
+          "members": ["RandomForest", "LinearSVM", "DecisionTree", "KNN"]})");
+  add("A01", "nprint1: all", "Holland et al., CCS'21", Granularity::kPacket,
+      true, false, kTplNprint1, R"({"model_type": "AutoML"})");
+  add("A02", "nprint2: tcp+udp+ipv4", "Holland et al., CCS'21",
+      Granularity::kPacket, true, false, kTplNprint2,
+      R"({"model_type": "AutoML"})");
+  add("A03", "nprint3: tcp+udp+ipv4+payload", "Holland et al., CCS'21",
+      Granularity::kPacket, true, false, kTplNprint3,
+      R"({"model_type": "AutoML"})");
+  add("A04", "nprint4: tcp+icmp+ipv4", "Holland et al., CCS'21",
+      Granularity::kPacket, true, false, kTplNprint4,
+      R"({"model_type": "AutoML"})");
+  add("A05", "IDS smart home", "Anthi et al., IoT-J'19", Granularity::kPacket,
+      true, true, kTplSmartHome, R"({"model_type": "RandomForest"})");
+  add("A06", "Kitsune", "Mirsky et al., NDSS'18", Granularity::kPacket, false,
+      false, kTplKitsune, R"({"model_type": "KitNET"})");
+  add("A07", "OCSVM", "Yang et al., arXiv'21", Granularity::kConnection, true,
+      false, kTplFirstK, R"({"model_type": "OCSVM", "nu": 0.05})");
+  add("A08", "Nystrom+GMM", "Yang et al., arXiv'21", Granularity::kConnection,
+      true, false, kTplFirstK, R"({"model_type": "NystromGMM"})");
+  add("A09", "Nystrom+OCSVM", "Yang et al., arXiv'21",
+      Granularity::kConnection, true, false, kTplFirstK,
+      R"({"model_type": "NystromOCSVM"})");
+  add("A10", "smartdet", "de Lima Filho et al., SCN'19", Granularity::kUniFlow,
+      true, false, kTplSmartDet, R"({"model_type": "RandomForest"})");
+  add("A11", "nokia", "Bhatia et al., CoNEXT-W'19", Granularity::kUniFlow,
+      true, false, kTplNokia,
+      R"({"model_type": "AutoEncoder", "normalize": true,
+          "epochs": 8, "quantile": 0.9})");
+  add("A12", "early detection", "Hwang et al., IEEE Access'20",
+      Granularity::kUniFlow, true, false, kTplEarly,
+      R"({"model_type": "AutoEncoder", "normalize": true,
+          "epochs": 8, "quantile": 0.9})");
+  add("A13", "Bayesian", "Moore & Zuev, SIGMETRICS'05",
+      Granularity::kConnection, true, false, kTplBayes,
+      R"({"model_type": "GaussianNB"})");
+  add("A14", "Zeek", "Austin, WVU'21", Granularity::kConnection, true, false,
+      kTplZeek, R"({"model_type": "RandomForest"})");
+  add("A15", "IIoT", "Zolanvari et al., IoT-J'19", Granularity::kConnection,
+      true, false, kTplIiot, R"({"model_type": "RandomForest"})");
+
+  // Lumen-synthesized variants (§5.4): module recombination + training
+  // setup improvements discovered by the greedy search.
+  add("AM01", "Zeek+Bayes features, RF", "Lumen-synthesized",
+      Granularity::kConnection, true, false, kTplUnion2,
+      R"({"model_type": "RandomForest", "n_trees": 30,
+          "normalize": true, "decorrelate": true})");
+  add("AM02", "Union features, AutoML", "Lumen-synthesized",
+      Granularity::kConnection, true, false, kTplUnion3,
+      R"({"model_type": "AutoML", "normalize": true})");
+  add("AM03", "Union features, RF (merged training)", "Lumen-synthesized",
+      Granularity::kConnection, true, false, kTplUnion3,
+      R"({"model_type": "RandomForest", "n_trees": 30, "normalize": true})");
+  return algos;
+}
+
+}  // namespace
+
+const std::vector<AlgorithmDef>& algorithm_registry() {
+  static const std::vector<AlgorithmDef> kAlgos = build_registry();
+  return kAlgos;
+}
+
+const AlgorithmDef* find_algorithm(const std::string& id) {
+  for (const AlgorithmDef& a : algorithm_registry()) {
+    if (a.id == id) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> surveyed_algorithm_ids() {
+  std::vector<std::string> out;
+  for (const AlgorithmDef& a : algorithm_registry()) {
+    if (a.id.rfind("AM", 0) != 0) out.push_back(a.id);
+  }
+  return out;
+}
+
+std::vector<std::string> synthesized_algorithm_ids() {
+  std::vector<std::string> out;
+  for (const AlgorithmDef& a : algorithm_registry()) {
+    if (a.id.rfind("AM", 0) == 0) out.push_back(a.id);
+  }
+  return out;
+}
+
+bool compatible(const AlgorithmDef& algo, const trace::Dataset& ds) {
+  if (algo.needs_ip && ds.is_dot11()) return false;
+  if (algo.needs_app_metadata && !ds.has_app_metadata) return false;
+  // Fine-to-coarse is faithful: the dataset's labels propagate down to the
+  // algorithm's (finer or equal) units.
+  return static_cast<int>(algo.granularity) <=
+         static_cast<int>(ds.label_granularity);
+}
+
+bool strict_faithful(const AlgorithmDef& algo, const trace::Dataset& ds) {
+  if (!compatible(algo, ds)) return false;
+  const bool algo_packet = algo.granularity == trace::Granularity::kPacket;
+  const bool ds_packet = ds.label_granularity == trace::Granularity::kPacket;
+  return algo_packet == ds_packet;
+}
+
+Result<features::FeatureTable> compute_features(const AlgorithmDef& algo,
+                                                const trace::Dataset& ds) {
+  Result<PipelineSpec> spec = PipelineSpec::parse(algo.feature_template);
+  if (!spec.ok()) return spec.error();
+  OpContext ctx;
+  ctx.dataset = &ds;
+  ctx.rng.reseed(Rng::seed_from(algo.id + ":" + ds.id));
+  Engine engine;
+  Result<PipelineReport> report = engine.run(spec.value(), ctx);
+  if (!report.ok()) return report.error();
+  const features::FeatureTable* t =
+      report.value().get<features::FeatureTable>("Features");
+  if (t == nullptr) {
+    return Error::make("algorithm",
+                       algo.id + ": pipeline produced no 'Features' table");
+  }
+  return *t;
+}
+
+Result<ModelValue> make_algorithm_model(const AlgorithmDef& algo) {
+  Result<Json> params = Json::parse(algo.model_spec);
+  if (!params.ok()) return params.error();
+  return make_model(params.value());
+}
+
+}  // namespace lumen::core

@@ -1,0 +1,54 @@
+// The algorithm registry: every surveyed algorithm (Table 2 of the paper),
+// expressed as a Lumen feature-pipeline template plus a model specification.
+// This is the paper's central demonstration — 16 heterogeneous IDS
+// algorithms rebuilt from ~30 shared operations.
+#pragma once
+
+#include "core/engine.h"
+#include "trace/dataset.h"
+
+namespace lumen::core {
+
+struct AlgorithmDef {
+  std::string id;      // "A06"
+  std::string label;   // "Kitsune"
+  std::string paper;   // short citation
+  trace::Granularity granularity;
+  bool needs_ip = true;            // false only for Kitsune (size/time/MAC)
+  bool needs_app_metadata = false; // true only for the smart-home PDML IDS
+  std::string feature_template;    // pipeline producing binding "Features"
+  std::string model_spec;          // JSON for the "model" operation
+};
+
+/// All algorithm definitions, A00..A15 then AM01..AM03.
+const std::vector<AlgorithmDef>& algorithm_registry();
+
+/// Lookup by id; nullptr when unknown.
+const AlgorithmDef* find_algorithm(const std::string& id);
+
+/// Ids of the 16 surveyed algorithms (excludes AM variants).
+std::vector<std::string> surveyed_algorithm_ids();
+
+/// Ids of the Lumen-synthesized variants (AM01..).
+std::vector<std::string> synthesized_algorithm_ids();
+
+/// True when `algo` can be *faithfully* trained/tested on `ds` per §2.1:
+/// the algorithm's granularity must be at least as fine as the dataset's
+/// label granularity, and the dataset must carry the packet layers the
+/// algorithm's features require.
+bool compatible(const AlgorithmDef& algo, const trace::Dataset& ds);
+
+/// The stricter pairing used by the paper's evaluation figures: packet
+/// algorithms on packet datasets, flow/connection algorithms on
+/// connection datasets (plus the compatible() requirements).
+bool strict_faithful(const AlgorithmDef& algo, const trace::Dataset& ds);
+
+/// Run the algorithm's feature pipeline on a dataset; returns the
+/// "Features" table. The engine type-checks the template first.
+Result<features::FeatureTable> compute_features(const AlgorithmDef& algo,
+                                                const trace::Dataset& ds);
+
+/// Construct the algorithm's (untrained) model.
+Result<ModelValue> make_algorithm_model(const AlgorithmDef& algo);
+
+}  // namespace lumen::core

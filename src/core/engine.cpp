@@ -1,0 +1,154 @@
+#include "core/engine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+
+namespace lumen::core {
+
+Result<void> Engine::type_check(const PipelineSpec& spec) const {
+  register_builtin_operations();
+  const OperationRegistry& reg = OperationRegistry::instance();
+
+  std::map<std::string, ValueKind> env;
+  for (size_t i = 0; i < spec.ops.size(); ++i) {
+    const OpSpec& op = spec.ops[i];
+    if (!reg.knows(op.func)) {
+      return Error::make("type_check",
+                         "op #" + std::to_string(i) + ": unknown operation '" +
+                             op.func + "'");
+    }
+    // Instantiate to read the declared signature (factories are cheap).
+    Result<OperationPtr> inst = reg.create(op);
+    if (!inst.ok()) return inst.error();
+    const std::vector<ValueKind> expected = inst.value()->input_kinds();
+    if (op.inputs.size() > expected.size()) {
+      return Error::make(
+          "type_check", "op #" + std::to_string(i) + " ('" + op.func +
+                            "'): got " + std::to_string(op.inputs.size()) +
+                            " inputs, accepts at most " +
+                            std::to_string(expected.size()));
+    }
+    for (size_t k = 0; k < op.inputs.size(); ++k) {
+      auto it = env.find(op.inputs[k]);
+      if (it == env.end()) {
+        return Error::make("type_check",
+                           "op #" + std::to_string(i) + " ('" + op.func +
+                               "'): input '" + op.inputs[k] +
+                               "' is not defined by any earlier operation");
+      }
+      if (expected[k] != ValueKind::kAny && it->second != expected[k]) {
+        return Error::make(
+            "type_check",
+            "op #" + std::to_string(i) + " ('" + op.func + "'): input '" +
+                op.inputs[k] + "' has kind " + value_kind_name(it->second) +
+                " but the operation expects " + value_kind_name(expected[k]));
+      }
+    }
+    env[op.output] = inst.value()->output_kind();
+  }
+  return {};
+}
+
+Result<PipelineReport> Engine::run(const PipelineSpec& spec,
+                                   OpContext& ctx) const {
+  Result<void> ok = type_check(spec);
+  if (!ok.ok()) return ok.error();
+
+  const OperationRegistry& reg = OperationRegistry::instance();
+
+  // Last-use index per binding, for dead-value elimination.
+  std::map<std::string, size_t> last_use;
+  for (size_t i = 0; i < spec.ops.size(); ++i) {
+    for (const std::string& in : spec.ops[i].inputs) last_use[in] = i;
+  }
+  const std::set<std::string> keep(opts_.keep.begin(), opts_.keep.end());
+
+  PipelineReport report;
+  std::map<std::string, Value> env;
+  std::map<std::string, size_t> env_bytes;
+  size_t live_bytes = 0;
+
+  for (size_t i = 0; i < spec.ops.size(); ++i) {
+    const OpSpec& op = spec.ops[i];
+    Result<OperationPtr> inst = reg.create(op);
+    if (!inst.ok()) return inst.error();
+
+    std::vector<const Value*> inputs;
+    inputs.reserve(op.inputs.size());
+    for (const std::string& name : op.inputs) {
+      auto it = env.find(name);
+      if (it == env.end()) {
+        return Error::make("engine", "op #" + std::to_string(i) +
+                                         ": input '" + name +
+                                         "' was freed or never produced");
+      }
+      inputs.push_back(&it->second);
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    Result<Value> out = inst.value()->run(inputs, ctx);
+    const auto stop = std::chrono::steady_clock::now();
+    if (!out.ok()) {
+      return Error::make("engine", "op #" + std::to_string(i) + " ('" +
+                                       op.func + "'): " + out.error().message);
+    }
+
+    OpProfile prof;
+    prof.func = op.func;
+    prof.output = op.output;
+    prof.seconds = std::chrono::duration<double>(stop - start).count();
+    prof.output_bytes = value_bytes(out.value());
+
+    // Rebinding replaces the old value.
+    if (auto it = env.find(op.output); it != env.end()) {
+      live_bytes -= env_bytes[op.output];
+      env.erase(it);
+    }
+    live_bytes += prof.output_bytes;
+    env_bytes[op.output] = prof.output_bytes;
+    env.emplace(op.output, std::move(out).value());
+    report.peak_bytes = std::max(report.peak_bytes, live_bytes);
+
+    // Free bindings whose last consumer has now run.
+    if (opts_.free_dead_values) {
+      for (auto it = env.begin(); it != env.end();) {
+        const std::string& name = it->first;
+        auto lu = last_use.find(name);
+        const bool consumed_out = lu != last_use.end() && lu->second <= i;
+        const bool never_used = lu == last_use.end();
+        if (consumed_out && !never_used && keep.count(name) == 0 &&
+            name != op.output) {
+          live_bytes -= env_bytes[name];
+          for (OpProfile& p : report.profile) {
+            if (p.output == name) p.freed_early = true;
+          }
+          it = env.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    report.profile.push_back(std::move(prof));
+  }
+
+  report.bindings = std::move(env);
+  return report;
+}
+
+std::string PipelineReport::profile_table() const {
+  std::string out =
+      "op                    output                time(ms)   out_bytes  freed\n";
+  char line[160];
+  for (const OpProfile& p : profile) {
+    std::snprintf(line, sizeof(line), "%-21s %-21s %9.3f %11zu  %s\n",
+                  p.func.c_str(), p.output.c_str(), p.seconds * 1e3,
+                  p.output_bytes, p.freed_early ? "yes" : "no");
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "peak resident: %zu bytes\n", peak_bytes);
+  out += line;
+  return out;
+}
+
+}  // namespace lumen::core

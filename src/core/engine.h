@@ -1,0 +1,65 @@
+// The execution engine (§3.2): verifies a pipeline's wiring and types before
+// running it, executes operations in order, profiles per-operation wall time
+// and output memory, and frees intermediates once no later operation uses
+// them (the paper's "basic memory optimizations").
+#pragma once
+
+#include <map>
+
+#include "core/pipeline.h"
+
+namespace lumen::core {
+
+/// One row of the engine's time/memory profile.
+struct OpProfile {
+  std::string func;
+  std::string output;
+  double seconds = 0.0;
+  size_t output_bytes = 0;
+  bool freed_early = false;  // dropped by dead-value elimination
+};
+
+struct PipelineReport {
+  /// Bindings still alive at the end of the run (pipeline results).
+  std::map<std::string, Value> bindings;
+  std::vector<OpProfile> profile;
+  size_t peak_bytes = 0;
+
+  const Value* find(const std::string& name) const {
+    auto it = bindings.find(name);
+    return it == bindings.end() ? nullptr : &it->second;
+  }
+
+  /// Typed result accessor; nullptr when missing or of another kind.
+  template <typename T>
+  const T* get(const std::string& name) const {
+    const Value* v = find(name);
+    return v == nullptr ? nullptr : std::get_if<T>(v);
+  }
+
+  /// Render the profile as an aligned text table (the engine's "plots").
+  std::string profile_table() const;
+};
+
+class Engine {
+ public:
+  struct Options {
+    bool free_dead_values = true;
+    /// Bindings to keep alive even if consumed (besides never-consumed ones).
+    std::vector<std::string> keep;
+  };
+
+  Engine() : Engine(Options{}) {}
+  explicit Engine(Options opts) : opts_(std::move(opts)) {}
+
+  /// Static analysis only: unknown ops, undefined inputs, kind mismatches.
+  Result<void> type_check(const PipelineSpec& spec) const;
+
+  /// Type-check then execute against the dataset in `ctx`.
+  Result<PipelineReport> run(const PipelineSpec& spec, OpContext& ctx) const;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace lumen::core

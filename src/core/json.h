@@ -1,0 +1,113 @@
+// Minimal JSON value + parser for Lumen's template-based pipeline language
+// (Fig. 4 of the paper). The dialect is tolerant of the Python-ish style the
+// paper's examples use: single-quoted strings, None, and trailing commas are
+// accepted alongside standard JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lumen::core {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  static Json null() { return Json(); }
+  static Json boolean(bool b) {
+    Json j;
+    j.type_ = Type::kBool;
+    j.bool_ = b;
+    return j;
+  }
+  static Json number(double v) {
+    Json j;
+    j.type_ = Type::kNumber;
+    j.num_ = v;
+    return j;
+  }
+  static Json string(std::string s) {
+    Json j;
+    j.type_ = Type::kString;
+    j.str_ = std::move(s);
+    return j;
+  }
+  static Json array(std::vector<Json> items = {}) {
+    Json j;
+    j.type_ = Type::kArray;
+    j.arr_ = std::move(items);
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  /// Parse `text`; position-annotated error on failure.
+  static Result<Json> parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  int64_t as_int(int64_t fallback = 0) const {
+    return is_number() ? static_cast<int64_t>(num_) : fallback;
+  }
+  const std::string& as_string() const { return str_; }
+  std::string as_string_or(const std::string& fallback) const {
+    return is_string() ? str_ : fallback;
+  }
+
+  const std::vector<Json>& items() const { return arr_; }
+  size_t size() const {
+    return is_array() ? arr_.size() : (is_object() ? obj_.size() : 0);
+  }
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const Json* get(std::string_view key) const;
+
+  /// Convenience typed getters with defaults for op parameters.
+  std::string get_string(std::string_view key, const std::string& dflt = "") const;
+  double get_number(std::string_view key, double dflt = 0.0) const;
+  int64_t get_int(std::string_view key, int64_t dflt = 0) const;
+  bool get_bool(std::string_view key, bool dflt = false) const;
+  std::vector<std::string> get_string_list(std::string_view key) const;
+  std::vector<double> get_number_list(std::string_view key) const;
+
+  void set(std::string key, Json value);
+  void push_back(Json value) { arr_.push_back(std::move(value)); }
+
+  const std::vector<std::pair<std::string, Json>>& fields() const {
+    return obj_;
+  }
+
+  /// Serialize back to canonical JSON (used by the result store).
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace lumen::core

@@ -1,0 +1,49 @@
+// Streaming Kitsune feature extraction: incremental damped statistics over
+// the srcMAC / srcIP / channel / socket contexts at several decay rates,
+// computable one packet at a time. Both the batch "damped_stats" operation
+// and the online detector (core/stream.h) are built on this class, so batch
+// and streaming features are identical by construction.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "features/stats.h"
+#include "netio/packet.h"
+
+namespace lumen::core {
+
+class KitsuneExtractor {
+ public:
+  /// Default lambdas are Kitsune's {5, 3, 1, 0.1, 0.01}.
+  explicit KitsuneExtractor(std::vector<double> lambdas = {});
+
+  /// 23 features per lambda.
+  size_t dim() const { return 23 * lambdas_.size(); }
+  const std::vector<std::string>& feature_names() const { return names_; }
+  const std::vector<double>& lambdas() const { return lambdas_; }
+
+  /// Update all context statistics with one packet (in capture order) and
+  /// write its feature vector into `out` (resized to dim()).
+  void process(const netio::PacketView& v, std::vector<double>& out);
+
+  /// Number of distinct (context, key) statistics currently tracked.
+  size_t tracked_contexts() const;
+
+  void reset();
+
+ private:
+  struct LambdaState {
+    std::map<std::string, features::DampedStat> mac, src;
+    std::map<std::string, features::DampedStat2D> chan, sock;
+    std::map<std::string, features::DampedStat> jitter;  // per channel
+    std::map<std::string, double> last_seen;              // per channel
+  };
+
+  std::vector<double> lambdas_;
+  std::vector<std::string> names_;
+  std::vector<LambdaState> state_;
+};
+
+}  // namespace lumen::core

@@ -1,0 +1,145 @@
+#include "core/op.h"
+
+#include <mutex>
+
+#include "netio/bytes.h"
+
+namespace lumen::core {
+
+OperationRegistry& OperationRegistry::instance() {
+  static OperationRegistry reg;
+  return reg;
+}
+
+void OperationRegistry::register_op(const std::string& func,
+                                    OperationFactory factory) {
+  factories_[func] = std::move(factory);
+}
+
+Result<OperationPtr> OperationRegistry::create(OpSpec spec) const {
+  auto it = factories_.find(spec.func);
+  if (it == factories_.end()) {
+    return Error::make("registry", "unknown operation '" + spec.func + "'");
+  }
+  return it->second(std::move(spec));
+}
+
+std::vector<std::string> OperationRegistry::known_ops() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [k, v] : factories_) out.push_back(k);
+  return out;
+}
+
+bool OperationRegistry::knows(const std::string& func) const {
+  return factories_.count(func) > 0;
+}
+
+bool packet_field(const netio::PacketView& v, const std::string& field,
+                  double* out) {
+  using netio::TcpFlag;
+  if (field == "ts") *out = v.ts;
+  else if (field == "len" || field == "packetLength") *out = v.wire_len;
+  else if (field == "ip_len") *out = v.ip_len;
+  else if (field == "payload_len") *out = v.payload_len;
+  else if (field == "srcIP" || field == "srcip") *out = v.src_ip;
+  else if (field == "dstIP" || field == "dstip") *out = v.dst_ip;
+  else if (field == "srcPort" || field == "sport") *out = v.src_port;
+  else if (field == "dstPort" || field == "dport") *out = v.dst_port;
+  else if (field == "proto") *out = v.proto_raw;
+  else if (field == "ttl") *out = v.ttl;
+  else if (field == "TCPFlags" || field == "tcpflags") *out = v.tcp_flags;
+  else if (field == "tcp_window") *out = v.tcp_window;
+  else if (field == "tcp_seq") *out = v.tcp_seq;
+  else if (field == "icmp_type") *out = v.icmp_type;
+  else if (field == "app") *out = static_cast<double>(v.app);
+  else if (field == "is_syn") *out = v.tcp_flag(TcpFlag::kSyn) ? 1.0 : 0.0;
+  else if (field == "is_ack") *out = v.tcp_flag(TcpFlag::kAck) ? 1.0 : 0.0;
+  else if (field == "is_fin") *out = v.tcp_flag(TcpFlag::kFin) ? 1.0 : 0.0;
+  else if (field == "is_rst") *out = v.tcp_flag(TcpFlag::kRst) ? 1.0 : 0.0;
+  else if (field == "is_psh") *out = v.tcp_flag(TcpFlag::kPsh) ? 1.0 : 0.0;
+  else if (field == "has_ip") *out = v.has_ip ? 1.0 : 0.0;
+  else if (field == "is_tcp") *out = v.proto == netio::IpProto::kTcp ? 1.0 : 0.0;
+  else if (field == "is_udp") *out = v.proto == netio::IpProto::kUdp ? 1.0 : 0.0;
+  else if (field == "is_icmp") *out = v.proto == netio::IpProto::kIcmp ? 1.0 : 0.0;
+  else if (field == "dot11_type") *out = static_cast<double>(v.dot11_type);
+  else if (field == "dot11_subtype") *out = v.dot11_subtype;
+  else return false;
+  return true;
+}
+
+const std::vector<std::string>& known_packet_fields() {
+  static const std::vector<std::string> kFields = {
+      "ts",        "len",       "ip_len",   "payload_len", "srcip",
+      "dstip",     "sport",     "dport",    "proto",       "ttl",
+      "tcpflags",  "tcp_window", "tcp_seq", "icmp_type",   "app",
+      "is_syn",    "is_ack",    "is_fin",   "is_rst",      "is_psh",
+      "has_ip",    "is_tcp",    "is_udp",   "is_icmp",     "dot11_type",
+      "dot11_subtype"};
+  return kFields;
+}
+
+namespace {
+
+std::string mac_str(const netio::MacAddr& m) {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x%02x%02x%02x%02x%02x", m[0], m[1], m[2],
+                m[3], m[4], m[5]);
+  return buf;
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Result<std::function<std::string(const netio::PacketView&)>> make_group_key(
+    const std::string& key_in) {
+  const std::string key = lower(key_in);
+  using netio::PacketView;
+  if (key == "srcip")
+    return {[](const PacketView& v) { return netio::ipv4_to_string(v.src_ip); }};
+  if (key == "dstip")
+    return {[](const PacketView& v) { return netio::ipv4_to_string(v.dst_ip); }};
+  if (key == "srcdst" || key == "channel")
+    return {[](const PacketView& v) {
+      return netio::ipv4_to_string(v.src_ip) + ">" +
+             netio::ipv4_to_string(v.dst_ip);
+    }};
+  if (key == "socket")
+    return {[](const PacketView& v) {
+      return netio::ipv4_to_string(v.src_ip) + ":" +
+             std::to_string(v.src_port) + ">" +
+             netio::ipv4_to_string(v.dst_ip) + ":" +
+             std::to_string(v.dst_port) + "/" + std::to_string(v.proto_raw);
+    }};
+  if (key == "srcmac")
+    return {[](const PacketView& v) { return mac_str(v.src_mac); }};
+  if (key == "dstport")
+    return {[](const PacketView& v) { return std::to_string(v.dst_port); }};
+  if (key == "proto")
+    return {[](const PacketView& v) { return std::to_string(v.proto_raw); }};
+  return Error::make("groupby", "unknown group key '" + key_in + "'");
+}
+
+// Registrars defined by the ops_*.cpp translation units.
+void register_packet_ops();
+void register_flow_ops();
+void register_table_ops();
+void register_model_ops();
+void register_io_ops();
+
+void register_builtin_operations() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    register_packet_ops();
+    register_flow_ops();
+    register_table_ops();
+    register_model_ops();
+    register_io_ops();
+  });
+}
+
+}  // namespace lumen::core

@@ -1,0 +1,88 @@
+// Operation abstraction: the unit of composition in Lumen pipelines.
+//
+// An OpSpec is one entry of the user's template file ("func", "input",
+// "output", plus operation-specific parameters). The OperationRegistry maps
+// func names to factories; each Operation declares its input/output kinds so
+// the engine can type-check pipelines before execution (§3.2).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/json.h"
+#include "core/value.h"
+
+namespace lumen::core {
+
+/// One parsed template entry.
+struct OpSpec {
+  std::string func;
+  std::vector<std::string> inputs;  // binding names consumed
+  std::string output;               // binding name produced
+  Json params;                      // the full template object
+};
+
+/// Execution context handed to every operation.
+struct OpContext {
+  const trace::Dataset* dataset = nullptr;
+  Rng rng{12345};
+  /// Datasets loaded mid-pipeline (e.g. by pcap_source) live here so that
+  /// PacketSet values referencing them stay valid for the whole run.
+  std::vector<std::shared_ptr<trace::Dataset>> owned_datasets;
+};
+
+class Operation {
+ public:
+  explicit Operation(OpSpec spec) : spec_(std::move(spec)) {}
+  virtual ~Operation() = default;
+
+  const OpSpec& spec() const { return spec_; }
+
+  /// Expected input kinds (kAny entries accept anything).
+  virtual std::vector<ValueKind> input_kinds() const = 0;
+  virtual ValueKind output_kind() const = 0;
+
+  virtual Result<Value> run(const std::vector<const Value*>& inputs,
+                            OpContext& ctx) = 0;
+
+ protected:
+  OpSpec spec_;
+};
+
+using OperationPtr = std::unique_ptr<Operation>;
+using OperationFactory = std::function<Result<OperationPtr>(OpSpec)>;
+
+/// Global func-name -> factory registry.
+class OperationRegistry {
+ public:
+  static OperationRegistry& instance();
+
+  void register_op(const std::string& func, OperationFactory factory);
+  Result<OperationPtr> create(OpSpec spec) const;
+  std::vector<std::string> known_ops() const;
+  bool knows(const std::string& func) const;
+
+ private:
+  std::map<std::string, OperationFactory> factories_;
+};
+
+/// Registers every built-in operation (idempotent; called by the engine).
+void register_builtin_operations();
+
+// ---- shared helpers used by several operations ----
+
+/// Numeric packet field accessor ("len", "iat" excepted — iat is contextual).
+/// Returns false when the field name is unknown.
+bool packet_field(const netio::PacketView& v, const std::string& field,
+                  double* out);
+
+/// The list of field names packet_field understands.
+const std::vector<std::string>& known_packet_fields();
+
+/// Group-key extractor for groupby-style operations ("srcip", "dstip",
+/// "srcdst", "channel", "socket", "srcmac").
+Result<std::function<std::string(const netio::PacketView&)>> make_group_key(
+    const std::string& key);
+
+}  // namespace lumen::core

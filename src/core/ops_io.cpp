@@ -1,0 +1,95 @@
+// I/O operations: sourcing packets from a pcap savefile and persisting /
+// reloading feature tables as CSV. These make pipelines usable on real
+// captures and let expensive feature extractions be shared across runs.
+#include "core/ops_common.h"
+#include "features/csv.h"
+#include "netio/pcap.h"
+
+namespace lumen::core {
+
+namespace {
+
+using features::FeatureTable;
+
+// "pcap_source": load a capture from disk as an (unlabeled) packet set.
+Result<Value> run_pcap_source(const OpSpec& spec,
+                              const std::vector<const Value*>& in,
+                              OpContext& ctx) {
+  const std::string path = spec.params.get_string("path");
+  if (path.empty()) return Error::make("pcap_source", "missing 'path'");
+  Result<netio::Trace> trace = netio::read_pcap(path);
+  if (!trace.ok()) return trace.error();
+
+  auto ds = std::make_shared<trace::Dataset>();
+  ds->id = "pcap:" + path;
+  ds->standin = path;
+  ds->label_granularity = trace::Granularity::kPacket;
+  ds->trace = std::move(trace).value();
+  ds->pkt_label.assign(ds->trace.view.size(), 0);   // unlabeled capture
+  ds->pkt_attack.assign(ds->trace.view.size(), 0);
+  ctx.owned_datasets.push_back(ds);
+
+  PacketSet ps;
+  ps.dataset = ds.get();
+  ps.idx.resize(ds->trace.view.size());
+  for (uint32_t i = 0; i < ps.idx.size(); ++i) ps.idx[i] = i;
+  return Value(std::move(ps));
+}
+
+// "pcap_sink": write a packet set back out as a classic pcap savefile;
+// passes the set through so it can sit mid-pipeline.
+Result<Value> run_pcap_sink(const OpSpec& spec,
+                            const std::vector<const Value*>& in,
+                            OpContext& ctx) {
+  auto psr = input_as<PacketSet>(in, 0, "pcap_sink");
+  if (!psr.ok()) return psr.error();
+  const PacketSet& ps = *psr.value();
+  const std::string path = spec.params.get_string("path");
+  if (path.empty()) return Error::make("pcap_sink", "missing 'path'");
+  netio::Trace out;
+  out.link = ps.dataset->trace.link;
+  out.raw.reserve(ps.idx.size());
+  for (uint32_t i : ps.idx) out.raw.push_back(ps.dataset->trace.raw[i]);
+  Result<void> written = netio::write_pcap(path, out);
+  if (!written.ok()) return written.error();
+  return Value(ps);
+}
+
+// "save_features": persist a table as CSV; passes the table through so it
+// can sit mid-pipeline.
+Result<Value> run_save_features(const OpSpec& spec,
+                                const std::vector<const Value*>& in,
+                                OpContext& ctx) {
+  auto tr = input_as<FeatureTable>(in, 0, "save_features");
+  if (!tr.ok()) return tr.error();
+  const std::string path = spec.params.get_string("path");
+  if (path.empty()) return Error::make("save_features", "missing 'path'");
+  Result<void> saved = features::save_csv(*tr.value(), path);
+  if (!saved.ok()) return saved.error();
+  return Value(*tr.value());
+}
+
+// "load_features": source a table from a previously saved CSV.
+Result<Value> run_load_features(const OpSpec& spec,
+                                const std::vector<const Value*>& in,
+                                OpContext& ctx) {
+  const std::string path = spec.params.get_string("path");
+  if (path.empty()) return Error::make("load_features", "missing 'path'");
+  Result<FeatureTable> t = features::load_csv(path);
+  if (!t.ok()) return t.error();
+  return Value(std::move(t).value());
+}
+
+}  // namespace
+
+void register_io_ops() {
+  register_simple("pcap_source", {}, ValueKind::kPacketSet, run_pcap_source);
+  register_simple("save_features", {ValueKind::kFeatureTable},
+                  ValueKind::kFeatureTable, run_save_features);
+  register_simple("load_features", {}, ValueKind::kFeatureTable,
+                  run_load_features);
+  register_simple("pcap_sink", {ValueKind::kPacketSet},
+                  ValueKind::kPacketSet, run_pcap_sink);
+}
+
+}  // namespace lumen::core

@@ -1,0 +1,275 @@
+// FeatureTable-level operations: normalization, correlated-feature removal,
+// column selection, imputation, sampling, time-based splits, table merging
+// and column concatenation, one-hot expansion.
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "core/ops_common.h"
+#include "features/transform.h"
+
+namespace lumen::core {
+
+namespace {
+
+using features::FeatureTable;
+
+Result<Value> run_normalize(const OpSpec& spec,
+                            const std::vector<const Value*>& in,
+                            OpContext& ctx) {
+  auto tr = input_as<FeatureTable>(in, 0, "normalize");
+  if (!tr.ok()) return tr.error();
+  FeatureTable t = *tr.value();
+  const std::string kind = spec.params.get_string("kind", "minmax");
+  features::Normalizer norm(kind == "zscore" ? features::NormKind::kZScore
+                                             : features::NormKind::kMinMax);
+  norm.fit(t);
+  norm.apply(t);
+  return Value(std::move(t));
+}
+
+Result<Value> run_remove_correlated(const OpSpec& spec,
+                                    const std::vector<const Value*>& in,
+                                    OpContext& ctx) {
+  auto tr = input_as<FeatureTable>(in, 0, "remove_correlated");
+  if (!tr.ok()) return tr.error();
+  const double threshold = spec.params.get_number("threshold", 0.98);
+  features::CorrelationFilter filt(threshold);
+  filt.fit(*tr.value());
+  return Value(filt.apply(*tr.value()));
+}
+
+Result<Value> run_select_columns(const OpSpec& spec,
+                                 const std::vector<const Value*>& in,
+                                 OpContext& ctx) {
+  auto tr = input_as<FeatureTable>(in, 0, "select_columns");
+  if (!tr.ok()) return tr.error();
+  const FeatureTable& t = *tr.value();
+  const std::vector<std::string> wanted = spec.params.get_string_list("columns");
+  const std::vector<std::string> prefixes = spec.params.get_string_list("prefixes");
+  std::vector<uint8_t> keep(t.cols, 0);
+  for (size_t c = 0; c < t.cols; ++c) {
+    const std::string& name = t.col_names[c];
+    for (const std::string& w : wanted) {
+      if (name == w) keep[c] = 1;
+    }
+    for (const std::string& p : prefixes) {
+      if (name.rfind(p, 0) == 0) keep[c] = 1;
+    }
+  }
+  return Value(t.select_cols(keep));
+}
+
+Result<Value> run_drop_columns(const OpSpec& spec,
+                               const std::vector<const Value*>& in,
+                               OpContext& ctx) {
+  auto tr = input_as<FeatureTable>(in, 0, "drop_columns");
+  if (!tr.ok()) return tr.error();
+  const FeatureTable& t = *tr.value();
+  const std::vector<std::string> drop = spec.params.get_string_list("columns");
+  const std::set<std::string> dropset(drop.begin(), drop.end());
+  std::vector<uint8_t> keep(t.cols, 1);
+  for (size_t c = 0; c < t.cols; ++c) {
+    if (dropset.count(t.col_names[c]) != 0) keep[c] = 0;
+  }
+  return Value(t.select_cols(keep));
+}
+
+Result<Value> run_impute(const OpSpec& spec,
+                         const std::vector<const Value*>& in, OpContext& ctx) {
+  auto tr = input_as<FeatureTable>(in, 0, "impute");
+  if (!tr.ok()) return tr.error();
+  FeatureTable t = *tr.value();
+  features::impute_non_finite(t);
+  return Value(std::move(t));
+}
+
+Result<Value> run_sample(const OpSpec& spec,
+                         const std::vector<const Value*>& in, OpContext& ctx) {
+  auto tr = input_as<FeatureTable>(in, 0, "sample");
+  if (!tr.ok()) return tr.error();
+  const FeatureTable& t = *tr.value();
+  const double fraction = spec.params.get_number("fraction", 0.1);
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Error::make("sample", "fraction must be in (0, 1]");
+  }
+  std::vector<size_t> idx(t.rows);
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng rng(static_cast<uint64_t>(spec.params.get_int("seed", 71)));
+  rng.shuffle(idx);
+  idx.resize(std::max<size_t>(1, static_cast<size_t>(
+                                     fraction * static_cast<double>(t.rows))));
+  std::sort(idx.begin(), idx.end());  // keep time order
+  return Value(t.select_rows(idx));
+}
+
+// "split": deterministic time-ordered train/test split; param "take"
+// selects which side this op emits, so a pipeline can branch on both.
+Result<Value> run_split(const OpSpec& spec,
+                        const std::vector<const Value*>& in, OpContext& ctx) {
+  auto tr = input_as<FeatureTable>(in, 0, "split");
+  if (!tr.ok()) return tr.error();
+  const FeatureTable& t = *tr.value();
+  const double train_frac = spec.params.get_number("train_fraction", 0.7);
+  const std::string take = spec.params.get_string("take", "train");
+  if (take != "train" && take != "test") {
+    return Error::make("split", "'take' must be 'train' or 'test'");
+  }
+  std::vector<size_t> order(t.rows);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return t.unit_time[a] < t.unit_time[b];
+  });
+  const size_t n_train =
+      static_cast<size_t>(train_frac * static_cast<double>(t.rows));
+  std::vector<size_t> pick;
+  if (take == "train") {
+    pick.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n_train));
+  } else {
+    pick.assign(order.begin() + static_cast<std::ptrdiff_t>(n_train), order.end());
+  }
+  std::sort(pick.begin(), pick.end());
+  return Value(t.select_rows(pick));
+}
+
+Result<Value> run_merge_tables(const OpSpec& spec,
+                               const std::vector<const Value*>& in,
+                               OpContext& ctx) {
+  if (in.empty()) return Error::make("merge_tables", "needs >= 1 input");
+  auto first = input_as<FeatureTable>(in, 0, "merge_tables");
+  if (!first.ok()) return first.error();
+  FeatureTable out = *first.value();
+  for (size_t i = 1; i < in.size(); ++i) {
+    auto next = input_as<FeatureTable>(in, i, "merge_tables");
+    if (!next.ok()) return next.error();
+    if (!out.append(*next.value())) {
+      return Error::make("merge_tables",
+                         "input #" + std::to_string(i) + " has mismatched columns");
+    }
+  }
+  return Value(std::move(out));
+}
+
+// "concat_features": column-concatenate tables over the same units.
+Result<Value> run_concat_features(const OpSpec& spec,
+                                  const std::vector<const Value*>& in,
+                                  OpContext& ctx) {
+  if (in.size() < 2) return Error::make("concat_features", "needs >= 2 inputs");
+  auto first = input_as<FeatureTable>(in, 0, "concat_features");
+  if (!first.ok()) return first.error();
+  FeatureTable out = *first.value();
+  for (size_t i = 1; i < in.size(); ++i) {
+    auto next = input_as<FeatureTable>(in, i, "concat_features");
+    if (!next.ok()) return next.error();
+    const FeatureTable& t = *next.value();
+    if (t.rows != out.rows) {
+      return Error::make("concat_features",
+                         "row count mismatch between inputs (" +
+                             std::to_string(out.rows) + " vs " +
+                             std::to_string(t.rows) + ")");
+    }
+    if (t.unit_id != out.unit_id) {
+      return Error::make("concat_features", "unit alignment mismatch");
+    }
+    // Grow columns.
+    FeatureTable merged = FeatureTable::make(out.rows, [&] {
+      std::vector<std::string> names = out.col_names;
+      names.insert(names.end(), t.col_names.begin(), t.col_names.end());
+      return names;
+    }());
+    for (size_t r = 0; r < out.rows; ++r) {
+      for (size_t c = 0; c < out.cols; ++c) merged.at(r, c) = out.at(r, c);
+      for (size_t c = 0; c < t.cols; ++c) {
+        merged.at(r, out.cols + c) = t.at(r, c);
+      }
+    }
+    merged.labels = out.labels;
+    merged.unit_id = out.unit_id;
+    merged.attack = out.attack;
+    merged.unit_time = out.unit_time;
+    out = std::move(merged);
+  }
+  return Value(std::move(out));
+}
+
+Result<Value> run_one_hot(const OpSpec& spec,
+                          const std::vector<const Value*>& in, OpContext& ctx) {
+  auto tr = input_as<FeatureTable>(in, 0, "one_hot");
+  if (!tr.ok()) return tr.error();
+  const FeatureTable& t = *tr.value();
+  const std::string column = spec.params.get_string("column");
+  std::vector<double> values = spec.params.get_number_list("values");
+  size_t col = t.cols;
+  for (size_t c = 0; c < t.cols; ++c) {
+    if (t.col_names[c] == column) col = c;
+  }
+  if (col == t.cols) {
+    return Error::make("one_hot", "no column named '" + column + "'");
+  }
+  if (values.empty()) {  // discover distinct values (small cardinality only)
+    std::set<double> uniq;
+    for (size_t r = 0; r < t.rows && uniq.size() <= 32; ++r) {
+      uniq.insert(t.at(r, col));
+    }
+    if (uniq.size() > 32) {
+      return Error::make("one_hot", "column cardinality too high");
+    }
+    values.assign(uniq.begin(), uniq.end());
+  }
+
+  std::vector<std::string> names;
+  for (size_t c = 0; c < t.cols; ++c) {
+    if (c != col) names.push_back(t.col_names[c]);
+  }
+  for (double v : values) {
+    names.push_back(column + "=" + std::to_string(static_cast<long long>(v)));
+  }
+  FeatureTable out = FeatureTable::make(t.rows, names);
+  for (size_t r = 0; r < t.rows; ++r) {
+    size_t oc = 0;
+    for (size_t c = 0; c < t.cols; ++c) {
+      if (c != col) out.at(r, oc++) = t.at(r, c);
+    }
+    for (double v : values) {
+      out.at(r, oc++) = t.at(r, col) == v ? 1.0 : 0.0;
+    }
+  }
+  out.labels = t.labels;
+  out.unit_id = t.unit_id;
+  out.attack = t.attack;
+  out.unit_time = t.unit_time;
+  return Value(std::move(out));
+}
+
+}  // namespace
+
+void register_table_ops() {
+  register_simple("normalize", {ValueKind::kFeatureTable},
+                  ValueKind::kFeatureTable, run_normalize);
+  register_simple("remove_correlated", {ValueKind::kFeatureTable},
+                  ValueKind::kFeatureTable, run_remove_correlated);
+  register_simple("select_columns", {ValueKind::kFeatureTable},
+                  ValueKind::kFeatureTable, run_select_columns);
+  register_simple("drop_columns", {ValueKind::kFeatureTable},
+                  ValueKind::kFeatureTable, run_drop_columns);
+  register_simple("impute", {ValueKind::kFeatureTable},
+                  ValueKind::kFeatureTable, run_impute);
+  register_simple("sample", {ValueKind::kFeatureTable},
+                  ValueKind::kFeatureTable, run_sample);
+  register_simple("split", {ValueKind::kFeatureTable},
+                  ValueKind::kFeatureTable, run_split);
+  register_simple("merge_tables",
+                  {ValueKind::kFeatureTable, ValueKind::kAny, ValueKind::kAny,
+                   ValueKind::kAny, ValueKind::kAny, ValueKind::kAny,
+                   ValueKind::kAny, ValueKind::kAny, ValueKind::kAny,
+                   ValueKind::kAny},
+                  ValueKind::kFeatureTable, run_merge_tables);
+  register_simple("concat_features",
+                  {ValueKind::kFeatureTable, ValueKind::kFeatureTable,
+                   ValueKind::kAny, ValueKind::kAny},
+                  ValueKind::kFeatureTable, run_concat_features);
+  register_simple("one_hot", {ValueKind::kFeatureTable},
+                  ValueKind::kFeatureTable, run_one_hot);
+}
+
+}  // namespace lumen::core

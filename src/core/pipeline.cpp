@@ -1,0 +1,88 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace lumen::core {
+
+std::string canonical_func_name(const std::string& name) {
+  // Lowercase and collapse spaces/dashes to underscores.
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == ' ' || c == '-') {
+      out.push_back('_');
+    } else {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  // Paper-style aliases.
+  if (out == "fieldextract") return "field_extract";
+  if (out == "timeslice") return "time_slice";
+  if (out == "applyaggregates") return "apply_aggregates";
+  if (out == "groupby") return "groupby";
+  return out;
+}
+
+Result<PipelineSpec> PipelineSpec::from_json(const Json& array) {
+  if (!array.is_array()) {
+    return Error::make("pipeline", "template must be an array of operations");
+  }
+  PipelineSpec spec;
+  for (size_t i = 0; i < array.items().size(); ++i) {
+    const Json& entry = array.items()[i];
+    if (!entry.is_object()) {
+      return Error::make("pipeline",
+                         "entry #" + std::to_string(i) + " is not an object");
+    }
+    OpSpec op;
+    op.func = canonical_func_name(entry.get_string("func"));
+    if (op.func.empty()) {
+      return Error::make("pipeline",
+                         "entry #" + std::to_string(i) + " missing 'func'");
+    }
+    const Json* input = entry.get("input");
+    if (input != nullptr && !input->is_null()) {
+      if (input->is_string()) {
+        op.inputs.push_back(input->as_string());
+      } else if (input->is_array()) {
+        for (const Json& item : input->items()) {
+          if (!item.is_string()) {
+            return Error::make("pipeline", "inputs must be binding names");
+          }
+          op.inputs.push_back(item.as_string());
+        }
+      } else {
+        return Error::make("pipeline", "'input' must be null/string/array");
+      }
+    }
+    op.output = entry.get_string("output");
+    if (op.output.empty()) {
+      op.output = "_anon" + std::to_string(i);
+    }
+    op.params = entry;
+    spec.ops.push_back(std::move(op));
+  }
+  if (spec.ops.empty()) {
+    return Error::make("pipeline", "template has no operations");
+  }
+  return spec;
+}
+
+Result<PipelineSpec> PipelineSpec::parse(std::string_view text) {
+  // Tolerate the "algorithm = [...]" prefix from the paper's example.
+  size_t start = 0;
+  while (start < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[start])) != 0) {
+    ++start;
+  }
+  if (text.substr(start).rfind("algorithm", 0) == 0) {
+    const size_t eq = text.find('=', start);
+    if (eq != std::string_view::npos) start = eq + 1;
+  }
+  Result<Json> parsed = Json::parse(text.substr(start));
+  if (!parsed.ok()) return parsed.error();
+  return from_json(parsed.value());
+}
+
+}  // namespace lumen::core

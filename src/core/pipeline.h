@@ -1,0 +1,32 @@
+// PipelineSpec: a parsed algorithm template (the paper's Fig. 4 format).
+//
+// A template is a JSON-ish array of operation objects:
+//   [
+//     {"func": "Field Extract", "input": None, "output": "Packets",
+//      "param": ["srcIP", "dstIP", "TCPFlags", "packetLength"]},
+//     {"func": "Groupby", "input": ["Packets"], "output": "Grouped",
+//      "flowid": ["srcIp"]},
+//     ...
+//   ]
+// Friendly func aliases from the paper ("Field Extract", "Groupby",
+// "TimeSlice", "ApplyAggregates") map onto the canonical operation names.
+#pragma once
+
+#include "core/op.h"
+
+namespace lumen::core {
+
+struct PipelineSpec {
+  std::vector<OpSpec> ops;
+
+  /// Parse a template. Accepts an optional leading "algorithm =".
+  static Result<PipelineSpec> parse(std::string_view text);
+
+  /// Build a spec programmatically from parsed JSON entries.
+  static Result<PipelineSpec> from_json(const Json& array);
+};
+
+/// Canonicalize a func name ("Field Extract" -> "field_extract", ...).
+std::string canonical_func_name(const std::string& name);
+
+}  // namespace lumen::core

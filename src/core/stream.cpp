@@ -1,0 +1,36 @@
+#include "core/stream.h"
+
+namespace lumen::core {
+
+OnlineKitsune::OnlineKitsune(Options opts)
+    : opts_(std::move(opts)), extractor_(opts_.lambdas) {
+  ml::KitNet::Config cfg = opts_.kitnet;
+  cfg.quantile = opts_.threshold_quantile;
+  detector_ = ml::KitNet(cfg);
+}
+
+void OnlineKitsune::train(std::span<const netio::PacketView> packets) {
+  // Extract the training prefix's features with the SAME extractor state
+  // that will keep running at detection time — the statistics roll straight
+  // from training into detection, as in the original system.
+  features::FeatureTable table =
+      features::FeatureTable::make(packets.size(), extractor_.feature_names());
+  for (size_t r = 0; r < packets.size(); ++r) {
+    extractor_.process(packets[r], row_);
+    std::copy(row_.begin(), row_.end(),
+              table.data.begin() + static_cast<std::ptrdiff_t>(r * table.cols));
+    table.unit_time[r] = packets[r].ts;
+  }
+  // All training rows are treated as benign (the grace-period assumption).
+  detector_.fit(table);
+  threshold_ = detector_.threshold();
+  trained_ = true;
+}
+
+double OnlineKitsune::score_packet(const netio::PacketView& v) {
+  extractor_.process(v, row_);
+  if (!trained_) return 0.0;
+  return detector_.score_row(row_);
+}
+
+}  // namespace lumen::core

@@ -1,0 +1,53 @@
+// Online anomaly detection: the gateway-side runtime. Kitsune is an online
+// system — it trains and detects packet by packet. OnlineKitsune wires the
+// streaming feature extractor to an incrementally-trained KitNET:
+//
+//   OnlineKitsune det(train_packets);           // grace period
+//   for each live packet p: if (det.process(p)) alert();
+//
+// The detector never sees the future: statistics, the feature map, the
+// autoencoders, and the threshold all come from the stream prefix.
+#pragma once
+
+#include "core/kitsune_extractor.h"
+#include "ml/kitnet.h"
+
+namespace lumen::core {
+
+class OnlineKitsune {
+ public:
+  struct Options {
+    std::vector<double> lambdas;     // empty = Kitsune defaults
+    ml::KitNet::Config kitnet;       // ensemble configuration
+    double threshold_quantile = 0.97;
+  };
+
+  OnlineKitsune() : OnlineKitsune(Options{}) {}
+  explicit OnlineKitsune(Options opts);
+
+  /// Feed the (benign) training prefix, in capture order. Trains the
+  /// feature map, the autoencoder ensemble, and calibrates the threshold.
+  void train(std::span<const netio::PacketView> packets);
+
+  bool trained() const { return trained_; }
+  double threshold() const { return threshold_; }
+
+  /// Process one live packet: updates the streaming statistics, scores the
+  /// packet, and returns its anomaly score (RMSE of the output AE).
+  double score_packet(const netio::PacketView& v);
+
+  /// Convenience: score and compare against the calibrated threshold.
+  bool process(const netio::PacketView& v) {
+    return score_packet(v) > threshold_;
+  }
+
+ private:
+  Options opts_;
+  KitsuneExtractor extractor_;
+  ml::KitNet detector_;
+  double threshold_ = 0.0;
+  bool trained_ = false;
+  std::vector<double> row_;
+};
+
+}  // namespace lumen::core

@@ -1,0 +1,30 @@
+// The paper's literature survey (Table 1) as structured metadata, plus the
+// Fig. 1a computation: for each algorithm, how many other algorithms share
+// at least one evaluation dataset with it in the published record — the
+// number of literature-only comparisons an operator could make.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lumen::eval {
+
+struct LiteratureEntry {
+  std::string algorithm;
+  std::string ml_model;
+  std::string granularity;
+  std::vector<std::string> datasets;  // as reported in the original papers
+  std::string reported_performance;
+};
+
+/// Table 1 of the paper.
+const std::vector<LiteratureEntry>& literature_survey();
+
+/// Fig. 1a: per-algorithm count of other algorithms evaluated on at least
+/// one common dataset. "Custom" (private) datasets never match anything.
+std::vector<std::pair<std::string, int>> possible_comparisons();
+
+/// Aligned text rendering of Table 1.
+std::string render_literature_table();
+
+}  // namespace lumen::eval

@@ -1,0 +1,95 @@
+#include "eval/relevance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "features/stats.h"
+#include "ml/forest.h"
+
+namespace lumen::eval {
+
+std::vector<FeatureRelevance> forest_importance(
+    const features::FeatureTable& table, size_t n_trees, uint64_t seed) {
+  ml::ForestConfig cfg;
+  cfg.n_trees = n_trees;
+  cfg.seed = seed;
+  ml::RandomForest rf(cfg);
+  rf.fit(table);
+
+  std::vector<double> counts(table.cols, 0.0);
+  for (const ml::DecisionTree& tree : rf.trees()) {
+    for (const auto& node : tree.nodes()) {
+      if (node.feature >= 0 &&
+          static_cast<size_t>(node.feature) < table.cols) {
+        counts[static_cast<size_t>(node.feature)] += 1.0;
+      }
+    }
+  }
+  double total = 0.0;
+  for (double c : counts) total += c;
+  std::vector<FeatureRelevance> out;
+  out.reserve(table.cols);
+  for (size_t c = 0; c < table.cols; ++c) {
+    out.push_back(FeatureRelevance{table.col_names[c],
+                                   total > 0.0 ? counts[c] / total : 0.0});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.score > b.score; });
+  return out;
+}
+
+std::vector<FeatureRelevance> attack_separation(
+    const features::FeatureTable& table, trace::AttackType attack) {
+  std::vector<FeatureRelevance> out;
+  out.reserve(table.cols);
+  for (size_t c = 0; c < table.cols; ++c) {
+    features::RunningStats benign, mal;
+    for (size_t r = 0; r < table.rows; ++r) {
+      if (table.labels[r] == 0) {
+        benign.add(table.at(r, c));
+      } else if (table.attack[r] == static_cast<uint8_t>(attack)) {
+        mal.add(table.at(r, c));
+      }
+    }
+    double d = 0.0;
+    if (benign.count() > 1 && mal.count() > 1) {
+      const double pooled =
+          std::sqrt(0.5 * (benign.variance() + mal.variance()));
+      if (pooled > 1e-12) {
+        d = std::fabs(mal.mean() - benign.mean()) / pooled;
+      }
+    }
+    out.push_back(FeatureRelevance{table.col_names[c], d});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.score > b.score; });
+  return out;
+}
+
+Result<std::vector<AttackRelevanceReport>> per_attack_relevance(
+    Benchmark& bench, const std::string& algo_id, const std::string& ds_id,
+    size_t top_k) {
+  Result<const features::FeatureTable*> feats = bench.features(algo_id, ds_id);
+  if (!feats.ok()) return feats.error();
+  const features::FeatureTable& table = *feats.value();
+
+  std::set<uint8_t> attacks;
+  for (size_t r = 0; r < table.rows; ++r) {
+    if (table.labels[r] != 0 && table.attack[r] != 0) {
+      attacks.insert(table.attack[r]);
+    }
+  }
+  std::vector<AttackRelevanceReport> out;
+  for (uint8_t a : attacks) {
+    AttackRelevanceReport report;
+    report.attack = static_cast<trace::AttackType>(a);
+    std::vector<FeatureRelevance> ranked =
+        attack_separation(table, report.attack);
+    if (ranked.size() > top_k) ranked.resize(top_k);
+    report.top = std::move(ranked);
+    out.push_back(std::move(report));
+  }
+  return out;
+}
+
+}  // namespace lumen::eval

@@ -1,0 +1,42 @@
+// §6 of the paper: "Lumen can also be used to understand the relevant
+// features for each attack type or deployment."
+//
+// Two complementary relevance measures over an algorithm's feature table:
+//  * forest split importance — how often (weighted by node population) a
+//    random forest trained on the task splits on each feature;
+//  * per-attack separation — the standardized mean difference (Cohen's d)
+//    between one attack's rows and the benign rows, per feature.
+#pragma once
+
+#include "eval/benchmark.h"
+
+namespace lumen::eval {
+
+struct FeatureRelevance {
+  std::string feature;
+  double score = 0.0;
+};
+
+/// Split-count importance from a forest trained on the table. Scores are
+/// normalized to sum to 1. Ties are broken by column order (deterministic).
+std::vector<FeatureRelevance> forest_importance(
+    const features::FeatureTable& table, size_t n_trees = 20,
+    uint64_t seed = 77);
+
+/// |Cohen's d| between rows of `attack` and benign rows, per feature,
+/// sorted descending. Features with no variation score 0.
+std::vector<FeatureRelevance> attack_separation(
+    const features::FeatureTable& table, trace::AttackType attack);
+
+/// Convenience: the top-k relevant features of `algo_id` for each attack
+/// in `ds_id` (uses the Benchmark's cached features).
+struct AttackRelevanceReport {
+  trace::AttackType attack = trace::AttackType::kNone;
+  std::vector<FeatureRelevance> top;
+};
+
+Result<std::vector<AttackRelevanceReport>> per_attack_relevance(
+    Benchmark& bench, const std::string& algo_id, const std::string& ds_id,
+    size_t top_k = 5);
+
+}  // namespace lumen::eval

@@ -1,0 +1,116 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "features/stats.h"
+
+namespace lumen::eval {
+
+namespace {
+
+/// Coarse shade for a [0,1] value, so heatmaps are skimmable in a terminal.
+const char* shade(double v) {
+  if (std::isnan(v)) return " ";
+  if (v >= 0.9) return "#";
+  if (v >= 0.7) return "+";
+  if (v >= 0.5) return "=";
+  if (v >= 0.3) return "-";
+  return ".";
+}
+
+}  // namespace
+
+std::string Heatmap::render() const {
+  std::string out = "== " + title + " ==\n";
+  char buf[64];
+  // Header.
+  out += "        ";
+  for (const std::string& c : col_names) {
+    std::snprintf(buf, sizeof(buf), "%10.10s", c.c_str());
+    out += buf;
+  }
+  out += "\n";
+  for (size_t r = 0; r < row_names.size(); ++r) {
+    std::snprintf(buf, sizeof(buf), "%-8.8s", row_names[r].c_str());
+    out += buf;
+    for (size_t c = 0; c < col_names.size(); ++c) {
+      const double v = at(r, c);
+      if (std::isnan(v)) {
+        out += "       -- ";
+      } else {
+        std::snprintf(buf, sizeof(buf), "   %s %5.2f", shade(v), v);
+        out += buf;
+      }
+    }
+    out += "\n";
+  }
+  out += "(shade: # >=0.9, + >=0.7, = >=0.5, - >=0.3, . <0.3, -- no data)\n";
+  return out;
+}
+
+std::string Heatmap::to_csv() const {
+  std::string out = "row";
+  for (const std::string& c : col_names) out += "," + c;
+  out += "\n";
+  char buf[32];
+  for (size_t r = 0; r < row_names.size(); ++r) {
+    out += row_names[r];
+    for (size_t c = 0; c < col_names.size(); ++c) {
+      const double v = at(r, c);
+      if (std::isnan(v)) {
+        out += ",";
+      } else {
+        std::snprintf(buf, sizeof(buf), ",%.4f", v);
+        out += buf;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Distribution Distribution::from(std::string name, std::vector<double> values) {
+  Distribution d;
+  d.name = std::move(name);
+  d.n = values.size();
+  if (values.empty()) return d;
+  d.min = features::percentile(values, 0.0);
+  d.q25 = features::percentile(values, 25.0);
+  d.median = features::percentile(values, 50.0);
+  d.q75 = features::percentile(values, 75.0);
+  d.max = features::percentile(values, 100.0);
+  return d;
+}
+
+std::string render_distributions(const std::string& title,
+                                 const std::vector<Distribution>& dists) {
+  std::string out = "== " + title + " ==\n";
+  out +=
+      "name       n    min    q25    med    q75    max   [0      bar      1]\n";
+  char buf[160];
+  for (const Distribution& d : dists) {
+    // 20-char quartile bar: '.' outside min..max, '-' inside, '=' q25..q75,
+    // '|' at the median.
+    char bar[21];
+    for (int i = 0; i < 20; ++i) {
+      const double x = (static_cast<double>(i) + 0.5) / 20.0;
+      char g = '.';
+      if (x >= d.min && x <= d.max) g = '-';
+      if (x >= d.q25 && x <= d.q75) g = '=';
+      bar[i] = g;
+    }
+    const int med_pos =
+        std::clamp(static_cast<int>(d.median * 20.0), 0, 19);
+    if (d.n > 0) bar[med_pos] = '|';
+    bar[20] = '\0';
+    std::snprintf(buf, sizeof(buf),
+                  "%-9.9s %3zu  %5.2f  %5.2f  %5.2f  %5.2f  %5.2f   [%s]\n",
+                  d.name.c_str(), d.n, d.min, d.q25, d.median, d.q75, d.max,
+                  bar);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lumen::eval

@@ -1,0 +1,55 @@
+// Text rendering of the paper's figure types: value heatmaps with gray
+// (absent) cells, and per-group distribution summaries standing in for the
+// scatter plots of Figs. 7-9.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace lumen::eval {
+
+/// A rows x cols grid of values; NaN renders as a gray (" -- ") cell.
+struct Heatmap {
+  std::string title;
+  std::vector<std::string> row_names;
+  std::vector<std::string> col_names;
+  std::vector<double> cells;  // row-major; NaN = no data
+
+  static Heatmap make(std::string title, std::vector<std::string> rows,
+                      std::vector<std::string> cols) {
+    Heatmap h;
+    h.title = std::move(title);
+    h.row_names = std::move(rows);
+    h.col_names = std::move(cols);
+    h.cells.assign(h.row_names.size() * h.col_names.size(),
+                   std::nan(""));
+    return h;
+  }
+
+  double& at(size_t r, size_t c) { return cells[r * col_names.size() + c]; }
+  double at(size_t r, size_t c) const {
+    return cells[r * col_names.size() + c];
+  }
+
+  /// Aligned text rendering (with a coarse shade glyph per cell).
+  std::string render() const;
+
+  /// CSV rendering for downstream plotting.
+  std::string to_csv() const;
+};
+
+/// Five-number summary used by the distribution figures.
+struct Distribution {
+  std::string name;
+  size_t n = 0;
+  double min = 0.0, q25 = 0.0, median = 0.0, q75 = 0.0, max = 0.0;
+
+  static Distribution from(std::string name, std::vector<double> values);
+};
+
+/// Aligned rendering of several distributions plus an ASCII quartile bar.
+std::string render_distributions(const std::string& title,
+                                 const std::vector<Distribution>& dists);
+
+}  // namespace lumen::eval

@@ -1,0 +1,100 @@
+#include "eval/results.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace lumen::eval {
+
+void ResultStore::add_record(const EvalRecord& rec) {
+  const std::pair<const char*, double> metrics[] = {
+      {"precision", rec.precision}, {"recall", rec.recall},
+      {"f1", rec.f1},               {"accuracy", rec.accuracy},
+      {"auc", rec.auc},
+  };
+  for (const auto& [name, value] : metrics) {
+    add(ResultRow{rec.algo, rec.train_ds, rec.test_ds, name, value});
+  }
+}
+
+void ResultStore::add_attack_scores(const EvalRecord& rec,
+                                    const std::vector<AttackScore>& scores) {
+  for (const AttackScore& s : scores) {
+    const std::string attack = trace::attack_name(s.attack);
+    add(ResultRow{rec.algo, rec.train_ds, rec.test_ds,
+                  "precision@" + attack, s.precision});
+    add(ResultRow{rec.algo, rec.train_ds, rec.test_ds, "recall@" + attack,
+                  s.recall});
+  }
+}
+
+std::vector<ResultRow> ResultStore::query(const std::string& algo,
+                                          const std::string& train_ds,
+                                          const std::string& test_ds,
+                                          const std::string& metric) const {
+  std::vector<ResultRow> out;
+  for (const ResultRow& r : rows_) {
+    if (!algo.empty() && r.algo != algo) continue;
+    if (!train_ds.empty() && r.train_ds != train_ds) continue;
+    if (!test_ds.empty() && r.test_ds != test_ds) continue;
+    if (!metric.empty() && r.metric != metric) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::optional<double> ResultStore::value(const std::string& algo,
+                                         const std::string& train_ds,
+                                         const std::string& test_ds,
+                                         const std::string& metric) const {
+  for (const ResultRow& r : rows_) {
+    if (r.algo == algo && r.train_ds == train_ds && r.test_ds == test_ds &&
+        r.metric == metric) {
+      return r.value;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+}  // namespace
+
+Result<void> ResultStore::save_csv(const std::string& path) const {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "w"));
+  if (!f) return Error::make("results", "cannot open " + path);
+  std::fprintf(f.get(), "algo,train,test,metric,value\n");
+  for (const ResultRow& r : rows_) {
+    std::fprintf(f.get(), "%s,%s,%s,%s,%.6f\n", r.algo.c_str(),
+                 r.train_ds.c_str(), r.test_ds.c_str(), r.metric.c_str(),
+                 r.value);
+  }
+  return {};
+}
+
+Result<ResultStore> ResultStore::load_csv(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "r"));
+  if (!f) return Error::make("results", "cannot open " + path);
+  ResultStore store;
+  char line[512];
+  bool header = true;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    ResultRow row;
+    char algo[64], train[64], test[64], metric[128];
+    double value = 0.0;
+    if (std::sscanf(line, "%63[^,],%63[^,],%63[^,],%127[^,],%lf", algo, train,
+                    test, metric, &value) == 5) {
+      store.add(ResultRow{algo, train, test, metric, value});
+    }
+  }
+  return store;
+}
+
+}  // namespace lumen::eval

@@ -1,0 +1,56 @@
+// Query-friendly result storage (§3.3): every evaluation lands here as flat
+// (algo, train, test, metric, value) records; figures query it and the whole
+// store can be saved/loaded as CSV for offline analysis.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/benchmark.h"
+
+namespace lumen::eval {
+
+struct ResultRow {
+  std::string algo;
+  std::string train_ds;
+  std::string test_ds;
+  std::string metric;  // "precision", "recall", ..., or "precision@<attack>"
+  double value = 0.0;
+};
+
+class ResultStore {
+ public:
+  void add(ResultRow row) { rows_.push_back(std::move(row)); }
+
+  /// Expand an EvalRecord into one row per metric.
+  void add_record(const EvalRecord& rec);
+
+  /// Add per-attack precision/recall rows for a run.
+  void add_attack_scores(const EvalRecord& rec,
+                         const std::vector<AttackScore>& scores);
+
+  size_t size() const { return rows_.size(); }
+  const std::vector<ResultRow>& rows() const { return rows_; }
+
+  /// Filtered query; empty strings match anything.
+  std::vector<ResultRow> query(const std::string& algo,
+                               const std::string& train_ds,
+                               const std::string& test_ds,
+                               const std::string& metric) const;
+
+  /// Single-value lookup.
+  std::optional<double> value(const std::string& algo,
+                              const std::string& train_ds,
+                              const std::string& test_ds,
+                              const std::string& metric) const;
+
+  Result<void> save_csv(const std::string& path) const;
+  static Result<ResultStore> load_csv(const std::string& path);
+
+ private:
+  std::vector<ResultRow> rows_;
+};
+
+}  // namespace lumen::eval

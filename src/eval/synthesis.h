@@ -1,0 +1,56 @@
+// §5.4 algorithm synthesis: a greedy brute-force search over the space of
+// feature-building blocks, ML models, and training-setup options, scored by
+// the benchmarking suite. This is the machinery behind the AM* rows of
+// Fig. 6 — Lumen can *generate* a better algorithm by recombining modules
+// from the literature.
+#pragma once
+
+#include "eval/benchmark.h"
+
+namespace lumen::eval {
+
+/// One candidate configuration in the search space.
+struct SynthCandidate {
+  std::vector<std::string> feature_sets;  // conn_features blocks
+  bool add_first_k = false;               // + first-k packet sequences
+  std::string model_type = "RandomForest";
+  bool normalize = false;
+  bool decorrelate = false;
+
+  /// Render as an AlgorithmDef (template + model spec) named `id`.
+  core::AlgorithmDef to_algorithm(const std::string& id) const;
+
+  std::string describe() const;
+};
+
+struct SynthResult {
+  SynthCandidate candidate;
+  double score = 0.0;       // mean precision over the evaluation datasets
+  size_t evaluated = 0;     // candidates tried by the search
+  std::vector<std::pair<std::string, double>> trace;  // (desc, score) log
+};
+
+struct SynthOptions {
+  /// Datasets used to score candidates (defaults to all connection sets).
+  std::vector<std::string> datasets;
+  /// Feature blocks the search may combine.
+  std::vector<std::string> blocks = {"zeek", "bayes", "iiot"};
+  /// Models the search may try.
+  std::vector<std::string> models = {"RandomForest", "GaussianNB",
+                                     "DecisionTree", "AutoML"};
+  /// Metric to optimize: "precision" | "f1".
+  std::string metric = "precision";
+};
+
+/// Greedy forward search: start from the best single feature block + model,
+/// then greedily add blocks / toggle training-setup options while the score
+/// improves. Deterministic; cost is bounded by
+/// O(blocks^2 * models + toggles) benchmark evaluations.
+SynthResult synthesize(Benchmark& bench, const SynthOptions& opts = {});
+
+/// Score one candidate: mean same-dataset metric over `datasets`.
+double score_candidate(Benchmark& bench, const SynthCandidate& cand,
+                       const std::vector<std::string>& datasets,
+                       const std::string& metric);
+
+}  // namespace lumen::eval

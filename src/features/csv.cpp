@@ -1,0 +1,96 @@
+#include "features/csv.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace lumen::features {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+/// Split one CSV line (no quoting — Lumen column names never contain commas).
+std::vector<std::string> split_csv(const char* line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = line; *p != '\0'; ++p) {
+    if (*p == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else if (*p != '\n' && *p != '\r') {
+      cur.push_back(*p);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+}  // namespace
+
+Result<void> save_csv(const FeatureTable& t, const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "w"));
+  if (!f) return Error::make("csv", "cannot open for write: " + path);
+  std::fprintf(f.get(), "label,unit_id,attack,unit_time");
+  for (const std::string& name : t.col_names) {
+    std::fprintf(f.get(), ",%s", name.c_str());
+  }
+  std::fprintf(f.get(), "\n");
+  for (size_t r = 0; r < t.rows; ++r) {
+    std::fprintf(f.get(), "%d,%lld,%u,%.17g", t.labels[r],
+                 static_cast<long long>(t.unit_id[r]), t.attack[r],
+                 t.unit_time[r]);
+    for (size_t c = 0; c < t.cols; ++c) {
+      std::fprintf(f.get(), ",%.17g", t.at(r, c));
+    }
+    std::fprintf(f.get(), "\n");
+  }
+  return {};
+}
+
+Result<FeatureTable> load_csv(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "r"));
+  if (!f) return Error::make("csv", "cannot open for read: " + path);
+
+  // Lines can be wide (nprint tables); grow the buffer as needed.
+  std::string line;
+  auto read_line = [&]() -> bool {
+    line.clear();
+    char chunk[4096];
+    while (std::fgets(chunk, sizeof(chunk), f.get()) != nullptr) {
+      line += chunk;
+      if (!line.empty() && line.back() == '\n') return true;
+    }
+    return !line.empty();
+  };
+
+  if (!read_line()) return Error::make("csv", "empty file: " + path);
+  const std::vector<std::string> header = split_csv(line.c_str());
+  if (header.size() < 4 || header[0] != "label") {
+    return Error::make("csv", "not a Lumen feature CSV: " + path);
+  }
+  std::vector<std::string> names(header.begin() + 4, header.end());
+
+  FeatureTable t = FeatureTable::make(0, names);
+  std::vector<double> row(names.size());
+  while (read_line()) {
+    const std::vector<std::string> cells = split_csv(line.c_str());
+    if (cells.size() != header.size()) {
+      return Error::make("csv", "ragged row in " + path);
+    }
+    t.labels.push_back(std::atoi(cells[0].c_str()));
+    t.unit_id.push_back(std::atoll(cells[1].c_str()));
+    t.attack.push_back(static_cast<uint8_t>(std::atoi(cells[2].c_str())));
+    t.unit_time.push_back(std::atof(cells[3].c_str()));
+    for (size_t c = 0; c < names.size(); ++c) {
+      t.data.push_back(std::atof(cells[4 + c].c_str()));
+    }
+    ++t.rows;
+  }
+  return t;
+}
+
+}  // namespace lumen::features

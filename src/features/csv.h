@@ -1,0 +1,18 @@
+// FeatureTable CSV persistence: the bridge between Lumen pipelines and
+// external tooling (spreadsheets, notebooks, other ML stacks). The layout
+// reserves four metadata columns (label, unit_id, attack, unit_time) ahead
+// of the feature columns.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "features/table.h"
+
+namespace lumen::features {
+
+Result<void> save_csv(const FeatureTable& t, const std::string& path);
+
+Result<FeatureTable> load_csv(const std::string& path);
+
+}  // namespace lumen::features

@@ -1,0 +1,190 @@
+// Streaming statistics primitives.
+//
+//  * RunningStats   — Welford mean/variance, plus min/max/sum.
+//  * DampedStat     — Kitsune-style damped incremental statistic: every
+//                     insert first decays the accumulated weight by
+//                     2^(-lambda * dt), so the statistic tracks a sliding
+//                     exponential window without storing packets.
+//  * DampedStat2D   — joint statistic over two correlated streams
+//                     (Kitsune's channel statistics: magnitude, radius,
+//                     covariance approximation, correlation coefficient).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lumen::features {
+
+/// Welford online mean/variance with min/max/sum tracking.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double population_variance() const {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Damped (exponentially decayed) incremental statistic keyed by time.
+/// Mirrors Kitsune's incStat: decay factor 2^(-lambda * dt).
+class DampedStat {
+ public:
+  explicit DampedStat(double lambda = 1.0) : lambda_(lambda) {}
+
+  void insert(double value, double t) {
+    decay(t);
+    w_ += 1.0;
+    ls_ += value;
+    ss_ += value * value;
+  }
+
+  /// Decay state to time t without inserting (used before reading when the
+  /// statistic should reflect elapsed quiet time).
+  void decay(double t) {
+    if (last_t_ < 0.0) {
+      last_t_ = t;
+      return;
+    }
+    const double dt = t - last_t_;
+    if (dt > 0.0) {
+      const double factor = std::exp2(-lambda_ * dt);
+      w_ *= factor;
+      ls_ *= factor;
+      ss_ *= factor;
+      last_t_ = t;
+    }
+  }
+
+  double weight() const { return w_; }
+  double mean() const { return w_ > 1e-20 ? ls_ / w_ : 0.0; }
+  double variance() const {
+    if (w_ <= 1e-20) return 0.0;
+    const double m = mean();
+    return std::max(0.0, ss_ / w_ - m * m);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double lambda() const { return lambda_; }
+  double last_time() const { return last_t_; }
+
+ private:
+  double lambda_;
+  double w_ = 0.0;   // decayed count
+  double ls_ = 0.0;  // decayed linear sum
+  double ss_ = 0.0;  // decayed squared sum
+  double last_t_ = -1.0;
+};
+
+/// Joint damped statistic over a pair of streams (e.g. the two directions of
+/// a channel). Maintains a decayed residual product for covariance/PCC, as
+/// Kitsune's incStatCov does.
+class DampedStat2D {
+ public:
+  explicit DampedStat2D(double lambda = 1.0) : a_(lambda), b_(lambda) {}
+
+  DampedStat& a() { return a_; }
+  DampedStat& b() { return b_; }
+  const DampedStat& a() const { return a_; }
+  const DampedStat& b() const { return b_; }
+
+  /// Insert a value on stream A (dir=0) or B (dir=1).
+  void insert(int dir, double value, double t) {
+    DampedStat& self = dir == 0 ? a_ : b_;
+    DampedStat& other = dir == 0 ? b_ : a_;
+    decay_product(t);
+    self.insert(value, t);
+    other.decay(t);
+    const double ra = value - self.mean();
+    const double rb = other.mean() > 0.0 || other.weight() > 0.0
+                          ? last_residual_other_
+                          : 0.0;
+    sr_ += ra * rb;
+    wr_ += 1.0;
+    if (dir == 0) {
+      last_residual_a_ = ra;
+    } else {
+      last_residual_b_ = ra;
+    }
+    last_residual_other_ = dir == 0 ? last_residual_a_ : last_residual_b_;
+  }
+
+  /// sqrt(mean_a^2 + mean_b^2) — Kitsune's "magnitude".
+  double magnitude() const {
+    const double ma = a_.mean();
+    const double mb = b_.mean();
+    return std::sqrt(ma * ma + mb * mb);
+  }
+
+  /// sqrt(var_a^2 + var_b^2) — Kitsune's "radius".
+  double radius() const {
+    const double va = a_.variance();
+    const double vb = b_.variance();
+    return std::sqrt(va * va + vb * vb);
+  }
+
+  /// Approximate decayed covariance.
+  double covariance() const { return wr_ > 1e-20 ? sr_ / wr_ : 0.0; }
+
+  /// Approximate Pearson correlation coefficient in [-1, 1].
+  double pcc() const {
+    const double denom = a_.stddev() * b_.stddev();
+    if (denom <= 1e-20) return 0.0;
+    return std::clamp(covariance() / denom, -1.0, 1.0);
+  }
+
+ private:
+  void decay_product(double t) {
+    const double last = std::max(a_.last_time(), b_.last_time());
+    if (last >= 0.0 && t > last) {
+      const double factor = std::exp2(-a_.lambda() * (t - last));
+      sr_ *= factor;
+      wr_ *= factor;
+    }
+  }
+
+  DampedStat a_;
+  DampedStat b_;
+  double sr_ = 0.0;  // decayed residual product sum
+  double wr_ = 0.0;  // decayed residual weight
+  double last_residual_a_ = 0.0;
+  double last_residual_b_ = 0.0;
+  double last_residual_other_ = 0.0;
+};
+
+/// Shannon entropy (bits) of a discrete distribution given by counts.
+double entropy_bits(const std::vector<double>& counts);
+
+/// Percentile with linear interpolation; `values` is modified (sorted).
+double percentile(std::vector<double>& values, double p);
+
+/// Median convenience wrapper over percentile(50).
+double median(std::vector<double>& values);
+
+}  // namespace lumen::features

@@ -1,0 +1,101 @@
+// FeatureTable: the dense numeric matrix flowing through Lumen pipelines.
+// Rows are classification units (packets, flows, or connections); columns are
+// named features. Labels and unit identifiers ride along so that splits and
+// metrics stay aligned with the rows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lumen::features {
+
+struct FeatureTable {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<double> data;            // row-major, rows * cols
+  std::vector<std::string> col_names;  // size cols
+  std::vector<int> labels;             // size rows; 0 benign, 1 malicious
+  std::vector<int64_t> unit_id;        // classification-unit id per row
+  std::vector<uint8_t> attack;         // per-row attack tag (trace::AttackType)
+  std::vector<double> unit_time;       // start time of the unit (for splits)
+
+  double& at(size_t r, size_t c) { return data[r * cols + c]; }
+  double at(size_t r, size_t c) const { return data[r * cols + c]; }
+  std::span<const double> row(size_t r) const {
+    return {data.data() + r * cols, cols};
+  }
+  std::span<double> row_mut(size_t r) { return {data.data() + r * cols, cols}; }
+
+  /// Allocate an empty table with the given shape and column names.
+  static FeatureTable make(size_t rows, std::vector<std::string> names) {
+    FeatureTable t;
+    t.rows = rows;
+    t.cols = names.size();
+    t.col_names = std::move(names);
+    t.data.assign(t.rows * t.cols, 0.0);
+    t.labels.assign(rows, 0);
+    t.unit_id.assign(rows, 0);
+    t.attack.assign(rows, 0);
+    t.unit_time.assign(rows, 0.0);
+    return t;
+  }
+
+  /// Row subset (copies data, preserves metadata alignment).
+  FeatureTable select_rows(std::span<const size_t> idx) const {
+    FeatureTable t = make(idx.size(), col_names);
+    for (size_t i = 0; i < idx.size(); ++i) {
+      const size_t r = idx[i];
+      for (size_t c = 0; c < cols; ++c) t.at(i, c) = at(r, c);
+      t.labels[i] = labels[r];
+      t.unit_id[i] = unit_id[r];
+      t.attack[i] = attack[r];
+      t.unit_time[i] = unit_time[r];
+    }
+    return t;
+  }
+
+  /// Column subset by kept-column mask.
+  FeatureTable select_cols(std::span<const uint8_t> keep) const {
+    std::vector<std::string> names;
+    std::vector<size_t> cidx;
+    for (size_t c = 0; c < cols; ++c) {
+      if (keep[c] != 0) {
+        names.push_back(col_names[c]);
+        cidx.push_back(c);
+      }
+    }
+    FeatureTable t = make(rows, std::move(names));
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t j = 0; j < cidx.size(); ++j) t.at(r, j) = at(r, cidx[j]);
+      t.labels[r] = labels[r];
+      t.unit_id[r] = unit_id[r];
+      t.attack[r] = attack[r];
+      t.unit_time[r] = unit_time[r];
+    }
+    return t;
+  }
+
+  /// Append another table with identical columns (used by dataset merging).
+  bool append(const FeatureTable& other) {
+    if (other.cols != cols || other.col_names != col_names) return false;
+    data.insert(data.end(), other.data.begin(), other.data.end());
+    labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+    unit_id.insert(unit_id.end(), other.unit_id.begin(), other.unit_id.end());
+    attack.insert(attack.end(), other.attack.begin(), other.attack.end());
+    unit_time.insert(unit_time.end(), other.unit_time.begin(),
+                     other.unit_time.end());
+    rows += other.rows;
+    return true;
+  }
+
+  /// Approximate resident bytes (for the engine's memory profile).
+  size_t byte_size() const {
+    return data.size() * sizeof(double) + labels.size() * sizeof(int) +
+           unit_id.size() * sizeof(int64_t) + attack.size() +
+           unit_time.size() * sizeof(double);
+  }
+};
+
+}  // namespace lumen::features

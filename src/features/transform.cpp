@@ -1,0 +1,96 @@
+#include "features/transform.h"
+
+#include <cmath>
+
+#include "features/stats.h"
+
+namespace lumen::features {
+
+void Normalizer::fit(const FeatureTable& t) {
+  shift_.assign(t.cols, 0.0);
+  scale_.assign(t.cols, 1.0);
+  for (size_t c = 0; c < t.cols; ++c) {
+    RunningStats rs;
+    for (size_t r = 0; r < t.rows; ++r) {
+      const double v = t.at(r, c);
+      if (std::isfinite(v)) rs.add(v);
+    }
+    if (rs.count() == 0) continue;
+    if (kind_ == NormKind::kMinMax) {
+      shift_[c] = rs.min();
+      const double range = rs.max() - rs.min();
+      scale_[c] = range > 1e-12 ? range : 1.0;
+    } else {
+      shift_[c] = rs.mean();
+      const double sd = rs.stddev();
+      scale_[c] = sd > 1e-12 ? sd : 1.0;
+    }
+  }
+}
+
+void Normalizer::apply(FeatureTable& t) const {
+  const size_t cols = std::min(t.cols, shift_.size());
+  for (size_t r = 0; r < t.rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      t.at(r, c) = (t.at(r, c) - shift_[c]) / scale_[c];
+    }
+  }
+}
+
+double column_correlation(const FeatureTable& t, size_t a, size_t b) {
+  if (t.rows < 2) return 0.0;
+  double ma = 0.0, mb = 0.0;
+  for (size_t r = 0; r < t.rows; ++r) {
+    ma += t.at(r, a);
+    mb += t.at(r, b);
+  }
+  ma /= static_cast<double>(t.rows);
+  mb /= static_cast<double>(t.rows);
+  double saa = 0.0, sbb = 0.0, sab = 0.0;
+  for (size_t r = 0; r < t.rows; ++r) {
+    const double da = t.at(r, a) - ma;
+    const double db = t.at(r, b) - mb;
+    saa += da * da;
+    sbb += db * db;
+    sab += da * db;
+  }
+  const double denom = std::sqrt(saa * sbb);
+  return denom > 1e-20 ? sab / denom : 0.0;
+}
+
+void CorrelationFilter::fit(const FeatureTable& t) {
+  keep_.assign(t.cols, 1);
+  // Drop constant columns first.
+  std::vector<double> variance(t.cols, 0.0);
+  for (size_t c = 0; c < t.cols; ++c) {
+    RunningStats rs;
+    for (size_t r = 0; r < t.rows; ++r) rs.add(t.at(r, c));
+    variance[c] = rs.population_variance();
+    if (variance[c] <= 1e-18) keep_[c] = 0;
+  }
+  for (size_t a = 0; a < t.cols; ++a) {
+    if (keep_[a] == 0) continue;
+    for (size_t b = a + 1; b < t.cols; ++b) {
+      if (keep_[b] == 0) continue;
+      if (std::fabs(column_correlation(t, a, b)) > threshold_) keep_[b] = 0;
+    }
+  }
+}
+
+FeatureTable CorrelationFilter::apply(const FeatureTable& t) const {
+  if (keep_.size() != t.cols) return t;
+  return t.select_cols(keep_);
+}
+
+size_t impute_non_finite(FeatureTable& t) {
+  size_t replaced = 0;
+  for (double& v : t.data) {
+    if (!std::isfinite(v)) {
+      v = 0.0;
+      ++replaced;
+    }
+  }
+  return replaced;
+}
+
+}  // namespace lumen::features

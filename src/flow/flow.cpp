@@ -1,0 +1,189 @@
+#include "flow/flow.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace lumen::flow {
+
+namespace {
+
+FlowKey key_of(const PacketView& v) {
+  return FlowKey{v.src_ip, v.dst_ip, v.src_port, v.dst_port, v.proto_raw};
+}
+
+}  // namespace
+
+const char* conn_state_name(ConnState s) {
+  switch (s) {
+    case ConnState::kS0: return "S0";
+    case ConnState::kSF: return "SF";
+    case ConnState::kREJ: return "REJ";
+    case ConnState::kRSTO: return "RSTO";
+    case ConnState::kRSTR: return "RSTR";
+    case ConnState::kOTH: return "OTH";
+  }
+  return "?";
+}
+
+std::vector<Flow> assemble_uniflows(const Trace& trace, double timeout) {
+  std::vector<Flow> flows;
+  std::unordered_map<FlowKey, size_t, FlowKeyHash> active;
+  for (const PacketView& v : trace.view) {
+    if (!v.has_ip) continue;
+    const FlowKey k = key_of(v);
+    auto it = active.find(k);
+    if (it != active.end() && v.ts - flows[it->second].last_ts > timeout) {
+      active.erase(it);
+      it = active.end();
+    }
+    if (it == active.end()) {
+      Flow f;
+      f.id = static_cast<int64_t>(flows.size());
+      f.key = k;
+      f.first_ts = v.ts;
+      f.last_ts = v.ts;
+      flows.push_back(std::move(f));
+      it = active.emplace(k, flows.size() - 1).first;
+    }
+    Flow& f = flows[it->second];
+    f.pkts.push_back(v.index);
+    f.last_ts = v.ts;
+    f.bytes += v.wire_len;
+  }
+  return flows;
+}
+
+std::vector<Connection> assemble_connections(const Trace& trace,
+                                             double timeout) {
+  std::vector<Connection> conns;
+  // Map both directions to the same connection slot.
+  std::unordered_map<FlowKey, size_t, FlowKeyHash> active;
+  for (const PacketView& v : trace.view) {
+    if (!v.has_ip) continue;
+    const FlowKey k = key_of(v);
+    const FlowKey rk = k.reversed();
+
+    // Both directions map to the same slot; direction is decided against
+    // the connection's recorded originator key.
+    auto it = active.find(k);
+    if (it == active.end()) it = active.find(rk);
+    if (it != active.end() && v.ts - conns[it->second].last_ts > timeout) {
+      active.erase(conns[it->second].orig_key);
+      active.erase(conns[it->second].orig_key.reversed());
+      it = active.end();
+    }
+    if (it == active.end()) {
+      Connection c;
+      c.id = static_cast<int64_t>(conns.size());
+      c.orig_key = k;
+      c.first_ts = v.ts;
+      c.last_ts = v.ts;
+      conns.push_back(std::move(c));
+      active.emplace(k, conns.size() - 1);
+      active.emplace(rk, conns.size() - 1);
+      it = active.find(k);
+    }
+    Connection& c = conns[it->second];
+    const bool orig_dir = k == c.orig_key;
+    c.pkts.push_back(v.index);
+    c.dir.push_back(orig_dir ? 0 : 1);
+    c.last_ts = v.ts;
+    if (orig_dir) {
+      ++c.orig_pkts;
+      c.orig_bytes += v.wire_len;
+    } else {
+      ++c.resp_pkts;
+      c.resp_bytes += v.wire_len;
+    }
+  }
+  return conns;
+}
+
+ConnRecord summarize(const Connection& conn, const Trace& trace) {
+  ConnRecord rec;
+  rec.start = conn.first_ts;
+  rec.duration = conn.duration();
+  rec.orig_pkts = conn.orig_pkts;
+  rec.resp_pkts = conn.resp_pkts;
+  rec.orig_bytes = conn.orig_bytes;
+  rec.resp_bytes = conn.resp_bytes;
+  if (conn.pkts.empty()) return rec;
+
+  const PacketView& first = trace.view[conn.pkts.front()];
+  rec.proto = first.proto_raw;
+
+  bool syn_orig = false, synack_resp = false, fin_seen = false;
+  bool rst_orig = false, rst_resp = false;
+  std::set<uint32_t> seq_seen;
+  netio::AppProto service = netio::AppProto::kNone;
+  for (size_t i = 0; i < conn.pkts.size(); ++i) {
+    const PacketView& v = trace.view[conn.pkts[i]];
+    if (service == netio::AppProto::kNone && v.app != netio::AppProto::kNone) {
+      service = v.app;
+    }
+    if (v.proto != IpProto::kTcp) continue;
+    const bool orig = conn.dir[i] == 0;
+    if (v.tcp_flag(netio::kSyn) && !v.tcp_flag(netio::kAck) && orig) {
+      syn_orig = true;
+    }
+    if (v.tcp_flag(netio::kSyn) && v.tcp_flag(netio::kAck) && !orig) {
+      synack_resp = true;
+    }
+    if (v.tcp_flag(netio::kFin)) fin_seen = true;
+    if (v.tcp_flag(netio::kRst)) {
+      if (orig) rst_orig = true; else rst_resp = true;
+    }
+    // Retransmission heuristic: repeated (dir, seq) for data-bearing packets.
+    if (v.payload_len > 0) {
+      const uint32_t tag = v.tcp_seq ^ (orig ? 0u : 0x80000000u);
+      if (!seq_seen.insert(tag).second) ++rec.retransmissions;
+    }
+  }
+  rec.service = service;
+
+  if (rec.proto != 6) {
+    rec.state = ConnState::kOTH;
+  } else if (syn_orig && rst_resp && !synack_resp) {
+    rec.state = ConnState::kREJ;
+  } else if (syn_orig && !synack_resp) {
+    rec.state = ConnState::kS0;
+  } else if (rst_orig) {
+    rec.state = ConnState::kRSTO;
+  } else if (rst_resp) {
+    rec.state = ConnState::kRSTR;
+  } else if (syn_orig && synack_resp && fin_seen) {
+    rec.state = ConnState::kSF;
+  } else {
+    rec.state = ConnState::kOTH;
+  }
+  return rec;
+}
+
+int unit_label(const std::vector<uint32_t>& pkts,
+               const std::vector<uint8_t>& pkt_label,
+               const std::vector<uint8_t>& pkt_attack, uint8_t* attack_out) {
+  size_t mal = 0;
+  std::map<uint8_t, size_t> attack_counts;
+  for (uint32_t p : pkts) {
+    if (p < pkt_label.size() && pkt_label[p] != 0) {
+      ++mal;
+      if (p < pkt_attack.size()) ++attack_counts[pkt_attack[p]];
+    }
+  }
+  const int label = (2 * mal >= pkts.size() && mal > 0) ? 1 : 0;
+  if (attack_out != nullptr) {
+    uint8_t best = 0;
+    size_t best_n = 0;
+    for (auto [a, n] : attack_counts) {
+      if (n > best_n) {
+        best = a;
+        best_n = n;
+      }
+    }
+    *attack_out = label != 0 ? best : 0;
+  }
+  return label;
+}
+
+}  // namespace lumen::flow

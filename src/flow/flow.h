@@ -1,0 +1,120 @@
+// Flow assembly: grouping packets into unidirectional flows (5-tuple) and
+// bidirectional connections (canonicalized 5-tuple), with Zeek-style
+// connection summaries. These are the classification units for the
+// unidirectional-flow and connection granularities in the paper's taxonomy.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netio/packet.h"
+
+namespace lumen::flow {
+
+using netio::IpProto;
+using netio::PacketView;
+using netio::Trace;
+
+struct FlowKey {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t proto = 0;
+
+  bool operator==(const FlowKey&) const = default;
+
+  /// Key for the opposite direction.
+  FlowKey reversed() const {
+    return FlowKey{dst_ip, src_ip, dst_port, src_port, proto};
+  }
+};
+
+struct FlowKeyHash {
+  size_t operator()(const FlowKey& k) const {
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(k.src_ip);
+    mix(k.dst_ip);
+    mix((static_cast<uint64_t>(k.src_port) << 32) | k.dst_port);
+    mix(k.proto);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// A unidirectional flow: all packets sharing one 5-tuple, split by an
+/// inactivity timeout.
+struct Flow {
+  int64_t id = 0;
+  FlowKey key;
+  std::vector<uint32_t> pkts;  // indices into Trace::view, time-ordered
+  double first_ts = 0.0;
+  double last_ts = 0.0;
+  uint64_t bytes = 0;
+
+  double duration() const { return last_ts - first_ts; }
+};
+
+/// A bidirectional connection. `orig` is the direction of the first packet
+/// seen (the initiator, for TCP usually the SYN sender).
+struct Connection {
+  int64_t id = 0;
+  FlowKey orig_key;
+  std::vector<uint32_t> pkts;
+  std::vector<uint8_t> dir;  // aligned with pkts: 0 = orig->resp, 1 = resp->orig
+  double first_ts = 0.0;
+  double last_ts = 0.0;
+  uint64_t orig_pkts = 0;
+  uint64_t resp_pkts = 0;
+  uint64_t orig_bytes = 0;
+  uint64_t resp_bytes = 0;
+
+  double duration() const { return last_ts - first_ts; }
+};
+
+/// Zeek conn.log-style connection states.
+enum class ConnState : uint8_t {
+  kS0,    // initiator SYN seen, no reply
+  kSF,    // normal establish + termination
+  kREJ,   // connection rejected (SYN -> RST)
+  kRSTO,  // originator aborted with RST
+  kRSTR,  // responder aborted with RST
+  kOTH,   // anything else / non-TCP midstream
+};
+
+const char* conn_state_name(ConnState s);
+
+/// Derived Zeek-like summary of a connection.
+struct ConnRecord {
+  double start = 0.0;
+  double duration = 0.0;
+  uint8_t proto = 0;
+  netio::AppProto service = netio::AppProto::kNone;
+  ConnState state = ConnState::kOTH;
+  uint64_t orig_pkts = 0, resp_pkts = 0;
+  uint64_t orig_bytes = 0, resp_bytes = 0;
+  uint32_t retransmissions = 0;  // duplicate TCP sequence numbers seen
+};
+
+/// Group IP packets into unidirectional flows. Packets without an IP header
+/// are skipped. Flows are split when idle longer than `timeout` seconds.
+std::vector<Flow> assemble_uniflows(const Trace& trace, double timeout = 60.0);
+
+/// Group IP packets into bidirectional connections.
+std::vector<Connection> assemble_connections(const Trace& trace,
+                                             double timeout = 120.0);
+
+/// Compute the Zeek-like summary record for a connection.
+ConnRecord summarize(const Connection& conn, const Trace& trace);
+
+/// Majority label over the member packets (ties break malicious). Also
+/// returns the dominant non-benign attack tag via `attack_out`.
+int unit_label(const std::vector<uint32_t>& pkts,
+               const std::vector<uint8_t>& pkt_label,
+               const std::vector<uint8_t>& pkt_attack, uint8_t* attack_out);
+
+}  // namespace lumen::flow

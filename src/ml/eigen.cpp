@@ -1,0 +1,81 @@
+#include "ml/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace lumen::ml {
+
+SymEigen jacobi_eigen(const std::vector<double>& a_in, size_t n,
+                      size_t max_sweeps, double tol) {
+  std::vector<double> a = a_in;
+  std::vector<double> v(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_diag_norm = [&]() {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) s += a[i * n + j] * a[i * n + j];
+    }
+    return std::sqrt(s);
+  };
+
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() < tol) break;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q of A.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = a[i * n + i];
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return diag[x] > diag[y]; });
+
+  SymEigen out;
+  out.n = n;
+  out.values.resize(n);
+  out.vectors.assign(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    out.values[i] = diag[order[i]];
+    for (size_t k = 0; k < n; ++k) {
+      out.vectors[k * n + i] = v[k * n + order[i]];
+    }
+  }
+  return out;
+}
+
+}  // namespace lumen::ml

@@ -1,0 +1,21 @@
+// Symmetric eigendecomposition by cyclic Jacobi rotations. Sized for the
+// small landmark matrices used by the Nyström approximation (m <= ~256).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lumen::ml {
+
+/// Dense symmetric matrix in row-major order.
+struct SymEigen {
+  std::vector<double> values;   // eigenvalues, descending
+  std::vector<double> vectors;  // column i (stride n) is the i-th eigenvector
+  size_t n = 0;
+};
+
+/// Decompose the n x n symmetric matrix `a` (row-major). `a` is copied.
+SymEigen jacobi_eigen(const std::vector<double>& a, size_t n,
+                      size_t max_sweeps = 64, double tol = 1e-12);
+
+}  // namespace lumen::ml

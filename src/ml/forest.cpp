@@ -1,0 +1,44 @@
+#include "ml/forest.h"
+
+namespace lumen::ml {
+
+void RandomForest::fit(const FeatureTable& X) {
+  trees_.clear();
+  trees_.reserve(cfg_.n_trees);
+  Rng rng(cfg_.seed);
+  for (size_t t = 0; t < cfg_.n_trees; ++t) {
+    TreeConfig tc;
+    tc.max_depth = cfg_.max_depth;
+    tc.min_samples_leaf = cfg_.min_samples_leaf;
+    tc.use_sqrt_features = true;
+    tc.seed = rng.next();
+    DecisionTree tree(tc);
+    // Bootstrap sample (with replacement).
+    std::vector<size_t> rows(X.rows);
+    for (size_t i = 0; i < X.rows; ++i) {
+      rows[i] = static_cast<size_t>(rng.below(X.rows == 0 ? 1 : X.rows));
+    }
+    tree.fit_rows(X, rows);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForest::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  if (trees_.empty()) return out;
+  for (const DecisionTree& t : trees_) {
+    for (size_t r = 0; r < X.rows; ++r) out[r] += t.predict_row(X.row(r));
+  }
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  for (double& v : out) v *= inv;
+  return out;
+}
+
+std::vector<int> RandomForest::predict(const FeatureTable& X) const {
+  std::vector<double> s = score(X);
+  std::vector<int> out(X.rows);
+  for (size_t r = 0; r < X.rows; ++r) out[r] = s[r] >= 0.5 ? 1 : 0;
+  return out;
+}
+
+}  // namespace lumen::ml

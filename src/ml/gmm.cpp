@@ -1,0 +1,230 @@
+#include "ml/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lumen::ml {
+
+namespace {
+constexpr double kVarFloor = 1e-6;
+
+double sq_dist(std::span<const double> a, const double* b, size_t n) {
+  double d = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+}  // namespace
+
+void KMeans::fit(const FeatureTable& X, const std::vector<size_t>& rows) {
+  dim_ = X.cols;
+  k_ = std::min(cfg_.k, rows.size());
+  centroids_.assign(k_ * dim_, 0.0);
+  if (k_ == 0) return;
+  Rng rng(cfg_.seed);
+
+  // k-means++-style seeding: first centroid random, rest far from chosen.
+  std::vector<size_t> chosen;
+  chosen.push_back(rows[rng.below(rows.size())]);
+  std::vector<double> d2(rows.size(), std::numeric_limits<double>::max());
+  while (chosen.size() < k_) {
+    const auto c = X.row(chosen.back());
+    double total = 0.0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const double d = sq_dist(X.row(rows[i]), c.data(), dim_);
+      d2[i] = std::min(d2[i], d);
+      total += d2[i];
+    }
+    double r = rng.uniform() * total;
+    size_t pick = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      r -= d2[i];
+      if (r <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    chosen.push_back(rows[pick]);
+  }
+  for (size_t c = 0; c < k_; ++c) {
+    const auto row = X.row(chosen[c]);
+    std::copy(row.begin(), row.end(),
+              centroids_.begin() + static_cast<std::ptrdiff_t>(c * dim_));
+  }
+
+  std::vector<size_t> assign_of(rows.size(), 0);
+  for (size_t it = 0; it < cfg_.iters; ++it) {
+    bool moved = false;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const size_t a = assign(X.row(rows[i]));
+      if (a != assign_of[i]) {
+        assign_of[i] = a;
+        moved = true;
+      }
+    }
+    std::vector<double> sums(k_ * dim_, 0.0);
+    std::vector<size_t> counts(k_, 0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const auto x = X.row(rows[i]);
+      const size_t a = assign_of[i];
+      ++counts[a];
+      for (size_t d = 0; d < dim_; ++d) sums[a * dim_ + d] += x[d];
+    }
+    for (size_t c = 0; c < k_; ++c) {
+      if (counts[c] == 0) continue;
+      for (size_t d = 0; d < dim_; ++d) {
+        centroids_[c * dim_ + d] =
+            sums[c * dim_ + d] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!moved && it > 0) break;
+  }
+}
+
+size_t KMeans::assign(std::span<const double> x) const {
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (size_t c = 0; c < k_; ++c) {
+    const double d = sq_dist(x, centroids_.data() + c * dim_, dim_);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void Gmm::fit(const FeatureTable& X) {
+  const std::vector<size_t> rows = benign_rows(X);
+  dim_ = X.cols;
+  k_ = std::min(cfg_.components, std::max<size_t>(rows.size(), 1));
+  weight_.assign(k_, 1.0 / static_cast<double>(k_));
+  mean_.assign(k_ * dim_, 0.0);
+  var_.assign(k_ * dim_, 1.0);
+  if (rows.empty()) return;
+
+  // Initialize means with k-means, variances with per-cluster spread.
+  KMeans::Config kc;
+  kc.k = k_;
+  kc.seed = cfg_.seed;
+  KMeans km(kc);
+  km.fit(X, rows);
+  mean_ = km.centroids();
+  {
+    std::vector<double> acc(k_ * dim_, 0.0);
+    std::vector<size_t> counts(k_, 0);
+    for (size_t r : rows) {
+      const auto x = X.row(r);
+      const size_t a = km.assign(x);
+      ++counts[a];
+      for (size_t d = 0; d < dim_; ++d) {
+        const double diff = x[d] - mean_[a * dim_ + d];
+        acc[a * dim_ + d] += diff * diff;
+      }
+    }
+    for (size_t c = 0; c < k_; ++c) {
+      for (size_t d = 0; d < dim_; ++d) {
+        var_[c * dim_ + d] =
+            counts[c] > 0
+                ? std::max(acc[c * dim_ + d] / static_cast<double>(counts[c]),
+                           kVarFloor)
+                : 1.0;
+      }
+    }
+  }
+
+  // EM with responsibilities in log space.
+  const size_t n = rows.size();
+  std::vector<double> resp(n * k_, 0.0);
+  double prev_ll = -std::numeric_limits<double>::max();
+  for (size_t it = 0; it < cfg_.iters; ++it) {
+    // E-step.
+    double total_ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const auto x = X.row(rows[i]);
+      double maxl = -std::numeric_limits<double>::max();
+      std::vector<double> logp(k_);
+      for (size_t c = 0; c < k_; ++c) {
+        double l = std::log(std::max(weight_[c], 1e-12));
+        for (size_t d = 0; d < dim_; ++d) {
+          const double v = var_[c * dim_ + d];
+          const double diff = x[d] - mean_[c * dim_ + d];
+          l += -0.5 * (std::log(2.0 * M_PI * v) + diff * diff / v);
+        }
+        logp[c] = l;
+        maxl = std::max(maxl, l);
+      }
+      double denom = 0.0;
+      for (size_t c = 0; c < k_; ++c) denom += std::exp(logp[c] - maxl);
+      total_ll += maxl + std::log(denom);
+      for (size_t c = 0; c < k_; ++c) {
+        resp[i * k_ + c] = std::exp(logp[c] - maxl) / denom;
+      }
+    }
+    final_ll_ = total_ll / static_cast<double>(n);
+    if (std::fabs(final_ll_ - prev_ll) < 1e-8) break;
+    prev_ll = final_ll_;
+
+    // M-step.
+    for (size_t c = 0; c < k_; ++c) {
+      double nk = 0.0;
+      for (size_t i = 0; i < n; ++i) nk += resp[i * k_ + c];
+      weight_[c] = std::max(nk / static_cast<double>(n), 1e-8);
+      if (nk < 1e-10) continue;
+      for (size_t d = 0; d < dim_; ++d) {
+        double m = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          m += resp[i * k_ + c] * X.at(rows[i], d);
+        }
+        mean_[c * dim_ + d] = m / nk;
+      }
+      for (size_t d = 0; d < dim_; ++d) {
+        double v = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double diff = X.at(rows[i], d) - mean_[c * dim_ + d];
+          v += resp[i * k_ + c] * diff * diff;
+        }
+        var_[c * dim_ + d] = std::max(v / nk, kVarFloor);
+      }
+    }
+  }
+
+  // Threshold from benign scores.
+  std::vector<double> s;
+  s.reserve(n);
+  for (size_t r : rows) s.push_back(-log_density(X.row(r)));
+  threshold_ = quantile_threshold(std::move(s), cfg_.quantile);
+}
+
+double Gmm::log_density(std::span<const double> x) const {
+  double maxl = -std::numeric_limits<double>::max();
+  std::vector<double> logp(k_);
+  for (size_t c = 0; c < k_; ++c) {
+    double l = std::log(std::max(weight_[c], 1e-12));
+    for (size_t d = 0; d < dim_; ++d) {
+      const double v = var_[c * dim_ + d];
+      const double diff = x[d] - mean_[c * dim_ + d];
+      l += -0.5 * (std::log(2.0 * M_PI * v) + diff * diff / v);
+    }
+    logp[c] = l;
+    maxl = std::max(maxl, l);
+  }
+  double denom = 0.0;
+  for (size_t c = 0; c < k_; ++c) denom += std::exp(logp[c] - maxl);
+  return maxl + std::log(denom);
+}
+
+std::vector<double> Gmm::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  for (size_t r = 0; r < X.rows; ++r) out[r] = -log_density(X.row(r));
+  return out;
+}
+
+std::vector<int> Gmm::predict(const FeatureTable& X) const {
+  return threshold_predict(score(X), threshold_);
+}
+
+}  // namespace lumen::ml

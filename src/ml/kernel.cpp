@@ -1,0 +1,295 @@
+#include "ml/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "features/stats.h"
+
+namespace lumen::ml {
+
+double rbf_kernel(std::span<const double> x, std::span<const double> y,
+                  double gamma) {
+  double d = 0.0;
+  const size_t n = std::min(x.size(), y.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double diff = x[i] - y[i];
+    d += diff * diff;
+  }
+  return std::exp(-gamma * d);
+}
+
+double median_heuristic_gamma(const FeatureTable& X, size_t sample,
+                              uint64_t seed) {
+  if (X.rows < 2) return 1.0;
+  Rng rng(seed);
+  const size_t n = std::min(sample, X.rows);
+  std::vector<size_t> idx(X.rows);
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  idx.resize(n);
+  std::vector<double> dists;
+  dists.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const auto a = X.row(idx[i]);
+      const auto b = X.row(idx[j]);
+      double d = 0.0;
+      for (size_t c = 0; c < X.cols; ++c) {
+        const double diff = a[c] - b[c];
+        d += diff * diff;
+      }
+      dists.push_back(d);
+    }
+  }
+  const double med = features::median(dists);
+  return med > 1e-12 ? 1.0 / med : 1.0;
+}
+
+// ---------------------------------------------------------------- Nyström
+
+void NystromMap::fit(const FeatureTable& X) {
+  n_features_ = X.cols;
+  n_landmarks_ = std::min(cfg_.n_landmarks, X.rows);
+  if (n_landmarks_ == 0) return;
+  gamma_ = cfg_.gamma > 0.0 ? cfg_.gamma : median_heuristic_gamma(X);
+
+  // Sample landmark rows.
+  std::vector<size_t> idx(X.rows);
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng rng(cfg_.seed);
+  rng.shuffle(idx);
+  idx.resize(n_landmarks_);
+  landmarks_.assign(n_landmarks_ * n_features_, 0.0);
+  for (size_t i = 0; i < n_landmarks_; ++i) {
+    const auto row = X.row(idx[i]);
+    std::copy(row.begin(), row.end(),
+              landmarks_.begin() + static_cast<std::ptrdiff_t>(i * n_features_));
+  }
+
+  // K_mm and its inverse square root via eigendecomposition.
+  const size_t m = n_landmarks_;
+  std::vector<double> kmm(m * m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i; j < m; ++j) {
+      const double k = rbf_kernel(
+          {landmarks_.data() + i * n_features_, n_features_},
+          {landmarks_.data() + j * n_features_, n_features_}, gamma_);
+      kmm[i * m + j] = k;
+      kmm[j * m + i] = k;
+    }
+  }
+  const SymEigen eig = jacobi_eigen(kmm, m);
+  // Keep components with eigenvalue above a floor; projection = V L^{-1/2}.
+  rank_ = 0;
+  for (double v : eig.values) {
+    if (v > 1e-8) ++rank_;
+  }
+  if (rank_ == 0) rank_ = 1;
+  projection_.assign(m * rank_, 0.0);
+  for (size_t c = 0; c < rank_; ++c) {
+    const double inv_sqrt = 1.0 / std::sqrt(std::max(eig.values[c], 1e-8));
+    for (size_t r = 0; r < m; ++r) {
+      projection_[r * rank_ + c] = eig.vectors[r * m + c] * inv_sqrt;
+    }
+  }
+}
+
+FeatureTable NystromMap::transform(const FeatureTable& X) const {
+  std::vector<std::string> names(rank_);
+  for (size_t c = 0; c < rank_; ++c) names[c] = "nys_" + std::to_string(c);
+  FeatureTable out = FeatureTable::make(X.rows, std::move(names));
+  out.labels = X.labels;
+  out.unit_id = X.unit_id;
+  out.attack = X.attack;
+  out.unit_time = X.unit_time;
+
+  std::vector<double> kvec(n_landmarks_);
+  for (size_t r = 0; r < X.rows; ++r) {
+    const auto x = X.row(r);
+    for (size_t i = 0; i < n_landmarks_; ++i) {
+      kvec[i] = rbf_kernel(
+          x, {landmarks_.data() + i * n_features_, n_features_}, gamma_);
+    }
+    for (size_t c = 0; c < rank_; ++c) {
+      double acc = 0.0;
+      for (size_t i = 0; i < n_landmarks_; ++i) {
+        acc += kvec[i] * projection_[i * rank_ + c];
+      }
+      out.at(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ kernel OCSVM
+
+namespace {
+
+/// Project v onto { 0 <= a_i <= cap, sum a_i = 1 } by bisection on the
+/// Lagrange shift.
+void project_capped_simplex(std::vector<double>& v, double cap) {
+  double lo = -1.0, hi = 1.0;
+  auto mass = [&](double shift) {
+    double s = 0.0;
+    for (double x : v) s += std::clamp(x - shift, 0.0, cap);
+    return s;
+  };
+  // Expand the bracket until it contains the root of mass(shift) = 1.
+  while (mass(lo) < 1.0) lo -= (hi - lo) + 1.0;
+  while (mass(hi) > 1.0) hi += (hi - lo) + 1.0;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (mass(mid) > 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double shift = 0.5 * (lo + hi);
+  for (double& x : v) x = std::clamp(x - shift, 0.0, cap);
+}
+
+}  // namespace
+
+void OneClassSvm::fit(const FeatureTable& X) {
+  const std::vector<size_t> benign = benign_rows(X);
+  std::vector<size_t> rows = benign;
+  if (rows.size() > cfg_.max_train_rows) {
+    Rng rng(cfg_.seed);
+    rng.shuffle(rows);
+    rows.resize(cfg_.max_train_rows);
+    std::sort(rows.begin(), rows.end());
+  }
+  support_ = X.select_rows(rows);
+  const size_t n = support_.rows;
+  alpha_.assign(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  if (n == 0) return;
+
+  gamma_ = cfg_.gamma > 0.0 ? cfg_.gamma : median_heuristic_gamma(support_);
+
+  // Dense kernel matrix over the (capped) training set.
+  std::vector<double> K(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double k = rbf_kernel(support_.row(i), support_.row(j), gamma_);
+      K[i * n + j] = k;
+      K[j * n + i] = k;
+    }
+  }
+
+  const double cap =
+      std::max(1.0 / (cfg_.nu * static_cast<double>(n)), 1.0 / static_cast<double>(n));
+  std::vector<double> grad(n);
+  double step = 1.0;
+  for (size_t it = 0; it < cfg_.iters; ++it) {
+    for (size_t i = 0; i < n; ++i) {
+      double g = 0.0;
+      for (size_t j = 0; j < n; ++j) g += K[i * n + j] * alpha_[j];
+      grad[i] = g;
+    }
+    const double lr = step / (1.0 + 0.05 * static_cast<double>(it));
+    for (size_t i = 0; i < n; ++i) alpha_[i] -= lr * grad[i];
+    project_capped_simplex(alpha_, cap);
+  }
+
+  // rho = decision value at an unbounded support vector (median over them).
+  std::vector<double> sv_values;
+  for (size_t i = 0; i < n; ++i) {
+    if (alpha_[i] > 1e-8 && alpha_[i] < cap - 1e-8) {
+      double g = 0.0;
+      for (size_t j = 0; j < n; ++j) g += K[i * n + j] * alpha_[j];
+      sv_values.push_back(g);
+    }
+  }
+  if (sv_values.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      double g = 0.0;
+      for (size_t j = 0; j < n; ++j) g += K[i * n + j] * alpha_[j];
+      sv_values.push_back(g);
+    }
+  }
+  rho_ = features::median(sv_values);
+
+  // Calibrate the alert threshold on benign training scores.
+  std::vector<double> s = score(support_);
+  threshold_ = quantile_threshold(std::move(s), cfg_.quantile);
+}
+
+double OneClassSvm::decision(std::span<const double> x) const {
+  double g = 0.0;
+  for (size_t i = 0; i < support_.rows; ++i) {
+    if (alpha_[i] <= 1e-10) continue;
+    g += alpha_[i] * rbf_kernel(support_.row(i), x, gamma_);
+  }
+  return rho_ - g;  // positive = outside the benign region
+}
+
+std::vector<double> OneClassSvm::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  for (size_t r = 0; r < X.rows; ++r) out[r] = decision(X.row(r));
+  return out;
+}
+
+std::vector<int> OneClassSvm::predict(const FeatureTable& X) const {
+  return threshold_predict(score(X), threshold_);
+}
+
+// ------------------------------------------------------------ linear OCSVM
+
+void LinearOneClassSvm::fit(const FeatureTable& X) {
+  const std::vector<size_t> rows = benign_rows(X);
+  w_.assign(X.cols, 0.0);
+  rho_ = 0.0;
+  if (rows.empty()) return;
+
+  const double inv_nu_n = 1.0 / (cfg_.nu * static_cast<double>(rows.size()));
+  std::vector<size_t> order = rows;
+  Rng rng(cfg_.seed);
+  for (size_t e = 0; e < cfg_.epochs; ++e) {
+    rng.shuffle(order);
+    const double lr = cfg_.lr / (1.0 + 0.2 * static_cast<double>(e));
+    for (size_t r : order) {
+      const auto x = X.row(r);
+      double wx = 0.0;
+      for (size_t c = 0; c < X.cols; ++c) wx += w_[c] * x[c];
+      // Gradient of 0.5||w||^2 - rho + inv_nu_n * hinge(rho - w.x).
+      for (size_t c = 0; c < X.cols; ++c) w_[c] -= lr * w_[c];
+      double drho = -1.0;
+      if (rho_ - wx > 0.0) {
+        for (size_t c = 0; c < X.cols; ++c) {
+          w_[c] += lr * inv_nu_n * x[c];
+        }
+        drho += inv_nu_n;
+      }
+      rho_ -= lr * drho;
+    }
+  }
+
+  std::vector<double> s;
+  s.reserve(rows.size());
+  for (size_t r : rows) {
+    const auto x = X.row(r);
+    double wx = 0.0;
+    for (size_t c = 0; c < X.cols; ++c) wx += w_[c] * x[c];
+    s.push_back(rho_ - wx);
+  }
+  threshold_ = quantile_threshold(std::move(s), cfg_.quantile);
+}
+
+std::vector<double> LinearOneClassSvm::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  for (size_t r = 0; r < X.rows; ++r) {
+    const auto x = X.row(r);
+    double wx = 0.0;
+    for (size_t c = 0; c < X.cols && c < w_.size(); ++c) wx += w_[c] * x[c];
+    out[r] = rho_ - wx;
+  }
+  return out;
+}
+
+std::vector<int> LinearOneClassSvm::predict(const FeatureTable& X) const {
+  return threshold_predict(score(X), threshold_);
+}
+
+}  // namespace lumen::ml

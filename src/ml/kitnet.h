@@ -1,0 +1,52 @@
+// KitNET — Kitsune's anomaly detector (Mirsky et al., NDSS'18):
+// an ensemble of small autoencoders over correlation-clustered feature
+// subsets, whose per-cluster reconstruction errors feed an output
+// autoencoder. Score = output-layer RMSE; trained online on benign traffic.
+#pragma once
+
+#include "ml/mlp.h"
+#include "ml/model.h"
+
+namespace lumen::ml {
+
+class KitNet : public Model {
+ public:
+  struct Config {
+    size_t max_cluster_size = 10;   // Kitsune's m
+    double hidden_ratio = 0.75;     // beta
+    double lr = 0.1;
+    size_t fm_grace = 500;          // instances used to learn the feature map
+    size_t epochs = 2;              // passes over the benign training stream
+    double quantile = 0.97;         // benign-score threshold quantile
+    uint64_t seed = 53;
+  };
+
+  KitNet() : KitNet(Config{}) {}
+  explicit KitNet(Config cfg) : cfg_(cfg) {}
+
+  void fit(const FeatureTable& X) override;
+  std::vector<double> score(const FeatureTable& X) const override;
+  std::vector<int> predict(const FeatureTable& X) const override;
+  std::string name() const override { return "KitNET"; }
+  bool is_supervised() const override { return false; }
+
+  const std::vector<std::vector<size_t>>& clusters() const { return clusters_; }
+  double threshold() const { return threshold_; }
+
+  /// Score a single feature vector (the streaming path: no table needed).
+  double score_row(std::span<const double> x) const;
+
+ private:
+  /// Agglomerative clustering on correlation distance, clusters capped at
+  /// max_cluster_size (Kitsune's feature-mapping phase).
+  void build_feature_map(const FeatureTable& X,
+                         const std::vector<size_t>& rows);
+
+  Config cfg_;
+  std::vector<std::vector<size_t>> clusters_;
+  std::vector<std::unique_ptr<AutoEncoderCore>> ensemble_;
+  std::unique_ptr<AutoEncoderCore> output_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace lumen::ml

@@ -1,0 +1,58 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lumen::ml {
+
+void Knn::fit(const FeatureTable& X) {
+  if (X.rows <= cfg_.max_train_rows) {
+    std::vector<size_t> all(X.rows);
+    std::iota(all.begin(), all.end(), 0);
+    train_ = X.select_rows(all);
+    return;
+  }
+  // Deterministic subsample without replacement.
+  std::vector<size_t> idx(X.rows);
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng rng(cfg_.seed);
+  rng.shuffle(idx);
+  idx.resize(cfg_.max_train_rows);
+  std::sort(idx.begin(), idx.end());
+  train_ = X.select_rows(idx);
+}
+
+std::vector<double> Knn::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  if (train_.rows == 0) return out;
+  const size_t k = std::min(cfg_.k, train_.rows);
+  std::vector<std::pair<double, int>> dist(train_.rows);
+  for (size_t r = 0; r < X.rows; ++r) {
+    const auto x = X.row(r);
+    for (size_t t = 0; t < train_.rows; ++t) {
+      const auto y = train_.row(t);
+      double d = 0.0;
+      for (size_t j = 0; j < train_.cols; ++j) {
+        const double diff = x[j] - y[j];
+        d += diff * diff;
+      }
+      dist[t] = {d, train_.labels[t]};
+    }
+    std::partial_sort(dist.begin(),
+                      dist.begin() + static_cast<std::ptrdiff_t>(k),
+                      dist.end());
+    double pos = 0.0;
+    for (size_t i = 0; i < k; ++i) pos += dist[i].second;
+    out[r] = pos / static_cast<double>(k);
+  }
+  return out;
+}
+
+std::vector<int> Knn::predict(const FeatureTable& X) const {
+  std::vector<double> s = score(X);
+  std::vector<int> out(X.rows);
+  for (size_t r = 0; r < X.rows; ++r) out[r] = s[r] >= 0.5 ? 1 : 0;
+  return out;
+}
+
+}  // namespace lumen::ml

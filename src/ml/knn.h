@@ -1,0 +1,30 @@
+// k-nearest-neighbour classifier (brute force, Euclidean, with an optional
+// cap on stored training rows for tractability on large tables).
+#pragma once
+
+#include "ml/model.h"
+
+namespace lumen::ml {
+
+struct KnnConfig {
+  size_t k = 5;
+  size_t max_train_rows = 4000;  // reservoir-capped training set
+  uint64_t seed = 13;
+};
+
+class Knn : public Model {
+ public:
+  explicit Knn(KnnConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const FeatureTable& X) override;
+  std::vector<double> score(const FeatureTable& X) const override;
+  std::vector<int> predict(const FeatureTable& X) const override;
+  std::string name() const override { return "kNN"; }
+  bool is_supervised() const override { return true; }
+
+ private:
+  KnnConfig cfg_;
+  FeatureTable train_;
+};
+
+}  // namespace lumen::ml

@@ -1,0 +1,113 @@
+#include "ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "features/stats.h"
+
+namespace lumen::ml {
+
+void LinearModel::standardize_fit(const FeatureTable& X) {
+  mean_.assign(X.cols, 0.0);
+  inv_sd_.assign(X.cols, 1.0);
+  for (size_t c = 0; c < X.cols; ++c) {
+    features::RunningStats rs;
+    for (size_t r = 0; r < X.rows; ++r) rs.add(X.at(r, c));
+    mean_[c] = rs.mean();
+    const double sd = rs.stddev();
+    inv_sd_[c] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+std::vector<double> LinearModel::standardized(std::span<const double> x) const {
+  std::vector<double> z(x.size());
+  for (size_t c = 0; c < x.size(); ++c) z[c] = (x[c] - mean_[c]) * inv_sd_[c];
+  return z;
+}
+
+double LinearModel::margin(std::span<const double> x) const {
+  double m = b_;
+  for (size_t c = 0; c < w_.size() && c < x.size(); ++c) m += w_[c] * x[c];
+  return m;
+}
+
+void LinearModel::fit(const FeatureTable& X) {
+  standardize_fit(X);
+  w_.assign(X.cols, 0.0);
+  b_ = 0.0;
+  if (X.rows == 0) return;
+
+  // Class weights to compensate for the benign-heavy imbalance typical of
+  // IDS training sets.
+  size_t n_pos = 0;
+  for (int y : X.labels) n_pos += (y != 0);
+  const size_t n_neg = X.rows - n_pos;
+  const double w_pos =
+      n_pos > 0 ? static_cast<double>(X.rows) / (2.0 * n_pos) : 1.0;
+  const double w_neg =
+      n_neg > 0 ? static_cast<double>(X.rows) / (2.0 * n_neg) : 1.0;
+
+  std::vector<size_t> order(X.rows);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(cfg_.seed);
+
+  for (size_t e = 0; e < cfg_.epochs; ++e) {
+    rng.shuffle(order);
+    const double lr = cfg_.lr / (1.0 + 0.1 * static_cast<double>(e));
+    for (size_t r : order) {
+      const std::vector<double> z = standardized(X.row(r));
+      const double y = X.labels[r] != 0 ? 1.0 : -1.0;
+      const double cw = X.labels[r] != 0 ? w_pos : w_neg;
+      // L2 shrink then loss-specific update.
+      const double shrink = 1.0 - lr * cfg_.l2;
+      for (double& wi : w_) wi *= shrink;
+      update(z, y, lr, cw);
+    }
+  }
+}
+
+std::vector<double> LinearModel::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  for (size_t r = 0; r < X.rows; ++r) {
+    out[r] = to_score(margin(standardized(X.row(r))));
+  }
+  return out;
+}
+
+std::vector<int> LinearModel::predict(const FeatureTable& X) const {
+  std::vector<double> s = score(X);
+  std::vector<int> out(X.rows);
+  for (size_t r = 0; r < X.rows; ++r) out[r] = s[r] >= 0.5 ? 1 : 0;
+  return out;
+}
+
+void LinearSvm::update(std::span<const double> x, double y, double lr,
+                       double class_weight) {
+  if (y * margin(x) < 1.0) {
+    for (size_t c = 0; c < w_.size(); ++c) {
+      w_[c] += lr * class_weight * y * x[c];
+    }
+    b_ += lr * class_weight * y;
+  }
+}
+
+double LinearSvm::to_score(double m) const {
+  // Squash margin to [0,1]; 0.5 at the decision boundary.
+  return 1.0 / (1.0 + std::exp(-2.0 * m));
+}
+
+void LogisticRegression::update(std::span<const double> x, double y,
+                                double lr, double class_weight) {
+  const double p = 1.0 / (1.0 + std::exp(-margin(x)));
+  const double target = y > 0 ? 1.0 : 0.0;
+  const double g = class_weight * (target - p);
+  for (size_t c = 0; c < w_.size(); ++c) w_[c] += lr * g * x[c];
+  b_ += lr * g;
+}
+
+double LogisticRegression::to_score(double m) const {
+  return 1.0 / (1.0 + std::exp(-m));
+}
+
+}  // namespace lumen::ml

@@ -1,0 +1,76 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lumen::ml {
+
+Confusion confusion(std::span<const int> y_true, std::span<const int> y_pred) {
+  Confusion c;
+  const size_t n = std::min(y_true.size(), y_pred.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (y_true[i] != 0) {
+      if (y_pred[i] != 0) ++c.tp; else ++c.fn;
+    } else {
+      if (y_pred[i] != 0) ++c.fp; else ++c.tn;
+    }
+  }
+  return c;
+}
+
+double precision(const Confusion& c) {
+  const size_t denom = c.tp + c.fp;
+  return denom > 0 ? static_cast<double>(c.tp) / static_cast<double>(denom) : 0.0;
+}
+
+double recall(const Confusion& c) {
+  const size_t denom = c.tp + c.fn;
+  return denom > 0 ? static_cast<double>(c.tp) / static_cast<double>(denom) : 0.0;
+}
+
+double f1(const Confusion& c) {
+  const double p = precision(c);
+  const double r = recall(c);
+  return (p + r) > 1e-12 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double accuracy(const Confusion& c) {
+  const size_t total = c.tp + c.fp + c.tn + c.fn;
+  return total > 0
+             ? static_cast<double>(c.tp + c.tn) / static_cast<double>(total)
+             : 0.0;
+}
+
+double auc(std::span<const int> y_true, std::span<const double> scores) {
+  const size_t n = std::min(y_true.size(), scores.size());
+  size_t n_pos = 0;
+  for (size_t i = 0; i < n; ++i) n_pos += (y_true[i] != 0);
+  const size_t n_neg = n - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Midrank handling for ties.
+  std::vector<double> rank(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+
+  double rank_sum_pos = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (y_true[k] != 0) rank_sum_pos += rank[k];
+  }
+  const double u = rank_sum_pos -
+                   static_cast<double>(n_pos) * (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+}  // namespace lumen::ml

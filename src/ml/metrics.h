@@ -1,0 +1,30 @@
+// Classification metrics: precision, recall, F1, accuracy and a rank-based
+// AUC. These are the quantities every Lumen figure reports.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lumen::ml {
+
+struct Confusion {
+  size_t tp = 0, fp = 0, tn = 0, fn = 0;
+};
+
+Confusion confusion(std::span<const int> y_true, std::span<const int> y_pred);
+
+/// TP / (TP + FP); defined as 0 when no positives were predicted.
+double precision(const Confusion& c);
+
+/// TP / (TP + FN); defined as 0 when no positives exist.
+double recall(const Confusion& c);
+
+double f1(const Confusion& c);
+
+double accuracy(const Confusion& c);
+
+/// Area under the ROC curve from continuous scores (Mann-Whitney U /
+/// rank-sum formulation, ties handled by midranks). 0.5 when degenerate.
+double auc(std::span<const int> y_true, std::span<const double> scores);
+
+}  // namespace lumen::ml

@@ -1,0 +1,267 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "features/stats.h"
+
+namespace lumen::ml {
+
+namespace {
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+// ----------------------------------------------------------------- Mlp
+
+void Mlp::fit_standardizer(const FeatureTable& X) {
+  mean_.assign(X.cols, 0.0);
+  inv_sd_.assign(X.cols, 1.0);
+  for (size_t c = 0; c < X.cols; ++c) {
+    features::RunningStats rs;
+    for (size_t r = 0; r < X.rows; ++r) rs.add(X.at(r, c));
+    mean_[c] = rs.mean();
+    const double sd = rs.stddev();
+    inv_sd_[c] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+std::vector<double> Mlp::standardized(std::span<const double> x) const {
+  std::vector<double> z(x.size());
+  for (size_t c = 0; c < x.size(); ++c) z[c] = (x[c] - mean_[c]) * inv_sd_[c];
+  return z;
+}
+
+double Mlp::forward(std::span<const double> x,
+                    std::vector<std::vector<double>>* acts) const {
+  std::vector<double> cur(x.begin(), x.end());
+  if (acts != nullptr) acts->push_back(cur);
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& L = layers_[li];
+    std::vector<double> next(L.out, 0.0);
+    const bool last = li + 1 == layers_.size();
+    for (size_t o = 0; o < L.out; ++o) {
+      double s = L.b[o];
+      for (size_t i = 0; i < L.in; ++i) s += L.w[o * L.in + i] * cur[i];
+      next[o] = last ? sigmoid(s) : std::max(0.0, s);  // ReLU hidden
+    }
+    cur = std::move(next);
+    if (acts != nullptr) acts->push_back(cur);
+  }
+  return cur.empty() ? 0.0 : cur[0];
+}
+
+void Mlp::fit(const FeatureTable& X) {
+  fit_standardizer(X);
+  layers_.clear();
+  Rng rng(cfg_.seed);
+  size_t in_dim = X.cols;
+  std::vector<size_t> dims = cfg_.hidden;
+  dims.push_back(1);  // sigmoid output unit
+  for (size_t d : dims) {
+    Layer L;
+    L.in = in_dim;
+    L.out = d;
+    L.w.resize(L.out * L.in);
+    L.b.assign(L.out, 0.0);
+    const double bound = 1.0 / std::sqrt(static_cast<double>(L.in));
+    for (double& w : L.w) w = rng.uniform(-bound, bound);
+    layers_.push_back(std::move(L));
+    in_dim = d;
+  }
+  if (X.rows == 0) return;
+
+  // Class-balanced sample weights.
+  size_t n_pos = 0;
+  for (int y : X.labels) n_pos += (y != 0);
+  const size_t n_neg = X.rows - n_pos;
+  const double w_pos = n_pos > 0 ? static_cast<double>(X.rows) / (2.0 * n_pos) : 1.0;
+  const double w_neg = n_neg > 0 ? static_cast<double>(X.rows) / (2.0 * n_neg) : 1.0;
+
+  std::vector<size_t> order(X.rows);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (size_t e = 0; e < cfg_.epochs; ++e) {
+    rng.shuffle(order);
+    const double lr = cfg_.lr / (1.0 + 0.1 * static_cast<double>(e));
+    for (size_t r : order) {
+      std::vector<std::vector<double>> acts;
+      const std::vector<double> z = standardized(X.row(r));
+      const double p = forward(z, &acts);
+      const double target = X.labels[r] != 0 ? 1.0 : 0.0;
+      const double cw = X.labels[r] != 0 ? w_pos : w_neg;
+      // Backprop: output delta for sigmoid + cross-entropy is (p - target).
+      std::vector<double> delta = {cw * (p - target)};
+      for (size_t li = layers_.size(); li-- > 0;) {
+        Layer& L = layers_[li];
+        const std::vector<double>& a_in = acts[li];
+        const std::vector<double>& a_out = acts[li + 1];
+        std::vector<double> prev_delta(L.in, 0.0);
+        for (size_t o = 0; o < L.out; ++o) {
+          double d = delta[o];
+          if (li + 1 != layers_.size() && a_out[o] <= 0.0) d = 0.0;  // ReLU'
+          for (size_t i = 0; i < L.in; ++i) {
+            prev_delta[i] += L.w[o * L.in + i] * d;
+            L.w[o * L.in + i] -= lr * d * a_in[i];
+          }
+          L.b[o] -= lr * d;
+        }
+        delta = std::move(prev_delta);
+      }
+    }
+  }
+}
+
+std::vector<double> Mlp::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  for (size_t r = 0; r < X.rows; ++r) {
+    out[r] = forward(standardized(X.row(r)), nullptr);
+  }
+  return out;
+}
+
+std::vector<int> Mlp::predict(const FeatureTable& X) const {
+  std::vector<double> s = score(X);
+  std::vector<int> out(X.rows);
+  for (size_t r = 0; r < X.rows; ++r) out[r] = s[r] >= 0.5 ? 1 : 0;
+  return out;
+}
+
+// ------------------------------------------------------- AutoEncoderCore
+
+AutoEncoderCore::AutoEncoderCore(size_t dim, double hidden_ratio, double lr,
+                                 uint64_t seed)
+    : dim_(dim),
+      hidden_(std::max<size_t>(
+          1, static_cast<size_t>(std::ceil(hidden_ratio * static_cast<double>(dim))))),
+      lr_(lr) {
+  Rng rng(seed);
+  const double bound = 1.0 / std::sqrt(static_cast<double>(std::max<size_t>(dim_, 1)));
+  w1_.resize(hidden_ * dim_);
+  b1_.assign(hidden_, 0.0);
+  w2_.resize(dim_ * hidden_);
+  b2_.assign(dim_, 0.0);
+  for (double& w : w1_) w = rng.uniform(-bound, bound);
+  for (double& w : w2_) w = rng.uniform(-bound, bound);
+  norm_min_.assign(dim_, 0.0);
+  norm_max_.assign(dim_, 1.0);
+}
+
+void AutoEncoderCore::update_norm(std::span<const double> x) {
+  if (!norm_init_) {
+    for (size_t i = 0; i < dim_; ++i) {
+      norm_min_[i] = x[i];
+      norm_max_[i] = x[i];
+    }
+    norm_init_ = true;
+    return;
+  }
+  for (size_t i = 0; i < dim_; ++i) {
+    norm_min_[i] = std::min(norm_min_[i], x[i]);
+    norm_max_[i] = std::max(norm_max_[i], x[i]);
+  }
+}
+
+std::vector<double> AutoEncoderCore::normalize(std::span<const double> x) const {
+  std::vector<double> z(dim_, 0.0);
+  for (size_t i = 0; i < dim_; ++i) {
+    const double range = norm_max_[i] - norm_min_[i];
+    z[i] = range > 1e-12 ? (x[i] - norm_min_[i]) / range : 0.0;
+    z[i] = std::clamp(z[i], 0.0, 1.0);
+  }
+  return z;
+}
+
+double AutoEncoderCore::train_sample(std::span<const double> x) {
+  update_norm(x);
+  const std::vector<double> z = normalize(x);
+
+  // Forward.
+  std::vector<double> h(hidden_);
+  for (size_t o = 0; o < hidden_; ++o) {
+    double s = b1_[o];
+    for (size_t i = 0; i < dim_; ++i) s += w1_[o * dim_ + i] * z[i];
+    h[o] = sigmoid(s);
+  }
+  std::vector<double> y(dim_);
+  for (size_t o = 0; o < dim_; ++o) {
+    double s = b2_[o];
+    for (size_t i = 0; i < hidden_; ++i) s += w2_[o * hidden_ + i] * h[i];
+    y[o] = sigmoid(s);
+  }
+
+  double mse = 0.0;
+  for (size_t i = 0; i < dim_; ++i) {
+    const double e = y[i] - z[i];
+    mse += e * e;
+  }
+  const double rmse = std::sqrt(mse / static_cast<double>(dim_));
+
+  // Backprop (MSE, sigmoid everywhere).
+  std::vector<double> dy(dim_);
+  for (size_t o = 0; o < dim_; ++o) {
+    dy[o] = (y[o] - z[o]) * y[o] * (1.0 - y[o]);
+  }
+  std::vector<double> dh(hidden_, 0.0);
+  for (size_t o = 0; o < dim_; ++o) {
+    for (size_t i = 0; i < hidden_; ++i) {
+      dh[i] += w2_[o * hidden_ + i] * dy[o];
+      w2_[o * hidden_ + i] -= lr_ * dy[o] * h[i];
+    }
+    b2_[o] -= lr_ * dy[o];
+  }
+  for (size_t o = 0; o < hidden_; ++o) {
+    const double d = dh[o] * h[o] * (1.0 - h[o]);
+    for (size_t i = 0; i < dim_; ++i) {
+      w1_[o * dim_ + i] -= lr_ * d * z[i];
+    }
+    b1_[o] -= lr_ * d;
+  }
+  return rmse;
+}
+
+double AutoEncoderCore::score_sample(std::span<const double> x) const {
+  const std::vector<double> z = normalize(x);
+  std::vector<double> h(hidden_);
+  for (size_t o = 0; o < hidden_; ++o) {
+    double s = b1_[o];
+    for (size_t i = 0; i < dim_; ++i) s += w1_[o * dim_ + i] * z[i];
+    h[o] = sigmoid(s);
+  }
+  double mse = 0.0;
+  for (size_t o = 0; o < dim_; ++o) {
+    double s = b2_[o];
+    for (size_t i = 0; i < hidden_; ++i) s += w2_[o * hidden_ + i] * h[i];
+    const double e = sigmoid(s) - z[o];
+    mse += e * e;
+  }
+  return std::sqrt(mse / static_cast<double>(dim_));
+}
+
+// --------------------------------------------------- AutoEncoderDetector
+
+void AutoEncoderDetector::fit(const FeatureTable& X) {
+  ae_ = std::make_unique<AutoEncoderCore>(X.cols, cfg_.hidden_ratio, cfg_.lr,
+                                          cfg_.seed);
+  const std::vector<size_t> rows = benign_rows(X);
+  for (size_t e = 0; e < cfg_.epochs; ++e) {
+    for (size_t r : rows) ae_->train_sample(X.row(r));
+  }
+  std::vector<double> s;
+  s.reserve(rows.size());
+  for (size_t r : rows) s.push_back(ae_->score_sample(X.row(r)));
+  threshold_ = quantile_threshold(std::move(s), cfg_.quantile);
+}
+
+std::vector<double> AutoEncoderDetector::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  if (!ae_) return out;
+  for (size_t r = 0; r < X.rows; ++r) out[r] = ae_->score_sample(X.row(r));
+  return out;
+}
+
+std::vector<int> AutoEncoderDetector::predict(const FeatureTable& X) const {
+  return threshold_predict(score(X), threshold_);
+}
+
+}  // namespace lumen::ml

@@ -1,0 +1,101 @@
+// Feed-forward neural nets trained by SGD:
+//  * Mlp         — binary classifier, ReLU hidden layers + sigmoid output.
+//  * AutoEncoderCore — one-hidden-layer autoencoder with online 0-1 input
+//    normalization (the building block Kitsune stacks into KitNET).
+//  * AutoEncoderDetector — Model adapter: train on benign rows, score by
+//    reconstruction RMSE, threshold at a benign quantile.
+#pragma once
+
+#include "ml/model.h"
+
+namespace lumen::ml {
+
+struct MlpConfig {
+  std::vector<size_t> hidden = {32, 16};
+  double lr = 0.02;
+  size_t epochs = 30;
+  uint64_t seed = 43;
+};
+
+class Mlp : public Model {
+ public:
+  explicit Mlp(MlpConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const FeatureTable& X) override;
+  std::vector<double> score(const FeatureTable& X) const override;
+  std::vector<int> predict(const FeatureTable& X) const override;
+  std::string name() const override { return "MLP"; }
+  bool is_supervised() const override { return true; }
+
+ private:
+  struct Layer {
+    size_t in = 0, out = 0;
+    std::vector<double> w;  // out x in
+    std::vector<double> b;  // out
+  };
+
+  double forward(std::span<const double> x, std::vector<std::vector<double>>* acts) const;
+  void fit_standardizer(const FeatureTable& X);
+  std::vector<double> standardized(std::span<const double> x) const;
+
+  MlpConfig cfg_;
+  std::vector<Layer> layers_;
+  std::vector<double> mean_, inv_sd_;
+};
+
+/// Single-hidden-layer autoencoder with sigmoid activations and online
+/// min-max input normalization, trained per-sample (Kitsune-style).
+class AutoEncoderCore {
+ public:
+  /// hidden_ratio: hidden size = max(1, ceil(ratio * dim)).
+  AutoEncoderCore(size_t dim, double hidden_ratio, double lr, uint64_t seed);
+
+  /// One SGD step on x; returns the reconstruction RMSE *before* the update.
+  double train_sample(std::span<const double> x);
+
+  /// Reconstruction RMSE without updating weights.
+  double score_sample(std::span<const double> x) const;
+
+  size_t dim() const { return dim_; }
+  size_t hidden() const { return hidden_; }
+
+ private:
+  std::vector<double> normalize(std::span<const double> x) const;
+  void update_norm(std::span<const double> x);
+
+  size_t dim_;
+  size_t hidden_;
+  double lr_;
+  std::vector<double> w1_, b1_;  // hidden x dim, hidden
+  std::vector<double> w2_, b2_;  // dim x hidden, dim
+  std::vector<double> norm_min_, norm_max_;
+  bool norm_init_ = false;
+};
+
+struct AutoEncoderConfig {
+  double hidden_ratio = 0.5;
+  double lr = 0.1;
+  size_t epochs = 4;
+  double quantile = 0.97;
+  uint64_t seed = 47;
+};
+
+class AutoEncoderDetector : public Model {
+ public:
+  explicit AutoEncoderDetector(AutoEncoderConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const FeatureTable& X) override;
+  std::vector<double> score(const FeatureTable& X) const override;
+  std::vector<int> predict(const FeatureTable& X) const override;
+  std::string name() const override { return "AutoEncoder"; }
+  bool is_supervised() const override { return false; }
+
+  double threshold() const { return threshold_; }
+
+ private:
+  AutoEncoderConfig cfg_;
+  std::unique_ptr<AutoEncoderCore> ae_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace lumen::ml

@@ -1,0 +1,200 @@
+#include "ml/persist.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace lumen::ml {
+
+namespace {
+
+constexpr int kVersion = 1;
+
+void write_vector(std::ostream& out, const std::vector<double>& v) {
+  out << v.size();
+  out.precision(17);
+  for (double x : v) out << ' ' << x;
+  out << '\n';
+}
+
+Result<std::vector<double>> read_vector(std::istream& in) {
+  size_t n = 0;
+  if (!(in >> n)) return Error::make("persist", "expected vector length");
+  if (n > (1u << 26)) return Error::make("persist", "implausible vector size");
+  std::vector<double> v(n);
+  for (double& x : v) {
+    if (!(in >> x)) return Error::make("persist", "truncated vector");
+  }
+  return v;
+}
+
+Result<void> write_header(std::ostream& out, const std::string& type) {
+  out << "lumen-model " << type << ' ' << kVersion << '\n';
+  if (!out) return Error::make("persist", "write failure");
+  return {};
+}
+
+Result<void> expect_header(std::istream& in, const std::string& type) {
+  Result<std::string> got = read_model_header(in);
+  if (!got.ok()) return got.error();
+  if (got.value() != type) {
+    return Error::make("persist", "expected a '" + type + "' model, found '" +
+                                      got.value() + "'");
+  }
+  return {};
+}
+
+Result<void> save_tree_body(const DecisionTree& m, std::ostream& out) {
+  const auto& nodes = m.nodes();
+  out << nodes.size() << ' ' << m.depth() << '\n';
+  out.precision(17);
+  for (const auto& n : nodes) {
+    out << n.feature << ' ' << n.threshold << ' ' << n.left << ' ' << n.right
+        << ' ' << n.p_malicious << '\n';
+  }
+  if (!out) return Error::make("persist", "write failure");
+  return {};
+}
+
+Result<DecisionTree> load_tree_body(std::istream& in) {
+  size_t n = 0;
+  int depth = 0;
+  if (!(in >> n >> depth)) return Error::make("persist", "bad tree header");
+  if (n > (1u << 24)) return Error::make("persist", "implausible node count");
+  std::vector<DecisionTree::Node> nodes(n);
+  for (auto& node : nodes) {
+    if (!(in >> node.feature >> node.threshold >> node.left >> node.right >>
+          node.p_malicious)) {
+      return Error::make("persist", "truncated tree nodes");
+    }
+  }
+  DecisionTree tree;
+  tree.restore(std::move(nodes), depth);
+  return tree;
+}
+
+}  // namespace
+
+Result<std::string> read_model_header(std::istream& in) {
+  std::string magic, type;
+  int version = 0;
+  if (!(in >> magic >> type >> version) || magic != "lumen-model") {
+    return Error::make("persist", "not a lumen model stream");
+  }
+  if (version != kVersion) {
+    return Error::make("persist",
+                       "unsupported version " + std::to_string(version));
+  }
+  return type;
+}
+
+Result<void> save_model(const DecisionTree& m, std::ostream& out) {
+  if (auto h = write_header(out, "tree"); !h.ok()) return h;
+  return save_tree_body(m, out);
+}
+
+Result<DecisionTree> load_tree(std::istream& in) {
+  if (auto h = expect_header(in, "tree"); !h.ok()) return h.error();
+  return load_tree_body(in);
+}
+
+Result<void> save_model(const RandomForest& m, std::ostream& out) {
+  if (auto h = write_header(out, "forest"); !h.ok()) return h;
+  out << m.trees().size() << '\n';
+  for (const DecisionTree& t : m.trees()) {
+    if (auto r = save_tree_body(t, out); !r.ok()) return r;
+  }
+  return {};
+}
+
+Result<RandomForest> load_forest(std::istream& in) {
+  if (auto h = expect_header(in, "forest"); !h.ok()) return h.error();
+  size_t n = 0;
+  if (!(in >> n)) return Error::make("persist", "bad forest header");
+  if (n > (1u << 16)) return Error::make("persist", "implausible tree count");
+  std::vector<DecisionTree> trees;
+  trees.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Result<DecisionTree> t = load_tree_body(in);
+    if (!t.ok()) return t.error();
+    trees.push_back(std::move(t).value());
+  }
+  RandomForest forest;
+  forest.restore(std::move(trees));
+  return forest;
+}
+
+Result<void> save_model(const GaussianNB& m, std::ostream& out) {
+  if (auto h = write_header(out, "nb"); !h.ok()) return h;
+  const GaussianNB::Params p = m.params();
+  out.precision(17);
+  out << p.cols << ' ' << p.has_class[0] << ' ' << p.has_class[1] << ' '
+      << p.log_prior[0] << ' ' << p.log_prior[1] << '\n';
+  for (int c = 0; c < 2; ++c) {
+    write_vector(out, p.mean[c]);
+    write_vector(out, p.var[c]);
+  }
+  if (!out) return Error::make("persist", "write failure");
+  return {};
+}
+
+Result<GaussianNB> load_nb(std::istream& in) {
+  if (auto h = expect_header(in, "nb"); !h.ok()) return h.error();
+  GaussianNB::Params p;
+  if (!(in >> p.cols >> p.has_class[0] >> p.has_class[1] >> p.log_prior[0] >>
+        p.log_prior[1])) {
+    return Error::make("persist", "bad nb header");
+  }
+  for (int c = 0; c < 2; ++c) {
+    Result<std::vector<double>> mean = read_vector(in);
+    if (!mean.ok()) return mean.error();
+    Result<std::vector<double>> var = read_vector(in);
+    if (!var.ok()) return var.error();
+    p.mean[c] = std::move(mean).value();
+    p.var[c] = std::move(var).value();
+  }
+  GaussianNB nb;
+  nb.restore(p);
+  return nb;
+}
+
+Result<void> save_normalizer(const features::Normalizer& n,
+                             std::ostream& out) {
+  if (auto h = write_header(out, "normalizer"); !h.ok()) return h;
+  out << (n.kind() == features::NormKind::kZScore ? "zscore" : "minmax")
+      << '\n';
+  write_vector(out, n.shift());
+  write_vector(out, n.scale());
+  if (!out) return Error::make("persist", "write failure");
+  return {};
+}
+
+Result<features::Normalizer> load_normalizer(std::istream& in) {
+  if (auto h = expect_header(in, "normalizer"); !h.ok()) return h.error();
+  std::string kind;
+  if (!(in >> kind)) return Error::make("persist", "bad normalizer kind");
+  Result<std::vector<double>> shift = read_vector(in);
+  if (!shift.ok()) return shift.error();
+  Result<std::vector<double>> scale = read_vector(in);
+  if (!scale.ok()) return scale.error();
+  features::Normalizer n;
+  n.restore(kind == "zscore" ? features::NormKind::kZScore
+                             : features::NormKind::kMinMax,
+            std::move(shift).value(), std::move(scale).value());
+  return n;
+}
+
+Result<void> save_model_file(const RandomForest& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Error::make("persist", "cannot open " + path);
+  return save_model(m, out);
+}
+
+Result<RandomForest> load_forest_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error::make("persist", "cannot open " + path);
+  return load_forest(in);
+}
+
+}  // namespace lumen::ml

@@ -1,0 +1,39 @@
+// Model persistence for the deployment path: train in the lab, save, load
+// at the gateway. Covers the supervised models the registry's top performers
+// use (decision tree, random forest, Gaussian NB) plus the feature
+// transforms, in a small self-describing text format.
+//
+// Format: line-oriented; first line is "lumen-model <type> <version>".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "features/transform.h"
+#include "ml/bayes.h"
+#include "ml/forest.h"
+#include "ml/tree.h"
+
+namespace lumen::ml {
+
+// ---- streams ----
+Result<void> save_model(const DecisionTree& m, std::ostream& out);
+Result<void> save_model(const RandomForest& m, std::ostream& out);
+Result<void> save_model(const GaussianNB& m, std::ostream& out);
+Result<void> save_normalizer(const features::Normalizer& n, std::ostream& out);
+
+Result<DecisionTree> load_tree(std::istream& in);
+Result<RandomForest> load_forest(std::istream& in);
+Result<GaussianNB> load_nb(std::istream& in);
+Result<features::Normalizer> load_normalizer(std::istream& in);
+
+// ---- files ----
+Result<void> save_model_file(const RandomForest& m, const std::string& path);
+Result<RandomForest> load_forest_file(const std::string& path);
+
+/// Peek at the model type stored in a stream ("tree", "forest", "nb",
+/// "normalizer"); leaves the stream positioned after the header.
+Result<std::string> read_model_header(std::istream& in);
+
+}  // namespace lumen::ml

@@ -1,0 +1,79 @@
+#include "ml/tuning.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace lumen::ml {
+
+std::vector<ParamPoint> ParamGrid::points() const {
+  std::vector<ParamPoint> out = {ParamPoint{}};
+  for (const auto& [name, values] : axes) {
+    std::vector<ParamPoint> next;
+    next.reserve(out.size() * values.size());
+    for (const ParamPoint& base : out) {
+      for (double v : values) {
+        ParamPoint p = base;
+        p[name] = v;
+        next.push_back(std::move(p));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+std::vector<size_t> kfold_assignment(size_t rows, size_t k, uint64_t seed) {
+  std::vector<size_t> order(rows);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.shuffle(order);
+  std::vector<size_t> fold(rows, 0);
+  for (size_t i = 0; i < rows; ++i) fold[order[i]] = i % k;
+  return fold;
+}
+
+double f1_objective(std::span<const int> y_true, std::span<const int> y_pred) {
+  return f1(confusion(y_true, y_pred));
+}
+
+TuneResult grid_search(const std::function<ModelPtr(const ParamPoint&)>& make,
+                       const FeatureTable& X, const ParamGrid& grid,
+                       size_t k_folds, uint64_t seed, const ScoreFn& score) {
+  TuneResult result;
+  result.best.mean_score = -1.0;
+  if (X.rows < k_folds || k_folds < 2) return result;
+
+  const std::vector<size_t> fold = kfold_assignment(X.rows, k_folds, seed);
+
+  for (const ParamPoint& point : grid.points()) {
+    Trial trial;
+    trial.params = point;
+    std::vector<double> fold_scores;
+    for (size_t f = 0; f < k_folds; ++f) {
+      std::vector<size_t> train_idx, val_idx;
+      for (size_t r = 0; r < X.rows; ++r) {
+        (fold[r] == f ? val_idx : train_idx).push_back(r);
+      }
+      if (train_idx.empty() || val_idx.empty()) continue;
+      const FeatureTable train = X.select_rows(train_idx);
+      const FeatureTable val = X.select_rows(val_idx);
+      ModelPtr m = make(point);
+      m->fit(train);
+      fold_scores.push_back(score(val.labels, m->predict(val)));
+    }
+    if (fold_scores.empty()) continue;
+    double mean = 0.0;
+    for (double s : fold_scores) mean += s;
+    mean /= static_cast<double>(fold_scores.size());
+    double var = 0.0;
+    for (double s : fold_scores) var += (s - mean) * (s - mean);
+    trial.mean_score = mean;
+    trial.std_score =
+        std::sqrt(var / static_cast<double>(fold_scores.size()));
+    if (trial.mean_score > result.best.mean_score) result.best = trial;
+    result.trials.push_back(std::move(trial));
+  }
+  return result;
+}
+
+}  // namespace lumen::ml

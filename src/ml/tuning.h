@@ -1,0 +1,53 @@
+// Hyperparameter tuning (§6 of the paper lists this as the natural next
+// step for Lumen): deterministic grid search with k-fold cross-validation
+// over any model family, generic over a params -> Model factory.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "ml/metrics.h"
+#include "ml/model.h"
+
+namespace lumen::ml {
+
+/// Named numeric hyperparameters (enough for every model in the zoo).
+using ParamPoint = std::map<std::string, double>;
+
+struct ParamGrid {
+  std::map<std::string, std::vector<double>> axes;
+
+  /// Cartesian product of the axes, in deterministic (sorted-key) order.
+  std::vector<ParamPoint> points() const;
+};
+
+struct Trial {
+  ParamPoint params;
+  double mean_score = 0.0;
+  double std_score = 0.0;
+};
+
+struct TuneResult {
+  Trial best;
+  std::vector<Trial> trials;
+};
+
+/// k-fold split: returns fold assignment (0..k-1) per row, shuffled
+/// deterministically by seed.
+std::vector<size_t> kfold_assignment(size_t rows, size_t k, uint64_t seed);
+
+/// Metric evaluated on held-out predictions; higher is better.
+using ScoreFn =
+    std::function<double(std::span<const int> y_true, std::span<const int> y_pred)>;
+
+/// F1 — the default tuning objective.
+double f1_objective(std::span<const int> y_true, std::span<const int> y_pred);
+
+/// Exhaustive grid search with k-fold cross-validation. `make` builds an
+/// untrained model from a parameter point. Deterministic for a fixed seed.
+TuneResult grid_search(const std::function<ModelPtr(const ParamPoint&)>& make,
+                       const FeatureTable& X, const ParamGrid& grid,
+                       size_t k_folds = 3, uint64_t seed = 101,
+                       const ScoreFn& score = f1_objective);
+
+}  // namespace lumen::ml

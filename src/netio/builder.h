@@ -1,0 +1,83 @@
+// Packet construction. The synthetic dataset generators use these helpers to
+// emit genuine frame bytes (valid lengths, checksums, header layouts) so that
+// byte-level feature extractors (e.g. the nPrint-style bit vectorizer) see
+// the same structure they would see on real captures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netio/packet.h"
+
+namespace lumen::netio {
+
+/// Options shared by IPv4 packet builders.
+struct Ipv4Opts {
+  uint8_t ttl = 64;
+  uint8_t tos = 0;
+  uint16_t ident = 0;
+  bool dont_fragment = true;
+};
+
+struct TcpOpts {
+  uint8_t flags = kAck;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint16_t window = 8192;
+};
+
+/// Ethernet + IPv4 + TCP frame with the given payload.
+Bytes build_tcp(const MacAddr& src_mac, const MacAddr& dst_mac,
+                uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
+                uint16_t dst_port, const TcpOpts& tcp, const Bytes& payload,
+                const Ipv4Opts& ip = {});
+
+/// Ethernet + IPv4 + UDP frame with the given payload.
+Bytes build_udp(const MacAddr& src_mac, const MacAddr& dst_mac,
+                uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
+                uint16_t dst_port, const Bytes& payload,
+                const Ipv4Opts& ip = {});
+
+/// Ethernet + IPv4 + ICMP frame (echo request/reply and friends).
+Bytes build_icmp(const MacAddr& src_mac, const MacAddr& dst_mac,
+                 uint32_t src_ip, uint32_t dst_ip, uint8_t type, uint8_t code,
+                 const Bytes& payload, const Ipv4Opts& ip = {});
+
+/// Ethernet ARP packet. op: 1 = request, 2 = reply.
+Bytes build_arp(const MacAddr& src_mac, const MacAddr& dst_mac, uint16_t op,
+                const MacAddr& sender_mac, uint32_t sender_ip,
+                const MacAddr& target_mac, uint32_t target_ip);
+
+/// Bare 802.11 management frame (no radiotap). subtype: 8 = beacon,
+/// 12 = deauthentication, 11 = authentication, ...
+Bytes build_dot11_mgmt(uint8_t subtype, const MacAddr& src, const MacAddr& dst,
+                       const MacAddr& bssid, const Bytes& body);
+
+/// Bare 802.11 data frame whose body stands in for an encrypted payload.
+Bytes build_dot11_data(const MacAddr& src, const MacAddr& dst,
+                       const MacAddr& bssid, size_t body_len, uint8_t fill);
+
+// ---- Application payload builders (enough structure for service
+// ---- detection and app-layer field extraction, not full protocol stacks).
+
+/// DNS query for `qname` with the given transaction id.
+Bytes payload_dns_query(uint16_t txid, const std::string& qname);
+
+/// Minimal HTTP/1.1 request line + Host header.
+Bytes payload_http_request(const std::string& method, const std::string& uri,
+                           const std::string& host);
+
+/// MQTT fixed header + trivial body. type: 1 = CONNECT, 3 = PUBLISH,
+/// 12 = PINGREQ.
+Bytes payload_mqtt(uint8_t type, size_t body_len);
+
+/// NTP v4 client request (48 bytes).
+Bytes payload_ntp_request();
+
+/// SSDP M-SEARCH discovery request.
+Bytes payload_ssdp_msearch();
+
+/// TLS-looking application-data record header + opaque body.
+Bytes payload_tls_appdata(size_t body_len, uint8_t fill);
+
+}  // namespace lumen::netio

@@ -1,0 +1,32 @@
+#include "netio/bytes.h"
+
+#include <cstdio>
+
+namespace lumen::netio {
+
+uint16_t internet_checksum(std::span<const uint8_t> data, uint32_t initial) {
+  uint32_t sum = initial;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<uint16_t>(~sum);
+}
+
+std::string ipv4_to_string(uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+uint32_t ipv4_from_string(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d) != 4) return 0;
+  if (a > 255 || b > 255 || c > 255 || d > 255) return 0;
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+}  // namespace lumen::netio

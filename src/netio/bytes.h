@@ -1,0 +1,93 @@
+// Byte-buffer helpers: big-endian reads/writes over std::vector<uint8_t>.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lumen::netio {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Append big-endian integers / raw bytes to a growing buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void u8(uint8_t v) { out_.push_back(v); }
+  void u16(uint16_t v) {
+    out_.push_back(static_cast<uint8_t>(v >> 8));
+    out_.push_back(static_cast<uint8_t>(v));
+  }
+  void u32(uint32_t v) {
+    out_.push_back(static_cast<uint8_t>(v >> 24));
+    out_.push_back(static_cast<uint8_t>(v >> 16));
+    out_.push_back(static_cast<uint8_t>(v >> 8));
+    out_.push_back(static_cast<uint8_t>(v));
+  }
+  void u16le(uint16_t v) {
+    out_.push_back(static_cast<uint8_t>(v));
+    out_.push_back(static_cast<uint8_t>(v >> 8));
+  }
+  void raw(std::span<const uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  void raw(const std::string& s) {
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void zeros(size_t n) { out_.insert(out_.end(), n, 0); }
+
+  size_t size() const { return out_.size(); }
+
+  /// Patch a previously written big-endian u16 at `offset`.
+  void patch_u16(size_t offset, uint16_t v) {
+    out_[offset] = static_cast<uint8_t>(v >> 8);
+    out_[offset + 1] = static_cast<uint8_t>(v);
+  }
+
+ private:
+  Bytes& out_;
+};
+
+/// Bounds-checked big-endian reads over a fixed buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool can_read(size_t at, size_t n) const { return at + n <= data_.size(); }
+  size_t size() const { return data_.size(); }
+
+  uint8_t u8(size_t at) const { return data_[at]; }
+  uint16_t u16(size_t at) const {
+    return static_cast<uint16_t>((data_[at] << 8) | data_[at + 1]);
+  }
+  uint32_t u32(size_t at) const {
+    return (static_cast<uint32_t>(data_[at]) << 24) |
+           (static_cast<uint32_t>(data_[at + 1]) << 16) |
+           (static_cast<uint32_t>(data_[at + 2]) << 8) |
+           static_cast<uint32_t>(data_[at + 3]);
+  }
+  uint16_t u16le(size_t at) const {
+    return static_cast<uint16_t>(data_[at] | (data_[at + 1] << 8));
+  }
+  std::span<const uint8_t> slice(size_t at, size_t n) const {
+    return data_.subspan(at, n);
+  }
+
+ private:
+  std::span<const uint8_t> data_;
+};
+
+/// RFC 1071 internet checksum over `data`, with an optional initial sum
+/// (used for pseudo-header folding).
+uint16_t internet_checksum(std::span<const uint8_t> data, uint32_t initial = 0);
+
+/// Dotted-quad rendering of a host-order IPv4 address.
+std::string ipv4_to_string(uint32_t ip);
+
+/// Parse "a.b.c.d" into a host-order IPv4 address. Returns 0 on failure.
+uint32_t ipv4_from_string(const std::string& s);
+
+}  // namespace lumen::netio

@@ -1,0 +1,129 @@
+// Core packet types: raw captured bytes plus the parsed PacketView summary
+// that Lumen operations consume. A Trace is an ordered capture of packets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netio/bytes.h"
+
+namespace lumen::netio {
+
+/// pcap link types we generate and parse.
+enum class LinkType : uint32_t {
+  kEthernet = 1,     // DLT_EN10MB
+  kIeee80211 = 105,  // DLT_IEEE802_11
+};
+
+/// IP protocol numbers we care about.
+enum class IpProto : uint8_t {
+  kOther = 0,
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// Application protocol inferred from ports/payload (Zeek-style "service").
+enum class AppProto : uint8_t {
+  kNone = 0,
+  kDns,
+  kHttp,
+  kHttps,
+  kMqtt,
+  kNtp,
+  kSsdp,
+  kTelnet,
+  kFtp,
+  kSsh,
+};
+
+const char* app_proto_name(AppProto p);
+
+/// TCP flag bits (matching the TCP header byte).
+enum TcpFlag : uint8_t {
+  kFin = 0x01,
+  kSyn = 0x02,
+  kRst = 0x04,
+  kPsh = 0x08,
+  kAck = 0x10,
+  kUrg = 0x20,
+};
+
+using MacAddr = std::array<uint8_t, 6>;
+
+/// 802.11 frame types (from the frame-control field).
+enum class Dot11Type : uint8_t { kManagement = 0, kControl = 1, kData = 2 };
+
+/// A captured packet exactly as it would sit in a pcap record.
+struct RawPacket {
+  double ts = 0.0;  // seconds since epoch (fractional)
+  Bytes data;       // full frame bytes starting at the link layer
+};
+
+/// Parsed single-pass summary of a RawPacket. Field-extraction operations
+/// read from here; nPrint-style bit features go back to the raw bytes via
+/// the recorded offsets.
+struct PacketView {
+  double ts = 0.0;
+  uint32_t index = 0;  // position within the owning trace
+  uint16_t wire_len = 0;
+  LinkType link = LinkType::kEthernet;
+
+  // Link layer
+  MacAddr src_mac{};
+  MacAddr dst_mac{};
+  uint16_t ether_type = 0;  // 0x0800 IPv4, 0x0806 ARP; 0 for raw 802.11
+
+  // 802.11 (only when link == kIeee80211)
+  bool is_dot11 = false;
+  Dot11Type dot11_type = Dot11Type::kData;
+  uint8_t dot11_subtype = 0;
+
+  // Network layer
+  bool has_ip = false;
+  uint32_t src_ip = 0;  // host byte order
+  uint32_t dst_ip = 0;
+  uint8_t ttl = 0;
+  uint16_t ip_len = 0;     // IP total length field
+  uint8_t proto_raw = 0;   // raw IP protocol number
+  IpProto proto = IpProto::kOther;
+
+  // Transport layer
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t tcp_flags = 0;
+  uint32_t tcp_seq = 0;
+  uint32_t tcp_ack = 0;
+  uint16_t tcp_window = 0;
+  uint8_t icmp_type = 0;
+
+  uint16_t payload_len = 0;
+  AppProto app = AppProto::kNone;
+
+  // Offsets into RawPacket::data, -1 when the layer is absent.
+  int ip_off = -1;
+  int l4_off = -1;
+  int payload_off = -1;
+
+  bool has_tcp() const { return has_ip && proto == IpProto::kTcp; }
+  bool has_udp() const { return has_ip && proto == IpProto::kUdp; }
+  bool tcp_flag(TcpFlag f) const { return (tcp_flags & f) != 0; }
+};
+
+/// An ordered packet capture: raw bytes plus parsed views (same length,
+/// aligned by index).
+struct Trace {
+  LinkType link = LinkType::kEthernet;
+  std::vector<RawPacket> raw;
+  std::vector<PacketView> view;
+
+  size_t size() const { return raw.size(); }
+  bool empty() const { return raw.empty(); }
+  double duration() const {
+    return raw.empty() ? 0.0 : raw.back().ts - raw.front().ts;
+  }
+};
+
+}  // namespace lumen::netio

@@ -1,0 +1,207 @@
+#include "netio/parse.h"
+
+#include <algorithm>
+
+namespace lumen::netio {
+
+namespace {
+
+constexpr uint16_t kEtherIpv4 = 0x0800;
+constexpr uint16_t kEtherArp = 0x0806;
+
+AppProto port_service(uint16_t port) {
+  switch (port) {
+    case 53: return AppProto::kDns;
+    case 80:
+    case 8080: return AppProto::kHttp;
+    case 443:
+    case 8883: return AppProto::kHttps;
+    case 1883: return AppProto::kMqtt;
+    case 123: return AppProto::kNtp;
+    case 1900: return AppProto::kSsdp;
+    case 23:
+    case 2323: return AppProto::kTelnet;
+    case 21: return AppProto::kFtp;
+    case 22: return AppProto::kSsh;
+    default: return AppProto::kNone;
+  }
+}
+
+Result<void> parse_ipv4(const ByteReader& r, size_t off, PacketView& v,
+                        const RawPacket& pkt) {
+  if (!r.can_read(off, 20)) return Error::make("parse", "truncated IPv4 header");
+  const uint8_t vihl = r.u8(off);
+  if ((vihl >> 4) != 4) return Error::make("parse", "not IPv4");
+  const size_t ihl = static_cast<size_t>(vihl & 0x0f) * 4;
+  if (ihl < 20 || !r.can_read(off, ihl)) {
+    return Error::make("parse", "bad IPv4 IHL");
+  }
+  v.has_ip = true;
+  v.ip_off = static_cast<int>(off);
+  v.ip_len = r.u16(off + 2);
+  v.ttl = r.u8(off + 8);
+  v.proto_raw = r.u8(off + 9);
+  v.src_ip = r.u32(off + 12);
+  v.dst_ip = r.u32(off + 16);
+  switch (v.proto_raw) {
+    case 1: v.proto = IpProto::kIcmp; break;
+    case 6: v.proto = IpProto::kTcp; break;
+    case 17: v.proto = IpProto::kUdp; break;
+    default: v.proto = IpProto::kOther; break;
+  }
+
+  const size_t l4 = off + ihl;
+  // Trust the smaller of capture length and the IP total-length field.
+  const size_t ip_end = std::min<size_t>(r.size(), off + v.ip_len);
+  if (v.proto == IpProto::kTcp) {
+    if (!r.can_read(l4, 20)) return Error::make("parse", "truncated TCP");
+    v.l4_off = static_cast<int>(l4);
+    v.src_port = r.u16(l4);
+    v.dst_port = r.u16(l4 + 2);
+    v.tcp_seq = r.u32(l4 + 4);
+    v.tcp_ack = r.u32(l4 + 8);
+    const size_t doff = static_cast<size_t>(r.u8(l4 + 12) >> 4) * 4;
+    if (doff < 20 || !r.can_read(l4, doff)) {
+      return Error::make("parse", "bad TCP data offset");
+    }
+    v.tcp_flags = r.u8(l4 + 13);
+    v.tcp_window = r.u16(l4 + 14);
+    const size_t pay = l4 + doff;
+    if (pay <= ip_end) {
+      v.payload_off = static_cast<int>(pay);
+      v.payload_len = static_cast<uint16_t>(ip_end - pay);
+    }
+  } else if (v.proto == IpProto::kUdp) {
+    if (!r.can_read(l4, 8)) return Error::make("parse", "truncated UDP");
+    v.l4_off = static_cast<int>(l4);
+    v.src_port = r.u16(l4);
+    v.dst_port = r.u16(l4 + 2);
+    const size_t pay = l4 + 8;
+    if (pay <= ip_end) {
+      v.payload_off = static_cast<int>(pay);
+      v.payload_len = static_cast<uint16_t>(ip_end - pay);
+    }
+  } else if (v.proto == IpProto::kIcmp) {
+    if (!r.can_read(l4, 8)) return Error::make("parse", "truncated ICMP");
+    v.l4_off = static_cast<int>(l4);
+    v.icmp_type = r.u8(l4);
+    const size_t pay = l4 + 8;
+    if (pay <= ip_end) {
+      v.payload_off = static_cast<int>(pay);
+      v.payload_len = static_cast<uint16_t>(ip_end - pay);
+    }
+  }
+
+  if (v.payload_off >= 0 && v.payload_len > 0) {
+    v.app = infer_app_proto(
+        v.src_port, v.dst_port, v.proto,
+        std::span<const uint8_t>(pkt.data.data() + v.payload_off,
+                                 v.payload_len));
+  } else {
+    v.app = infer_app_proto(v.src_port, v.dst_port, v.proto, {});
+  }
+  return {};
+}
+
+Result<void> parse_ethernet(const ByteReader& r, PacketView& v,
+                            const RawPacket& pkt) {
+  if (!r.can_read(0, 14)) return Error::make("parse", "truncated Ethernet");
+  for (int i = 0; i < 6; ++i) v.dst_mac[i] = r.u8(i);
+  for (int i = 0; i < 6; ++i) v.src_mac[i] = r.u8(6 + i);
+  v.ether_type = r.u16(12);
+  if (v.ether_type == kEtherIpv4) return parse_ipv4(r, 14, v, pkt);
+  if (v.ether_type == kEtherArp) return Result<void>{};  // L2-only view
+  return Result<void>{};  // unknown ethertype: keep the L2 view
+}
+
+Result<void> parse_dot11(const ByteReader& r, PacketView& v) {
+  if (!r.can_read(0, 24)) return Error::make("parse", "truncated 802.11");
+  const uint16_t fc = r.u16le(0);
+  v.is_dot11 = true;
+  v.dot11_type = static_cast<Dot11Type>((fc >> 2) & 0x3);
+  v.dot11_subtype = static_cast<uint8_t>((fc >> 4) & 0xf);
+  // Address layout for the to-DS/from-DS = 0 case we generate:
+  // addr1 = dst, addr2 = src, addr3 = bssid.
+  for (int i = 0; i < 6; ++i) v.dst_mac[i] = r.u8(4 + i);
+  for (int i = 0; i < 6; ++i) v.src_mac[i] = r.u8(10 + i);
+  return {};
+}
+
+}  // namespace
+
+const char* app_proto_name(AppProto p) {
+  switch (p) {
+    case AppProto::kNone: return "-";
+    case AppProto::kDns: return "dns";
+    case AppProto::kHttp: return "http";
+    case AppProto::kHttps: return "tls";
+    case AppProto::kMqtt: return "mqtt";
+    case AppProto::kNtp: return "ntp";
+    case AppProto::kSsdp: return "ssdp";
+    case AppProto::kTelnet: return "telnet";
+    case AppProto::kFtp: return "ftp";
+    case AppProto::kSsh: return "ssh";
+  }
+  return "?";
+}
+
+AppProto infer_app_proto(uint16_t src_port, uint16_t dst_port, IpProto proto,
+                         std::span<const uint8_t> payload) {
+  AppProto byport = port_service(dst_port);
+  if (byport == AppProto::kNone) byport = port_service(src_port);
+  if (byport != AppProto::kNone) return byport;
+  // Payload sniffing as a fallback (HTTP verbs, SSDP).
+  if (payload.size() >= 4) {
+    const char* c = reinterpret_cast<const char*>(payload.data());
+    if (std::equal(c, c + 4, "GET ") || std::equal(c, c + 4, "POST") ||
+        std::equal(c, c + 4, "HTTP")) {
+      return AppProto::kHttp;
+    }
+    if (std::equal(c, c + 4, "M-SE")) return AppProto::kSsdp;
+  }
+  (void)proto;
+  return AppProto::kNone;
+}
+
+Result<PacketView> parse_packet(const RawPacket& pkt, LinkType link,
+                                uint32_t index) {
+  PacketView v;
+  v.ts = pkt.ts;
+  v.index = index;
+  v.link = link;
+  v.wire_len = static_cast<uint16_t>(pkt.data.size());
+  ByteReader r(pkt.data);
+  Result<void> st = (link == LinkType::kIeee80211) ? parse_dot11(r, v)
+                                                   : parse_ethernet(r, v, pkt);
+  if (!st.ok()) return st.error();
+  return v;
+}
+
+size_t parse_trace(Trace& trace) {
+  trace.view.clear();
+  trace.view.reserve(trace.raw.size());
+  size_t skipped = 0;
+  for (uint32_t i = 0; i < trace.raw.size(); ++i) {
+    auto res = parse_packet(trace.raw[i], trace.link, i);
+    if (res.ok()) {
+      trace.view.push_back(std::move(res).value());
+      trace.view.back().index = static_cast<uint32_t>(trace.view.size() - 1);
+    } else {
+      ++skipped;
+    }
+  }
+  // If anything was skipped, re-align raw with view by dropping the bad raws.
+  if (skipped > 0) {
+    std::vector<RawPacket> kept;
+    kept.reserve(trace.view.size());
+    uint32_t vi = 0;
+    for (uint32_t i = 0; i < trace.raw.size() && vi < trace.view.size(); ++i) {
+      auto res = parse_packet(trace.raw[i], trace.link, i);
+      if (res.ok()) kept.push_back(std::move(trace.raw[i])), ++vi;
+    }
+    trace.raw = std::move(kept);
+  }
+  return skipped;
+}
+
+}  // namespace lumen::netio

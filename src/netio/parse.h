@@ -1,0 +1,22 @@
+// Single-pass packet parsing: RawPacket bytes -> PacketView summary.
+#pragma once
+
+#include "common/result.h"
+#include "netio/packet.h"
+
+namespace lumen::netio {
+
+/// Parse one frame. Returns an Error for truncated/malformed frames.
+/// `index` is the packet's position in its trace.
+Result<PacketView> parse_packet(const RawPacket& pkt, LinkType link,
+                                uint32_t index);
+
+/// Parse every frame of `trace.raw` into `trace.view`, skipping (and
+/// counting) malformed frames. Returns the number of skipped frames.
+size_t parse_trace(Trace& trace);
+
+/// Infer the application protocol from ports and a peek at the payload.
+AppProto infer_app_proto(uint16_t src_port, uint16_t dst_port, IpProto proto,
+                         std::span<const uint8_t> payload);
+
+}  // namespace lumen::netio

@@ -1,0 +1,122 @@
+#include "netio/pcap.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "netio/parse.h"
+
+namespace lumen::netio {
+
+namespace {
+
+constexpr uint32_t kMagicLe = 0xa1b2c3d4;
+constexpr uint32_t kMagicBe = 0xd4c3b2a1;
+constexpr uint32_t kSnapLen = 65535;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void put_u32le(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+void put_u16le(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+uint32_t get_u32(const uint8_t* p, bool swap) {
+  const uint32_t v = static_cast<uint32_t>(p[0]) |
+                     (static_cast<uint32_t>(p[1]) << 8) |
+                     (static_cast<uint32_t>(p[2]) << 16) |
+                     (static_cast<uint32_t>(p[3]) << 24);
+  if (!swap) return v;
+  return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) |
+         (v >> 24);
+}
+
+}  // namespace
+
+Result<void> write_pcap(const std::string& path, const Trace& trace) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Error::make("pcap", "cannot open for write: " + path);
+
+  uint8_t hdr[24] = {};
+  put_u32le(hdr, kMagicLe);
+  put_u16le(hdr + 4, 2);   // version major
+  put_u16le(hdr + 6, 4);   // version minor
+  put_u32le(hdr + 8, 0);   // thiszone
+  put_u32le(hdr + 12, 0);  // sigfigs
+  put_u32le(hdr + 16, kSnapLen);
+  put_u32le(hdr + 20, static_cast<uint32_t>(trace.link));
+  if (std::fwrite(hdr, 1, sizeof(hdr), f.get()) != sizeof(hdr)) {
+    return Error::make("pcap", "short write on header");
+  }
+
+  for (const RawPacket& pkt : trace.raw) {
+    const auto ts_sec = static_cast<uint32_t>(pkt.ts);
+    const auto ts_usec = static_cast<uint32_t>(
+        std::llround((pkt.ts - std::floor(pkt.ts)) * 1e6) % 1000000);
+    uint8_t rec[16];
+    put_u32le(rec, ts_sec);
+    put_u32le(rec + 4, ts_usec);
+    put_u32le(rec + 8, static_cast<uint32_t>(pkt.data.size()));
+    put_u32le(rec + 12, static_cast<uint32_t>(pkt.data.size()));
+    if (std::fwrite(rec, 1, sizeof(rec), f.get()) != sizeof(rec) ||
+        std::fwrite(pkt.data.data(), 1, pkt.data.size(), f.get()) !=
+            pkt.data.size()) {
+      return Error::make("pcap", "short write on record");
+    }
+  }
+  return {};
+}
+
+Result<Trace> read_pcap(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Error::make("pcap", "cannot open for read: " + path);
+
+  uint8_t hdr[24];
+  if (std::fread(hdr, 1, sizeof(hdr), f.get()) != sizeof(hdr)) {
+    return Error::make("pcap", "truncated global header");
+  }
+  const uint32_t magic_raw = get_u32(hdr, false);
+  bool swap = false;
+  if (magic_raw == kMagicLe) {
+    swap = false;
+  } else if (magic_raw == kMagicBe) {
+    swap = true;
+  } else {
+    return Error::make("pcap", "bad magic number");
+  }
+
+  Trace trace;
+  trace.link = static_cast<LinkType>(get_u32(hdr + 20, swap));
+
+  for (;;) {
+    uint8_t rec[16];
+    const size_t got = std::fread(rec, 1, sizeof(rec), f.get());
+    if (got == 0) break;  // clean EOF
+    if (got != sizeof(rec)) return Error::make("pcap", "truncated record header");
+    const uint32_t ts_sec = get_u32(rec, swap);
+    const uint32_t ts_usec = get_u32(rec + 4, swap);
+    const uint32_t incl = get_u32(rec + 8, swap);
+    if (incl > kSnapLen) return Error::make("pcap", "record exceeds snaplen");
+    RawPacket pkt;
+    pkt.ts = static_cast<double>(ts_sec) + static_cast<double>(ts_usec) * 1e-6;
+    pkt.data.resize(incl);
+    if (std::fread(pkt.data.data(), 1, incl, f.get()) != incl) {
+      return Error::make("pcap", "truncated packet data");
+    }
+    trace.raw.push_back(std::move(pkt));
+  }
+  parse_trace(trace);
+  return trace;
+}
+
+}  // namespace lumen::netio

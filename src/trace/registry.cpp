@@ -1,0 +1,415 @@
+#include "trace/registry.h"
+
+#include <cassert>
+#include <map>
+#include <mutex>
+
+#include "trace/attacks.h"
+
+namespace lumen::trace {
+
+namespace {
+
+// ---- Per-family benign styles. The deliberate differences (timing scales,
+// size scales, service mixes, subnets, TTLs) are what make cross-dataset
+// transfer hard, as the paper observes on the real datasets.
+
+BenignStyle enterprise_style() {  // CICIDS-like office network
+  BenignStyle s;
+  s.iat_scale = 0.7;
+  s.size_scale = 1.8;
+  s.w_http = 1.2;
+  s.w_dns = 1.0;
+  s.w_mqtt = 0.1;
+  s.w_ntp = 0.3;
+  s.w_tls = 1.6;
+  s.w_telnet = 0.0;
+  s.device_ttl = 128;  // Windows-heavy hosts
+  s.lan_prefix = 0xc0a8;
+  return s;
+}
+
+BenignStyle iot_lab_style() {  // CTU-IoT-like lab with real IoT devices
+  BenignStyle s;
+  s.iat_scale = 1.3;
+  s.size_scale = 0.6;
+  s.w_http = 0.8;
+  s.w_dns = 1.2;
+  s.w_mqtt = 1.4;
+  s.w_ntp = 0.8;
+  s.w_tls = 0.6;
+  s.w_telnet = 0.3;
+  s.device_ttl = 64;
+  s.lan_prefix = 0xc0a8;
+  return s;
+}
+
+BenignStyle camera_net_style() {  // Kitsune-like IP-camera deployment
+  BenignStyle s;
+  s.iat_scale = 0.5;
+  s.size_scale = 2.5;  // video-ish upstream
+  s.w_http = 0.6;
+  s.w_dns = 0.5;
+  s.w_mqtt = 0.2;
+  s.w_ntp = 0.6;
+  s.w_tls = 2.0;
+  s.w_telnet = 0.1;
+  s.device_ttl = 64;
+  s.lan_prefix = 0xc0a8;
+  return s;
+}
+
+BenignStyle ddos_testbed_style() {  // CICIDS2019 testbed
+  BenignStyle s = enterprise_style();
+  s.lan_prefix = 0xac10;  // 172.16/16
+  s.iat_scale = 0.9;
+  s.size_scale = 1.2;
+  return s;
+}
+
+uint64_t seed_of(const std::string& id) { return Rng::seed_from(id, 2022); }
+
+// Schedule an attack campaign in BOTH the train region (first 70% of the
+// capture) and the test region (last 30%), so time-ordered splits see every
+// attack family on both sides. `at` and `len` are fractions of a region.
+template <typename EmitFn>
+void in_both_regions(double dur, double at, double len, EmitFn&& emit) {
+  emit(dur * at * 0.7, dur * len * 0.7);
+  emit(dur * (0.7 + at * 0.3), dur * len * 0.3);
+}
+
+// ------------------------------------------------------------- builders
+
+Dataset build_f0(double sc) {
+  Sim sim(seed_of("F0"));
+  const BenignStyle st = enterprise_style();
+  const double dur = 240.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 8, st);
+  const uint32_t attacker = sim.wan_ip();
+  in_both_regions(dur, 0.15, 0.3, [&](double t0, double d) {
+    attack_brute_force(sim, t0, d, attacker, sim.lan_ip(st, 2), 21, 1.2);
+  });
+  in_both_regions(dur, 0.55, 0.3, [&](double t0, double d) {
+    attack_brute_force(sim, t0, d, attacker, sim.lan_ip(st, 4), 22, 1.0);
+  });
+  return sim.finish("F0", "CICIDS2017 Tuesday", Granularity::kConnection);
+}
+
+Dataset build_f1(double sc) {
+  Sim sim(seed_of("F1"));
+  const BenignStyle st = enterprise_style();
+  const double dur = 240.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 8, st);
+  const uint32_t web_server = sim.lan_ip(st, 1);
+  in_both_regions(dur, 0.08, 0.14, [&](double t0, double d) {
+    attack_http_flood(sim, t0, d, sim.wan_ip(), web_server, 4.0,
+                      AttackType::kDosHulk);
+  });
+  in_both_regions(dur, 0.3, 0.22, [&](double t0, double d) {
+    attack_slowloris(sim, t0, d, sim.wan_ip(), web_server,
+                     static_cast<int>(14 * sc) + 2);
+  });
+  in_both_regions(dur, 0.6, 0.12, [&](double t0, double d) {
+    attack_http_flood(sim, t0, d, sim.wan_ip(), web_server, 3.0,
+                      AttackType::kDosGoldenEye);
+  });
+  in_both_regions(dur, 0.82, 0.12, [&](double t0, double d) {
+    attack_heartbleed(sim, t0, d, sim.wan_ip(), sim.lan_ip(st, 3),
+                      static_cast<int>(40 * sc) + 5);
+  });
+  return sim.finish("F1", "CICIDS2017 Wednesday", Granularity::kConnection);
+}
+
+Dataset build_f2(double sc) {
+  Sim sim(seed_of("F2"));
+  const BenignStyle st = enterprise_style();
+  const double dur = 240.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 8, st);
+  in_both_regions(dur, 0.1, 0.4, [&](double t0, double d) {
+    attack_web(sim, t0, d, sim.wan_ip(), sim.lan_ip(st, 1), 0.8);
+  });
+  in_both_regions(dur, 0.55, 0.4, [&](double t0, double d) {
+    attack_infiltration(sim, t0, d, sim.lan_ip(st, 6), st, 8);
+  });
+  return sim.finish("F2", "CICIDS2017 Thursday", Granularity::kConnection);
+}
+
+Dataset build_f3(double sc) {
+  Sim sim(seed_of("F3"));
+  const BenignStyle st = ddos_testbed_style();
+  const double dur = 200.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 7, st);
+  const uint32_t victim = sim.lan_ip(st, 0);
+  in_both_regions(dur, 0.1, 0.2, [&](double t0, double d) {
+    attack_reflection(sim, t0, d, victim, 12, 6.0);
+  });
+  in_both_regions(dur, 0.4, 0.15, [&](double t0, double d) {
+    attack_syn_flood(sim, t0, d, victim, 80, 10.0, AttackType::kSynFlood);
+  });
+  in_both_regions(dur, 0.65, 0.15, [&](double t0, double d) {
+    attack_udp_flood(sim, t0, d, sim.wan_ip(), victim, 8.0,
+                     AttackType::kUdpFlood);
+  });
+  return sim.finish("F3", "CICIDS2019 01-11", Granularity::kConnection);
+}
+
+std::vector<uint32_t> lab_bots(Sim& sim, const BenignStyle& st, int n) {
+  std::vector<uint32_t> bots;
+  for (int i = 0; i < n; ++i) bots.push_back(sim.lan_ip(st, i));
+  return bots;
+}
+
+Dataset build_f4(double sc) {
+  Sim sim(seed_of("F4"));
+  const BenignStyle st = iot_lab_style();
+  const double dur = 260.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 6, st);
+  const auto bots = lab_bots(sim, st, 2);
+  const uint32_t c2 = sim.wan_ip();
+  in_both_regions(dur, 0.1, 0.5, [&](double t0, double d) {
+    attack_mirai_scan(sim, t0, d, bots, 3.0);
+  });
+  attack_mirai_c2(sim, dur * 0.1, dur * 0.85, bots, c2);  // spans the split
+  in_both_regions(dur, 0.65, 0.25, [&](double t0, double d) {
+    attack_mirai_flood(sim, t0, d, bots, sim.wan_ip(), 6.0);
+  });
+  return sim.finish("F4", "CTU-IoT 1-1 (Mirai)", Granularity::kConnection);
+}
+
+Dataset build_f5(double sc) {
+  Sim sim(seed_of("F5"));
+  const BenignStyle st = iot_lab_style();
+  const double dur = 300.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 7, st);
+  // Torii: stealthy, low-rate beaconing only — the hardest cross-dataset
+  // target in the paper (Fig. 10's F5 anomaly).
+  attack_torii_c2(sim, dur * 0.05, dur * 0.9, lab_bots(sim, st, 3),
+                  sim.wan_ip(), 18.0 * sc);
+  return sim.finish("F5", "CTU-IoT 20-1 (Torii)", Granularity::kConnection);
+}
+
+Dataset build_f6(double sc) {
+  Sim sim(seed_of("F6"));
+  const BenignStyle st = iot_lab_style();
+  const double dur = 240.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 6, st);
+  const uint32_t attacker = sim.wan_ip();
+  in_both_regions(dur, 0.1, 0.25, [&](double t0, double d) {
+    attack_port_scan(sim, t0, d, attacker, sim.lan_ip(st, 3),
+                     static_cast<int>(160 * sc) + 10);
+  });
+  in_both_regions(dur, 0.45, 0.2, [&](double t0, double d) {
+    attack_botnet_exploit(sim, t0, d, attacker, sim.lan_ip(st, 3));
+  });
+  return sim.finish("F6", "CTU-IoT 3-1 (Muhstik)", Granularity::kConnection);
+}
+
+Dataset build_f7(double sc) {
+  Sim sim(seed_of("F7"));
+  const BenignStyle st = iot_lab_style();
+  const double dur = 260.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 6, st);
+  const auto bots = lab_bots(sim, st, 2);
+  in_both_regions(dur, 0.15, 0.6, [&](double t0, double d) {
+    attack_mirai_scan(sim, t0, d, bots, 2.0);
+  });
+  attack_mirai_c2(sim, dur * 0.15, dur * 0.8, bots, sim.wan_ip());
+  return sim.finish("F7", "CTU-IoT 7-1 (Hajime)", Granularity::kConnection);
+}
+
+Dataset build_f8(double sc) {
+  Sim sim(seed_of("F8"));
+  const BenignStyle st = iot_lab_style();
+  const double dur = 220.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 5, st);
+  const auto bots = lab_bots(sim, st, 3);
+  in_both_regions(dur, 0.2, 0.55, [&](double t0, double d) {
+    attack_mirai_flood(sim, t0, d, bots, sim.wan_ip(), 14.0);
+  });
+  in_both_regions(dur, 0.08, 0.2, [&](double t0, double d) {
+    attack_mirai_scan(sim, t0, d, bots, 2.0);
+  });
+  attack_mirai_c2(sim, dur * 0.1, dur * 0.85, bots, sim.wan_ip());
+  return sim.finish("F8", "CTU-IoT 34-1 (Mirai)", Granularity::kConnection);
+}
+
+Dataset build_f9(double sc) {
+  Sim sim(seed_of("F9"));
+  const BenignStyle st = iot_lab_style();
+  const double dur = 240.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 6, st);
+  const uint32_t attacker = sim.wan_ip();
+  in_both_regions(dur, 0.15, 0.2, [&](double t0, double d) {
+    attack_botnet_exploit(sim, t0, d, attacker, sim.lan_ip(st, 2));
+  });
+  in_both_regions(dur, 0.5, 0.25, [&](double t0, double d) {
+    attack_udp_flood(sim, t0, d, sim.lan_ip(st, 2), sim.wan_ip(), 7.0,
+                     AttackType::kUdpFlood);
+  });
+  return sim.finish("F9", "CTU-IoT 8-1 (Hakai)", Granularity::kConnection);
+}
+
+Dataset build_p0(double sc) {
+  Sim sim(seed_of("P0"));
+  BenignStyle st = iot_lab_style();
+  st.w_http = 1.2;  // richer app-layer chatter (this dataset carries PDML-
+  st.w_dns = 1.5;   // grade metadata in the real collection)
+  const double dur = 220.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 7, st);
+  const auto bots = lab_bots(sim, st, 2);
+  in_both_regions(dur, 0.1, 0.3, [&](double t0, double d) {
+    attack_mirai_scan(sim, t0, d, bots, 3.0);
+  });
+  in_both_regions(dur, 0.45, 0.15, [&](double t0, double d) {
+    attack_syn_flood(sim, t0, d, sim.lan_ip(st, 4), 80, 8.0,
+                     AttackType::kSynFlood);
+  });
+  in_both_regions(dur, 0.62, 0.12, [&](double t0, double d) {
+    attack_http_flood(sim, t0, d, bots[0], sim.lan_ip(st, 4), 3.0,
+                      AttackType::kDosHulk);
+  });
+  std::vector<uint32_t> victims;
+  for (int i = 2; i < 7; ++i) victims.push_back(sim.lan_ip(st, i));
+  in_both_regions(dur, 0.8, 0.15, [&](double t0, double d) {
+    attack_mitm_arp(sim, t0, d, sim.lan_ip(st, 1), sim.lan_ip(st, 254),
+                    victims, 4.0);
+  });
+  in_both_regions(dur, 0.3, 0.3, [&](double t0, double d) {
+    attack_os_scan(sim, t0, d, sim.wan_ip(), sim.lan_ip(st, 5));
+  });
+  return sim.finish("P0", "IEEE IoT network intrusion", Granularity::kPacket,
+                    /*has_app_metadata=*/true);
+}
+
+Dataset build_p1(double sc) {
+  Sim sim(seed_of("P1"));
+  const BenignStyle st = camera_net_style();
+  const double dur = 200.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 6, st);
+  const auto bots = lab_bots(sim, st, 2);
+  in_both_regions(dur, 0.15, 0.4, [&](double t0, double d) {
+    attack_mirai_scan(sim, t0, d, bots, 4.0);
+  });
+  attack_mirai_c2(sim, dur * 0.15, dur * 0.8, bots, sim.wan_ip());
+  in_both_regions(dur, 0.6, 0.3, [&](double t0, double d) {
+    attack_mirai_flood(sim, t0, d, bots, sim.wan_ip(), 8.0);
+  });
+  return sim.finish("P1", "Kitsune Mirai", Granularity::kPacket);
+}
+
+Dataset build_p2(double sc) {
+  Sim sim(seed_of("P2"), netio::LinkType::kIeee80211);
+  const netio::MacAddr ap{0x02, 0x1f, 0x00, 0x00, 0x00, 0x01};
+  const netio::MacAddr rogue{0x02, 0x66, 0x00, 0x00, 0x00, 0x02};
+  const double dur = 120.0 * sc;
+  wifi_benign(sim, 0.0, dur, ap, 6);
+  in_both_regions(dur, 0.2, 0.25, [&](double t0, double d) {
+    attack_dot11_deauth(sim, t0, d, ap, 6, 12.0);
+  });
+  in_both_regions(dur, 0.55, 0.35, [&](double t0, double d) {
+    attack_dot11_eviltwin(sim, t0, d, rogue, 8.0);
+  });
+  return sim.finish("P2", "AWID3 (802.11)", Granularity::kPacket);
+}
+
+Dataset build_p3(double sc) {
+  Sim sim(seed_of("P3"));
+  const BenignStyle st = camera_net_style();
+  const double dur = 180.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 6, st);
+  in_both_regions(dur, 0.3, 0.35, [&](double t0, double d) {
+    attack_syn_flood(sim, t0, d, sim.lan_ip(st, 1), 554, 14.0,
+                     AttackType::kSynFlood);
+  });
+  return sim.finish("P3", "Kitsune SYN DoS", Granularity::kPacket);
+}
+
+Dataset build_p4(double sc) {
+  Sim sim(seed_of("P4"));
+  const BenignStyle st = camera_net_style();
+  const double dur = 180.0 * sc;
+  sim.benign_iot_traffic(0.0, dur, 6, st);
+  in_both_regions(dur, 0.2, 0.3, [&](double t0, double d) {
+    attack_ssdp_flood(sim, t0, d, sim.wan_ip(), sim.lan_ip(st, 2), 10.0);
+  });
+  in_both_regions(dur, 0.6, 0.3, [&](double t0, double d) {
+    attack_fuzzing(sim, t0, d, sim.wan_ip(), sim.lan_ip(st, 3), 5.0);
+  });
+  return sim.finish("P4", "Kitsune SSDP flood + fuzzing", Granularity::kPacket);
+}
+
+}  // namespace
+
+const std::vector<DatasetInfo>& dataset_inventory() {
+  static const std::vector<DatasetInfo> kInventory = {
+      {"F0", "CICIDS2017 Tuesday", Granularity::kConnection, "FTP/SSH brute force"},
+      {"F1", "CICIDS2017 Wednesday", Granularity::kConnection, "DoS (Hulk, Slowloris, GoldenEye), Heartbleed"},
+      {"F2", "CICIDS2017 Thursday", Granularity::kConnection, "Web attack, infiltration"},
+      {"F3", "CICIDS2019 01-11", Granularity::kConnection, "Reflection/SYN/UDP DDoS"},
+      {"F4", "CTU-IoT 1-1 (Mirai)", Granularity::kConnection, "Mirai scan + C2 + flood"},
+      {"F5", "CTU-IoT 20-1 (Torii)", Granularity::kConnection, "Torii stealthy C2"},
+      {"F6", "CTU-IoT 3-1 (Muhstik)", Granularity::kConnection, "Port scan + exploit"},
+      {"F7", "CTU-IoT 7-1 (Hajime)", Granularity::kConnection, "Telnet scan + C2"},
+      {"F8", "CTU-IoT 34-1 (Mirai)", Granularity::kConnection, "Heavy Mirai flood"},
+      {"F9", "CTU-IoT 8-1 (Hakai)", Granularity::kConnection, "Exploit + UDP flood"},
+      {"P0", "IEEE IoT network intrusion", Granularity::kPacket, "Mirai scan, SYN flood, HTTP flood, ARP MITM, OS scan"},
+      {"P1", "Kitsune Mirai", Granularity::kPacket, "Mirai scan + C2 + flood"},
+      {"P2", "AWID3 (802.11)", Granularity::kPacket, "Deauth, evil twin"},
+      {"P3", "Kitsune SYN DoS", Granularity::kPacket, "SYN flood"},
+      {"P4", "Kitsune SSDP flood + fuzzing", Granularity::kPacket, "SSDP flood, fuzzing"},
+  };
+  return kInventory;
+}
+
+std::vector<std::string> all_dataset_ids() {
+  std::vector<std::string> out;
+  for (const auto& d : dataset_inventory()) out.push_back(d.id);
+  return out;
+}
+
+std::vector<std::string> connection_dataset_ids() {
+  std::vector<std::string> out;
+  for (const auto& d : dataset_inventory()) {
+    if (d.granularity == Granularity::kConnection) out.push_back(d.id);
+  }
+  return out;
+}
+
+std::vector<std::string> packet_dataset_ids() {
+  std::vector<std::string> out;
+  for (const auto& d : dataset_inventory()) {
+    if (d.granularity == Granularity::kPacket) out.push_back(d.id);
+  }
+  return out;
+}
+
+Dataset make_dataset(const std::string& id, double scale) {
+  if (id == "F0") return build_f0(scale);
+  if (id == "F1") return build_f1(scale);
+  if (id == "F2") return build_f2(scale);
+  if (id == "F3") return build_f3(scale);
+  if (id == "F4") return build_f4(scale);
+  if (id == "F5") return build_f5(scale);
+  if (id == "F6") return build_f6(scale);
+  if (id == "F7") return build_f7(scale);
+  if (id == "F8") return build_f8(scale);
+  if (id == "F9") return build_f9(scale);
+  if (id == "P0") return build_p0(scale);
+  if (id == "P1") return build_p1(scale);
+  if (id == "P2") return build_p2(scale);
+  if (id == "P3") return build_p3(scale);
+  if (id == "P4") return build_p4(scale);
+  assert(false && "unknown dataset id");
+  return Dataset{};
+}
+
+const Dataset& dataset_cache(const std::string& id) {
+  static std::map<std::string, Dataset> cache;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(id);
+  if (it == cache.end()) it = cache.emplace(id, make_dataset(id)).first;
+  return it->second;
+}
+
+}  // namespace lumen::trace

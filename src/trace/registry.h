@@ -1,0 +1,35 @@
+// The benchmarking suite's dataset registry: 10 connection-level datasets
+// (F0-F9) and 5 packet-level datasets (P0-P4), mirroring Table 3 of the
+// paper (each CICIDS day / CTU scenario / Kitsune capture is its own
+// dataset). Generation is deterministic per id; `scale` shrinks the capture
+// duration for fast tests.
+#pragma once
+
+#include <vector>
+
+#include "trace/dataset.h"
+
+namespace lumen::trace {
+
+struct DatasetInfo {
+  std::string id;
+  std::string standin;
+  Granularity granularity;
+  std::string attack_summary;
+};
+
+/// Static inventory (no generation).
+const std::vector<DatasetInfo>& dataset_inventory();
+
+std::vector<std::string> all_dataset_ids();
+std::vector<std::string> connection_dataset_ids();
+std::vector<std::string> packet_dataset_ids();
+
+/// Build a dataset from scratch. Unknown ids abort via assert in debug and
+/// return an empty dataset otherwise.
+Dataset make_dataset(const std::string& id, double scale = 1.0);
+
+/// Process-wide cache of full-scale datasets (generated on first access).
+const Dataset& dataset_cache(const std::string& id);
+
+}  // namespace lumen::trace

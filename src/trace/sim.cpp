@@ -1,0 +1,331 @@
+#include "trace/sim.h"
+
+#include <algorithm>
+
+#include "netio/parse.h"
+
+namespace lumen::trace {
+
+using namespace lumen::netio;
+
+const char* granularity_name(Granularity g) {
+  switch (g) {
+    case Granularity::kPacket: return "packet";
+    case Granularity::kUniFlow: return "uniflow";
+    case Granularity::kConnection: return "connection";
+  }
+  return "?";
+}
+
+const char* attack_name(AttackType a) {
+  switch (a) {
+    case AttackType::kNone: return "benign";
+    case AttackType::kDosHulk: return "DoS-Hulk";
+    case AttackType::kDosSlowloris: return "DoS-Slowloris";
+    case AttackType::kDosGoldenEye: return "DoS-GoldenEye";
+    case AttackType::kHeartbleed: return "Heartbleed";
+    case AttackType::kBruteForce: return "BruteForce";
+    case AttackType::kWebAttack: return "WebAttack";
+    case AttackType::kInfiltration: return "Infiltration";
+    case AttackType::kDdosReflection: return "DDoS-Reflection";
+    case AttackType::kSynFlood: return "SYN-Flood";
+    case AttackType::kUdpFlood: return "UDP-Flood";
+    case AttackType::kPortScan: return "PortScan";
+    case AttackType::kOsScan: return "OS-Scan";
+    case AttackType::kMiraiScan: return "Mirai-Scan";
+    case AttackType::kMiraiFlood: return "Mirai-Flood";
+    case AttackType::kMiraiC2: return "Mirai-C2";
+    case AttackType::kToriiC2: return "Torii-C2";
+    case AttackType::kBotnetExploit: return "Botnet-Exploit";
+    case AttackType::kMitmArp: return "MITM-ARP";
+    case AttackType::kDot11Deauth: return "802.11-Deauth";
+    case AttackType::kDot11EvilTwin: return "802.11-EvilTwin";
+    case AttackType::kSsdpFlood: return "SSDP-Flood";
+    case AttackType::kFuzzing: return "Fuzzing";
+    case AttackType::kMaxValue: return "?";
+  }
+  return "?";
+}
+
+MacAddr Sim::mac_for(uint32_t ip) {
+  return MacAddr{0x02, 0x1b,
+                 static_cast<uint8_t>(ip >> 24), static_cast<uint8_t>(ip >> 16),
+                 static_cast<uint8_t>(ip >> 8), static_cast<uint8_t>(ip)};
+}
+
+void Sim::emit(double ts, Bytes frame, int label, AttackType attack) {
+  events_.push_back(Event{ts, std::move(frame),
+                          static_cast<uint8_t>(label != 0 ? 1 : 0),
+                          static_cast<uint8_t>(attack)});
+}
+
+uint32_t Sim::lan_ip(const BenignStyle& style, int host) const {
+  return (static_cast<uint32_t>(style.lan_prefix) << 16) | (1u << 8) |
+         static_cast<uint32_t>(style.host_base + host);
+}
+
+uint32_t Sim::wan_ip() {
+  // Public-looking /8 blocks, deterministic per call.
+  static constexpr uint32_t kBlocks[] = {0x17000000u, 0x2d000000u, 0x68000000u,
+                                         0x8d000000u, 0xd0000000u};
+  const uint32_t block = kBlocks[rng_.below(5)];
+  return block | static_cast<uint32_t>(rng_.below(1u << 24));
+}
+
+uint16_t Sim::ephemeral_port() {
+  return static_cast<uint16_t>(32768 + rng_.below(28000));
+}
+
+namespace {
+
+Bytes app_payload(Rng& rng, AppProto app, size_t len) {
+  switch (app) {
+    case AppProto::kHttp: {
+      const std::string uri = "/status/" + std::to_string(rng.below(1000));
+      Bytes p = payload_http_request("GET", uri, "device.cloud");
+      if (p.size() < len) p.insert(p.end(), len - p.size(), ' ');
+      return p;
+    }
+    case AppProto::kHttps:
+      return payload_tls_appdata(len, static_cast<uint8_t>(rng.below(256)));
+    case AppProto::kMqtt:
+      return payload_mqtt(3, len);
+    case AppProto::kDns:
+      return payload_dns_query(static_cast<uint16_t>(rng.below(65536)),
+                               "telemetry.iot-vendor.com");
+    default: {
+      Bytes p(len);
+      for (auto& b : p) b = static_cast<uint8_t>(rng.below(256));
+      return p;
+    }
+  }
+}
+
+}  // namespace
+
+double Sim::tcp_session(double t0, const TcpSessionSpec& spec) {
+  const MacAddr cmac = mac_for(spec.client);
+  const MacAddr smac = mac_for(spec.server);
+  const uint16_t sport = spec.sport != 0 ? spec.sport : ephemeral_port();
+  uint32_t cseq = static_cast<uint32_t>(rng_.next());
+  uint32_t sseq = static_cast<uint32_t>(rng_.next());
+  double t = t0;
+
+  Ipv4Opts cip;
+  cip.ttl = spec.client_ttl;
+  cip.ident = static_cast<uint16_t>(rng_.below(65536));
+  Ipv4Opts sip;
+  sip.ttl = spec.server_ttl;
+  sip.ident = static_cast<uint16_t>(rng_.below(65536));
+
+  auto c2s = [&](uint8_t flags, const Bytes& payload) {
+    TcpOpts o{flags, cseq, sseq, 8192};
+    emit(t, build_tcp(cmac, smac, spec.client, spec.server, sport, spec.dport,
+                      o, payload, cip),
+         spec.label, spec.attack);
+    cseq += static_cast<uint32_t>(payload.size()) +
+            ((flags & (kSyn | kFin)) != 0 ? 1 : 0);
+  };
+  auto s2c = [&](uint8_t flags, const Bytes& payload) {
+    TcpOpts o{flags, sseq, cseq, 16384};
+    emit(t, build_tcp(smac, cmac, spec.server, spec.client, spec.dport, sport,
+                      o, payload, sip),
+         spec.label, spec.attack);
+    sseq += static_cast<uint32_t>(payload.size()) +
+            ((flags & (kSyn | kFin)) != 0 ? 1 : 0);
+  };
+  auto gap = [&]() { t += rng_.lognormal(spec.iat_mu, spec.iat_sigma); };
+
+  // Handshake.
+  c2s(kSyn, {});
+  gap();
+  if (spec.silent_server) return t;
+  if (spec.rejected) {
+    s2c(kRst | kAck, {});
+    return t;
+  }
+  s2c(kSyn | kAck, {});
+  gap();
+  c2s(kAck, {});
+
+  // Data phase.
+  for (int i = 0; i < spec.data_pkts; ++i) {
+    gap();
+    const size_t len = std::min<size_t>(
+        1400, std::max<size_t>(8, static_cast<size_t>(rng_.lognormal(
+                                      spec.payload_mu, spec.payload_sigma))));
+    c2s(kPsh | kAck, app_payload(rng_, spec.app, len));
+    gap();
+    const size_t rlen = std::min<size_t>(
+        1400,
+        std::max<size_t>(4, static_cast<size_t>(static_cast<double>(len) *
+                                                spec.resp_ratio)));
+    s2c(kPsh | kAck, app_payload(rng_, spec.app == AppProto::kHttp
+                                           ? AppProto::kHttps
+                                           : spec.app,
+                                 rlen));
+  }
+
+  // Teardown.
+  if (spec.complete) {
+    gap();
+    c2s(kFin | kAck, {});
+    gap();
+    s2c(kFin | kAck, {});
+    gap();
+    c2s(kAck, {});
+  }
+  return t;
+}
+
+double Sim::udp_exchange(double t0, uint32_t client, uint32_t server,
+                         uint16_t sport, uint16_t dport, const Bytes& request,
+                         size_t response_len, int label, AttackType attack,
+                         uint8_t client_ttl) {
+  const MacAddr cmac = mac_for(client);
+  const MacAddr smac = mac_for(server);
+  Ipv4Opts cip;
+  cip.ttl = client_ttl;
+  cip.ident = static_cast<uint16_t>(rng_.below(65536));
+  double t = t0;
+  emit(t, build_udp(cmac, smac, client, server, sport, dport, request, cip),
+       label, attack);
+  if (response_len > 0) {
+    t += rng_.lognormal(-5.0, 0.5);
+    Bytes resp(response_len);
+    for (auto& b : resp) b = static_cast<uint8_t>(rng_.below(256));
+    emit(t, build_udp(smac, cmac, server, client, dport, sport, resp), label,
+         attack);
+  }
+  return t;
+}
+
+double Sim::dns_lookup(double t0, uint32_t client, uint32_t resolver,
+                       const std::string& qname) {
+  const Bytes q =
+      payload_dns_query(static_cast<uint16_t>(rng_.below(65536)), qname);
+  return udp_exchange(t0, client, resolver, ephemeral_port(), 53, q,
+                      q.size() + 16 + rng_.below(48));
+}
+
+double Sim::ntp_sync(double t0, uint32_t client, uint32_t server) {
+  return udp_exchange(t0, client, server, ephemeral_port(), 123,
+                      payload_ntp_request(), 48);
+}
+
+double Sim::mqtt_keepalive(double t0, uint32_t client, uint32_t broker) {
+  TcpSessionSpec s;
+  s.client = client;
+  s.server = broker;
+  s.dport = 1883;
+  s.data_pkts = 1;
+  s.payload_mu = 2.5;
+  s.payload_sigma = 0.3;
+  s.resp_ratio = 0.5;
+  s.app = AppProto::kMqtt;
+  return tcp_session(t0, s);
+}
+
+void Sim::benign_iot_traffic(double t0, double duration, int n_devices,
+                             const BenignStyle& style) {
+  const uint32_t resolver = 0x08080808;  // 8.8.8.8
+  const uint32_t ntp_server = 0x84a36001; // 132.163.96.1
+  const uint32_t broker = wan_ip();
+  std::vector<uint32_t> clouds;
+  for (int i = 0; i < 4; ++i) clouds.push_back(wan_ip());
+
+  for (int d = 0; d < n_devices; ++d) {
+    const uint32_t ip = lan_ip(style, d);
+    double t = t0 + rng_.uniform(0.0, 2.0);
+    while (t < t0 + duration) {
+      const std::vector<double> weights = {style.w_http, style.w_dns,
+                                           style.w_mqtt, style.w_ntp,
+                                           style.w_tls,  style.w_telnet};
+      switch (rng_.weighted_choice(weights)) {
+        case 0: {  // HTTP poll to the vendor cloud
+          TcpSessionSpec s;
+          s.client = ip;
+          s.server = clouds[rng_.below(clouds.size())];
+          s.dport = rng_.bernoulli(0.3) ? 8080 : 80;
+          s.data_pkts = 1 + rng_.poisson(2.0);
+          s.payload_mu = 4.5 + std::log(style.size_scale);
+          s.app = AppProto::kHttp;
+          s.client_ttl = style.device_ttl;
+          t = tcp_session(t, s);
+          break;
+        }
+        case 1:
+          t = dns_lookup(t, ip, resolver,
+                         "fw" + std::to_string(rng_.below(20)) +
+                             ".iot-vendor.com");
+          break;
+        case 2:
+          t = mqtt_keepalive(t, ip, broker);
+          break;
+        case 3:
+          t = ntp_sync(t, ip, ntp_server);
+          break;
+        case 4: {  // TLS telemetry burst
+          TcpSessionSpec s;
+          s.client = ip;
+          s.server = clouds[rng_.below(clouds.size())];
+          s.dport = 443;
+          s.data_pkts = 2 + rng_.poisson(3.0);
+          s.payload_mu = 5.5 + std::log(style.size_scale);
+          s.payload_sigma = 0.9;
+          s.app = AppProto::kHttps;
+          s.client_ttl = style.device_ttl;
+          t = tcp_session(t, s);
+          break;
+        }
+        default: {  // benign telnet management session (IoT labs)
+          TcpSessionSpec s;
+          s.client = ip;
+          s.server = lan_ip(style, n_devices + 1);  // local controller
+          s.dport = 23;
+          s.data_pkts = 2 + rng_.poisson(2.0);
+          s.payload_mu = 3.0;
+          s.app = AppProto::kTelnet;
+          t = tcp_session(t, s);
+          break;
+        }
+      }
+      t += rng_.exponential(1.0 / (4.0 * style.iat_scale));
+    }
+  }
+}
+
+Dataset Sim::finish(std::string id, std::string standin, Granularity g,
+                    bool has_app_metadata) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  Dataset ds;
+  ds.id = std::move(id);
+  ds.standin = std::move(standin);
+  ds.label_granularity = g;
+  ds.has_app_metadata = has_app_metadata;
+  ds.trace.link = link_;
+  ds.trace.raw.reserve(events_.size());
+  std::vector<uint8_t> labels, attacks;
+  labels.reserve(events_.size());
+  attacks.reserve(events_.size());
+  for (Event& e : events_) {
+    ds.trace.raw.push_back(RawPacket{e.ts, std::move(e.frame)});
+    labels.push_back(e.label);
+    attacks.push_back(e.attack);
+  }
+  events_.clear();
+  const size_t skipped = parse_trace(ds.trace);
+  // Our generators emit only parseable frames; if anything was skipped the
+  // label arrays would desynchronize, so keep them aligned defensively.
+  if (skipped == 0) {
+    ds.pkt_label = std::move(labels);
+    ds.pkt_attack = std::move(attacks);
+  } else {
+    ds.pkt_label.assign(ds.trace.view.size(), 0);
+    ds.pkt_attack.assign(ds.trace.view.size(), 0);
+  }
+  return ds;
+}
+
+}  // namespace lumen::trace

@@ -1,0 +1,116 @@
+// The traffic simulator behind the benchmarking suite's stand-in datasets.
+//
+// Sim accumulates timestamped labeled frames (built with netio::builder so
+// they are byte-accurate), then sorts and parses them into a Dataset. On top
+// of the low-level emit() it provides reusable building blocks: full TCP
+// sessions (handshake, data, teardown), UDP exchanges, and the benign IoT
+// device behaviours (cameras, plugs, thermostats, hubs) whose "constrained
+// normal behaviour" is the premise of IoT anomaly detection.
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "netio/builder.h"
+#include "trace/dataset.h"
+
+namespace lumen::trace {
+
+/// Knobs that differentiate dataset families (CICIDS-like enterprise vs
+/// CTU-like IoT lab vs Kitsune-like camera network). Varying these creates
+/// the domain shift that breaks cross-dataset generalization in the paper.
+struct BenignStyle {
+  double iat_scale = 1.0;      // multiplies inter-session gaps
+  double size_scale = 1.0;     // multiplies payload sizes
+  double w_http = 1.0;         // service mix weights
+  double w_dns = 1.0;
+  double w_mqtt = 1.0;
+  double w_ntp = 0.5;
+  double w_tls = 1.0;
+  double w_telnet = 0.0;       // some IoT labs carry benign telnet
+  uint8_t device_ttl = 64;
+  uint16_t lan_prefix = 0xc0a8;  // 192.168/16 by default
+  int host_base = 10;            // first LAN host number (device 0)
+};
+
+class Sim {
+ public:
+  explicit Sim(uint64_t seed,
+               netio::LinkType link = netio::LinkType::kEthernet)
+      : rng_(seed), link_(link) {}
+
+  Rng& rng() { return rng_; }
+
+  /// Deterministic MAC derived from an IPv4 address.
+  static netio::MacAddr mac_for(uint32_t ip);
+
+  /// Record one frame.
+  void emit(double ts, netio::Bytes frame, int label, AttackType attack);
+
+  size_t emitted() const { return events_.size(); }
+
+  // ------------------------------------------------------------ building
+  // blocks (all return the time at which the interaction finished)
+
+  struct TcpSessionSpec {
+    uint32_t client = 0, server = 0;
+    uint16_t sport = 0, dport = 80;  // sport 0 = random ephemeral
+    int data_pkts = 4;               // client data segments
+    double payload_mu = 5.0;         // lognormal(mu, sigma) payload bytes
+    double payload_sigma = 0.6;
+    double iat_mu = -4.0;            // lognormal gap between segments (sec)
+    double iat_sigma = 0.8;
+    double resp_ratio = 1.5;         // server bytes per client byte
+    netio::AppProto app = netio::AppProto::kHttp;
+    bool complete = true;            // FIN teardown when true
+    bool rejected = false;           // server answers SYN with RST
+    bool silent_server = false;      // SYN gets no answer at all (S0)
+    int label = 0;
+    AttackType attack = AttackType::kNone;
+    uint8_t client_ttl = 64;
+    uint8_t server_ttl = 64;
+  };
+
+  double tcp_session(double t0, const TcpSessionSpec& spec);
+
+  /// One UDP request and (optionally) one response.
+  double udp_exchange(double t0, uint32_t client, uint32_t server,
+                      uint16_t sport, uint16_t dport,
+                      const netio::Bytes& request, size_t response_len,
+                      int label = 0, AttackType attack = AttackType::kNone,
+                      uint8_t client_ttl = 64);
+
+  /// Common benign idioms.
+  double dns_lookup(double t0, uint32_t client, uint32_t resolver,
+                    const std::string& qname);
+  double ntp_sync(double t0, uint32_t client, uint32_t server);
+  double mqtt_keepalive(double t0, uint32_t client, uint32_t broker);
+
+  /// Seed the LAN with `duration` seconds of benign IoT behaviour from
+  /// `n_devices` devices. Returns the approximate packet budget consumed.
+  void benign_iot_traffic(double t0, double duration, int n_devices,
+                          const BenignStyle& style);
+
+  /// Sort by time, parse, and package into a Dataset.
+  Dataset finish(std::string id, std::string standin, Granularity g,
+                 bool has_app_metadata = false);
+
+  // Address helpers: LAN device ip, cloud/server ips, ephemeral ports.
+  uint32_t lan_ip(const BenignStyle& style, int host) const;
+  uint32_t wan_ip();
+  uint16_t ephemeral_port();
+
+ private:
+  struct Event {
+    double ts;
+    netio::Bytes frame;
+    uint8_t label;
+    uint8_t attack;
+  };
+
+  Rng rng_;
+  netio::LinkType link_;
+  std::vector<Event> events_;
+};
+
+}  // namespace lumen::trace

@@ -1,0 +1,152 @@
+// Algorithm registry tests: completeness, faithfulness rules (§2.1), and a
+// parameterized end-to-end sweep computing every algorithm's features on a
+// compatible dataset.
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "trace/registry.h"
+
+namespace lumen::core {
+namespace {
+
+constexpr double kScale = 0.2;
+
+const trace::Dataset& small(const std::string& id) {
+  static std::map<std::string, trace::Dataset> cache;
+  auto it = cache.find(id);
+  if (it == cache.end()) {
+    it = cache.emplace(id, trace::make_dataset(id, kScale)).first;
+  }
+  return it->second;
+}
+
+TEST(Registry, SixteenSurveyedPlusSynthesized) {
+  EXPECT_EQ(surveyed_algorithm_ids().size(), 16u);
+  EXPECT_EQ(synthesized_algorithm_ids().size(), 3u);
+  EXPECT_EQ(algorithm_registry().size(), 19u);
+  EXPECT_NE(find_algorithm("A06"), nullptr);
+  EXPECT_EQ(find_algorithm("A99"), nullptr);
+}
+
+TEST(Registry, EveryTemplateParsesAndTypeChecks) {
+  for (const AlgorithmDef& a : algorithm_registry()) {
+    auto spec = PipelineSpec::parse(a.feature_template);
+    ASSERT_TRUE(spec.ok()) << a.id << ": " << spec.error().message;
+    auto check = Engine().type_check(spec.value());
+    EXPECT_TRUE(check.ok()) << a.id << ": " << check.error().message;
+    auto model = make_algorithm_model(a);
+    EXPECT_TRUE(model.ok()) << a.id << ": " << model.error().message;
+  }
+}
+
+TEST(Faithfulness, GranularityRules) {
+  const AlgorithmDef& packet_algo = *find_algorithm("A00");
+  const AlgorithmDef& conn_algo = *find_algorithm("A14");
+  // Packet algorithms can run on coarser (connection-labeled) datasets...
+  EXPECT_TRUE(compatible(packet_algo, small("F0")));
+  EXPECT_TRUE(compatible(packet_algo, small("P0")));
+  // ...but connection algorithms cannot run on packet-labeled datasets.
+  EXPECT_FALSE(compatible(conn_algo, small("P0")));
+  EXPECT_TRUE(compatible(conn_algo, small("F0")));
+  // The figures use the strict pairing.
+  EXPECT_FALSE(strict_faithful(packet_algo, small("F0")));
+  EXPECT_TRUE(strict_faithful(packet_algo, small("P0")));
+}
+
+TEST(Faithfulness, OnlyKitsuneRunsOnAwid3) {
+  const trace::Dataset& p2 = small("P2");
+  for (const AlgorithmDef& a : algorithm_registry()) {
+    if (a.id == "A06") {
+      EXPECT_TRUE(compatible(a, p2)) << a.id;
+    } else {
+      EXPECT_FALSE(compatible(a, p2)) << a.id;
+    }
+  }
+}
+
+TEST(Faithfulness, SmartHomeIdsNeedsAppMetadata) {
+  const AlgorithmDef& a05 = *find_algorithm("A05");
+  size_t runnable = 0;
+  for (const std::string& id : trace::all_dataset_ids()) {
+    runnable += compatible(a05, small(id));
+  }
+  // "Algorithm A05 can only run on a single dataset" (paper, footnote 3).
+  EXPECT_EQ(runnable, 1u);
+  EXPECT_TRUE(compatible(a05, small("P0")));
+}
+
+TEST(Faithfulness, UniflowAlgosRunOnConnectionDatasets) {
+  const AlgorithmDef& a10 = *find_algorithm("A10");
+  EXPECT_TRUE(compatible(a10, small("F1")));
+  EXPECT_TRUE(strict_faithful(a10, small("F1")));
+  EXPECT_FALSE(strict_faithful(a10, small("P1")));
+}
+
+struct FeatureCase {
+  std::string algo;
+  std::string ds;
+};
+
+class FeatureSweep : public ::testing::TestWithParam<FeatureCase> {};
+
+TEST_P(FeatureSweep, ProducesUsableFeatureTable) {
+  const auto& [algo_id, ds_id] = GetParam();
+  const AlgorithmDef* algo = find_algorithm(algo_id);
+  ASSERT_NE(algo, nullptr);
+  auto t = compute_features(*algo, small(ds_id));
+  ASSERT_TRUE(t.ok()) << algo_id << " on " << ds_id << ": "
+                      << t.error().message;
+  const features::FeatureTable& f = t.value();
+  EXPECT_GT(f.rows, 10u) << algo_id;
+  EXPECT_GT(f.cols, 0u) << algo_id;
+  ASSERT_EQ(f.labels.size(), f.rows);
+  ASSERT_EQ(f.unit_time.size(), f.rows);
+  // Both classes should appear at the algorithm's unit granularity.
+  size_t pos = 0;
+  for (int l : f.labels) pos += (l != 0);
+  EXPECT_GT(pos, 0u) << algo_id << " found no malicious units";
+  EXPECT_LT(pos, f.rows) << algo_id << " found no benign units";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, FeatureSweep,
+    ::testing::Values(FeatureCase{"A00", "P1"}, FeatureCase{"A01", "P1"},
+                      FeatureCase{"A02", "P3"}, FeatureCase{"A03", "P4"},
+                      FeatureCase{"A04", "P3"}, FeatureCase{"A05", "P0"},
+                      FeatureCase{"A06", "P2"}, FeatureCase{"A07", "F4"},
+                      FeatureCase{"A08", "F4"}, FeatureCase{"A09", "F3"},
+                      FeatureCase{"A10", "F1"}, FeatureCase{"A11", "F2"},
+                      FeatureCase{"A12", "F6"}, FeatureCase{"A13", "F0"},
+                      FeatureCase{"A14", "F5"}, FeatureCase{"A15", "F9"},
+                      FeatureCase{"AM01", "F7"}, FeatureCase{"AM02", "F8"},
+                      FeatureCase{"AM03", "F0"}),
+    [](const auto& info) { return info.param.algo + "_" + info.param.ds; });
+
+TEST(FeatureShapes, KitsuneHas115Columns) {
+  auto t = compute_features(*find_algorithm("A06"), small("P1"));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().cols, 115u);  // 23 features x 5 decay rates
+}
+
+TEST(FeatureShapes, NprintVariantsDifferAsConfigured) {
+  auto all = compute_features(*find_algorithm("A01"), small("P1"));
+  auto no_icmp = compute_features(*find_algorithm("A02"), small("P1"));
+  auto with_payload = compute_features(*find_algorithm("A03"), small("P1"));
+  ASSERT_TRUE(all.ok() && no_icmp.ok() && with_payload.ok());
+  // A01: ipv4+tcp+udp+icmp+payload = (20+20+8+8+10)*8 bits.
+  EXPECT_EQ(all.value().cols, 528u);
+  // A02: tcp+udp+ipv4 = (20+8+20)*8.
+  EXPECT_EQ(no_icmp.value().cols, 384u);
+  // A03: A02 + 10 payload bytes.
+  EXPECT_EQ(with_payload.value().cols, 464u);
+}
+
+TEST(FeatureShapes, ConnUnitsMatchConnections) {
+  const trace::Dataset& ds = small("F4");
+  auto t = compute_features(*find_algorithm("A14"), ds);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().rows, flow::assemble_connections(ds.trace).size());
+}
+
+}  // namespace
+}  // namespace lumen::core

@@ -1,0 +1,190 @@
+// Benchmarking-suite tests: protocols, caching, per-attack breakdowns,
+// merged training, the result store, and the report renderers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "eval/benchmark.h"
+#include "eval/literature.h"
+#include "eval/report.h"
+#include "eval/results.h"
+
+namespace lumen::eval {
+namespace {
+
+Benchmark& bench() {
+  static Benchmark b = [] {
+    Benchmark::Options opts;
+    opts.dataset_scale = 0.25;  // keep the suite fast
+    opts.max_train_rows = 1200;
+    opts.max_test_rows = 1200;
+    return Benchmark(opts);
+  }();
+  return b;
+}
+
+TEST(Benchmark, SameDatasetProducesSaneRecord) {
+  auto run = bench().same_dataset("A14", "F4");
+  ASSERT_TRUE(run.ok()) << run.error().message;
+  const EvalRecord& r = run.value().record;
+  EXPECT_EQ(r.algo, "A14");
+  EXPECT_EQ(r.train_ds, "F4");
+  EXPECT_EQ(r.test_ds, "F4");
+  EXPECT_GE(r.precision, 0.0);
+  EXPECT_LE(r.precision, 1.0);
+  EXPECT_GT(r.n_train, 0u);
+  EXPECT_GT(r.n_test, 0u);
+  EXPECT_EQ(run.value().predictions.y_true.size(), r.n_test);
+  // A supervised RF on Mirai traffic should do well in-distribution.
+  EXPECT_GT(r.f1, 0.7);
+}
+
+TEST(Benchmark, FeatureCachingReturnsSamePointer) {
+  auto a = bench().features("A14", "F4");
+  auto b = bench().features("A14", "F4");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Benchmark, IncompatiblePairIsRejected) {
+  auto run = bench().same_dataset("A14", "P1");  // conn algo, packet dataset
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.error().message.find("faithfully"), std::string::npos);
+}
+
+TEST(Benchmark, CrossDatasetUsesTrainSetModel) {
+  auto same = bench().same_dataset("A14", "F4");
+  auto cross = bench().cross_dataset("A14", "F4", "F7");
+  ASSERT_TRUE(same.ok());
+  ASSERT_TRUE(cross.ok()) << cross.error().message;
+  EXPECT_EQ(cross.value().record.train_ds, "F4");
+  EXPECT_EQ(cross.value().record.test_ds, "F7");
+}
+
+TEST(Benchmark, SplitByTimeIsOrderedAndComplete) {
+  auto feats = bench().features("A14", "F5");
+  ASSERT_TRUE(feats.ok());
+  auto [train, test] = Benchmark::split_by_time(*feats.value(), 0.7);
+  EXPECT_EQ(train.rows + test.rows, feats.value()->rows);
+  double tmax = -1e30;
+  for (double t : train.unit_time) tmax = std::max(tmax, t);
+  for (double t : test.unit_time) EXPECT_GE(t, tmax - 1e9 * 0);
+}
+
+TEST(Benchmark, PerAttackScoresCoverTestAttacks) {
+  auto run = bench().same_dataset("A10", "F1");
+  ASSERT_TRUE(run.ok());
+  const auto scores = bench().per_attack(run.value());
+  ASSERT_FALSE(scores.empty());
+  for (const AttackScore& s : scores) {
+    EXPECT_NE(s.attack, trace::AttackType::kNone);
+    EXPECT_GE(s.precision, 0.0);
+    EXPECT_LE(s.precision, 1.0);
+    EXPECT_GT(s.positives, 0u);
+  }
+}
+
+TEST(Benchmark, MergedTrainingRunsOverConnectionDatasets) {
+  auto run = bench().merged_training("A14", 0.1);
+  ASSERT_TRUE(run.ok()) << run.error().message;
+  EXPECT_EQ(run.value().record.train_ds, "merged");
+  EXPECT_GT(run.value().record.n_train, 0u);
+}
+
+TEST(ResultStore, AddQueryValue) {
+  ResultStore store;
+  EvalRecord rec;
+  rec.algo = "A14";
+  rec.train_ds = "F4";
+  rec.test_ds = "F7";
+  rec.precision = 0.91;
+  rec.recall = 0.5;
+  store.add_record(rec);
+  EXPECT_EQ(store.size(), 5u);  // five metrics per record
+  auto rows = store.query("A14", "", "", "precision");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].value, 0.91);
+  EXPECT_TRUE(store.value("A14", "F4", "F7", "recall").has_value());
+  EXPECT_FALSE(store.value("A00", "F4", "F7", "recall").has_value());
+}
+
+TEST(ResultStore, AttackScoreRows) {
+  ResultStore store;
+  EvalRecord rec;
+  rec.algo = "A10";
+  rec.train_ds = rec.test_ds = "F1";
+  AttackScore s;
+  s.attack = trace::AttackType::kDosHulk;
+  s.precision = 0.8;
+  s.recall = 0.7;
+  s.positives = 10;
+  store.add_attack_scores(rec, {s});
+  auto rows = store.query("A10", "F1", "F1", "precision@DoS-Hulk");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].value, 0.8);
+}
+
+TEST(ResultStore, CsvRoundtrip) {
+  ResultStore store;
+  store.add(ResultRow{"A01", "F0", "F1", "precision", 0.5});
+  store.add(ResultRow{"A02", "F2", "F3", "recall", 0.25});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lumen_results.csv").string();
+  ASSERT_TRUE(store.save_csv(path).ok());
+  auto loaded = ResultStore::load_csv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.value().rows()[1].value, 0.25);
+  std::filesystem::remove(path);
+}
+
+TEST(Heatmap, RenderMarksMissingAsGray) {
+  Heatmap h = Heatmap::make("test", {"r1", "r2"}, {"c1", "c2"});
+  h.at(0, 0) = 0.95;
+  h.at(1, 1) = 0.1;
+  const std::string text = h.render();
+  EXPECT_NE(text.find("--"), std::string::npos);   // gray cell
+  EXPECT_NE(text.find("0.95"), std::string::npos);
+  const std::string csv = h.to_csv();
+  EXPECT_NE(csv.find("r1,0.9500,"), std::string::npos);
+}
+
+TEST(Distribution, FiveNumberSummary) {
+  Distribution d = Distribution::from("x", {0.0, 0.25, 0.5, 0.75, 1.0});
+  EXPECT_EQ(d.n, 5u);
+  EXPECT_DOUBLE_EQ(d.min, 0.0);
+  EXPECT_DOUBLE_EQ(d.q25, 0.25);
+  EXPECT_DOUBLE_EQ(d.median, 0.5);
+  EXPECT_DOUBLE_EQ(d.q75, 0.75);
+  EXPECT_DOUBLE_EQ(d.max, 1.0);
+  const std::string text = render_distributions("t", {d});
+  EXPECT_NE(text.find("x"), std::string::npos);
+}
+
+TEST(Literature, TableHasElevenEntries) {
+  EXPECT_EQ(literature_survey().size(), 11u);
+  EXPECT_FALSE(render_literature_table().empty());
+}
+
+TEST(Literature, HalfTheAlgorithmsHaveNoComparison) {
+  // Fig. 1a's headline: for about half the algorithms, no literature-level
+  // comparison is possible (private datasets).
+  const auto comparisons = possible_comparisons();
+  size_t zero = 0;
+  for (const auto& [algo, n] : comparisons) zero += (n == 0);
+  EXPECT_GE(zero, comparisons.size() / 2);
+  // nPrint and Smart Detect share CICIDS2017.
+  for (const auto& [algo, n] : comparisons) {
+    if (algo == "Nprint" || algo == "Smart Detect") {
+      EXPECT_GE(n, 1);
+    }
+    if (algo == "Kitsune") {
+      EXPECT_EQ(n, 0);  // custom dataset only
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lumen::eval

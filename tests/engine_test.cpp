@@ -1,0 +1,212 @@
+// Execution engine tests: template parsing, static type checking, execution,
+// profiling, and dead-value elimination — including the paper's own Fig. 4
+// template end to end.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "trace/attacks.h"
+
+namespace lumen::core {
+namespace {
+
+const trace::Dataset& dataset() {
+  static const trace::Dataset ds = [] {
+    trace::Sim sim(515151);
+    trace::BenignStyle st;
+    sim.benign_iot_traffic(0.0, 25.0, 3, st);
+    trace::attack_brute_force(sim, 5.0, 15.0, sim.wan_ip(), sim.lan_ip(st, 0),
+                              22, 1.0);
+    return sim.finish("E0", "engine-test", trace::Granularity::kConnection);
+  }();
+  return ds;
+}
+
+OpContext make_ctx() {
+  OpContext ctx;
+  ctx.dataset = &dataset();
+  return ctx;
+}
+
+TEST(Pipeline, CanonicalFuncNames) {
+  EXPECT_EQ(canonical_func_name("Field Extract"), "field_extract");
+  EXPECT_EQ(canonical_func_name("Groupby"), "groupby");
+  EXPECT_EQ(canonical_func_name("TimeSlice"), "time_slice");
+  EXPECT_EQ(canonical_func_name("ApplyAggregates"), "apply_aggregates");
+  EXPECT_EQ(canonical_func_name("model"), "model");
+}
+
+TEST(Pipeline, ParsesPaperStyleTemplate) {
+  auto spec = PipelineSpec::parse(R"(algorithm = [
+    {'func': 'Field Extract', 'input': None, 'output': 'Packets',
+     'param': ['srcIP', 'dstIP', 'TCPFlags', 'packetLength']},
+    {'func': 'Groupby', 'input': ['Packets'], 'output': 'Grouped_packets',
+     'flowid': ['srcIp']},
+    {'func': 'TimeSlice', 'input': ['Grouped_packets'],
+     'output': 'Sliced_packets', 'window': 10},
+    {'func': 'ApplyAggregates', 'input': ['Sliced_packets'],
+     'output': 'Features'},
+  ])");
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  ASSERT_EQ(spec.value().ops.size(), 4u);
+  EXPECT_EQ(spec.value().ops[0].func, "field_extract");
+  EXPECT_TRUE(spec.value().ops[0].inputs.empty());
+  EXPECT_EQ(spec.value().ops[3].output, "Features");
+}
+
+TEST(Pipeline, RejectsEmptyAndMalformed) {
+  EXPECT_FALSE(PipelineSpec::parse("[]").ok());
+  EXPECT_FALSE(PipelineSpec::parse("{\"not\": \"array\"}").ok());
+  EXPECT_FALSE(PipelineSpec::parse("[{\"output\": \"x\"}]").ok());  // no func
+  EXPECT_FALSE(PipelineSpec::parse("[{\"func\": \"f\", \"input\": 3}]").ok());
+}
+
+TEST(Engine, TypeCheckCatchesUnknownOp) {
+  auto spec = PipelineSpec::parse(
+      R"([{"func": "does_not_exist", "input": None, "output": "x"}])");
+  ASSERT_TRUE(spec.ok());
+  Engine engine;
+  auto check = engine.type_check(spec.value());
+  ASSERT_FALSE(check.ok());
+  EXPECT_NE(check.error().message.find("unknown operation"), std::string::npos);
+}
+
+TEST(Engine, TypeCheckCatchesUndefinedInput) {
+  auto spec = PipelineSpec::parse(
+      R"([{"func": "groupby", "input": ["Ghost"], "output": "g",
+           "flowid": ["srcip"]}])");
+  ASSERT_TRUE(spec.ok());
+  auto check = Engine().type_check(spec.value());
+  ASSERT_FALSE(check.ok());
+  EXPECT_NE(check.error().message.find("Ghost"), std::string::npos);
+}
+
+TEST(Engine, TypeCheckCatchesKindMismatch) {
+  // apply_aggregates expects GroupedPackets, gets PacketSet.
+  auto spec = PipelineSpec::parse(R"([
+    {"func": "field_extract", "input": None, "output": "Packets", "param": []},
+    {"func": "apply_aggregates", "input": ["Packets"], "output": "F"},
+  ])");
+  ASSERT_TRUE(spec.ok());
+  auto check = Engine().type_check(spec.value());
+  ASSERT_FALSE(check.ok());
+  EXPECT_NE(check.error().message.find("PacketSet"), std::string::npos);
+  EXPECT_NE(check.error().message.find("GroupedPackets"), std::string::npos);
+}
+
+TEST(Engine, TypeCheckCatchesTooManyInputs) {
+  auto spec = PipelineSpec::parse(R"([
+    {"func": "field_extract", "input": None, "output": "A", "param": []},
+    {"func": "groupby", "input": ["A", "A"], "output": "g",
+     "flowid": ["srcip"]},
+  ])");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(Engine().type_check(spec.value()).ok());
+}
+
+TEST(Engine, RunsPaperTemplateEndToEnd) {
+  auto spec = PipelineSpec::parse(R"(algorithm = [
+    {'func': 'Field Extract', 'input': None, 'output': 'Packets',
+     'param': ['srcIP', 'dstIP', 'TCPFlags', 'packetLength']},
+    {'func': 'Groupby', 'input': ['Packets'], 'output': 'Grouped_packets',
+     'flowid': ['srcIp']},
+    {'func': 'TimeSlice', 'input': ['Grouped_packets'],
+     'output': 'Sliced_packets', 'window': 10},
+    {'func': 'ApplyAggregates', 'input': ['Sliced_packets'],
+     'output': 'Features'},
+    {'func': 'model', 'model_type': 'RandomForest', 'input': None,
+     'output': 'clf1'},
+    {'func': 'train', 'input': ['clf1', 'Features'], 'output': 'clf_trained'},
+    {'func': 'predict', 'input': ['clf_trained', 'Features'],
+     'output': 'Preds'},
+    {'func': 'evaluate', 'input': ['Preds'], 'output': 'Metrics'},
+  ])");
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  OpContext ctx = make_ctx();
+  auto report = Engine().run(spec.value(), ctx);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  const Metrics* m = report.value().get<Metrics>("Metrics");
+  ASSERT_NE(m, nullptr);
+  EXPECT_GT(m->get("accuracy"), 0.5);
+  // Profile covers every op.
+  EXPECT_EQ(report.value().profile.size(), 8u);
+  EXPECT_GT(report.value().peak_bytes, 0u);
+  EXPECT_FALSE(report.value().profile_table().empty());
+}
+
+TEST(Engine, DeadValueEliminationFreesConsumedBindings) {
+  auto spec = PipelineSpec::parse(R"([
+    {"func": "field_extract", "input": None, "output": "Packets", "param": []},
+    {"func": "groupby", "input": ["Packets"], "output": "Grouped",
+     "flowid": ["srcip"]},
+    {"func": "apply_aggregates", "input": ["Grouped"], "output": "Features"},
+  ])");
+  ASSERT_TRUE(spec.ok());
+  OpContext ctx = make_ctx();
+  auto report = Engine().run(spec.value(), ctx);
+  ASSERT_TRUE(report.ok());
+  // Packets and Grouped were consumed and freed; only Features survives.
+  EXPECT_EQ(report.value().bindings.size(), 1u);
+  EXPECT_NE(report.value().find("Features"), nullptr);
+  EXPECT_EQ(report.value().find("Packets"), nullptr);
+}
+
+TEST(Engine, KeepOptionPreservesIntermediate) {
+  auto spec = PipelineSpec::parse(R"([
+    {"func": "field_extract", "input": None, "output": "Packets", "param": []},
+    {"func": "groupby", "input": ["Packets"], "output": "Grouped",
+     "flowid": ["srcip"]},
+    {"func": "apply_aggregates", "input": ["Grouped"], "output": "Features"},
+  ])");
+  ASSERT_TRUE(spec.ok());
+  Engine::Options opts;
+  opts.keep = {"Packets"};
+  OpContext ctx = make_ctx();
+  auto report = Engine(opts).run(spec.value(), ctx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report.value().find("Packets"), nullptr);
+}
+
+TEST(Engine, DisablingEliminationKeepsEverything) {
+  auto spec = PipelineSpec::parse(R"([
+    {"func": "field_extract", "input": None, "output": "Packets", "param": []},
+    {"func": "groupby", "input": ["Packets"], "output": "Grouped",
+     "flowid": ["srcip"]},
+  ])");
+  ASSERT_TRUE(spec.ok());
+  Engine::Options opts;
+  opts.free_dead_values = false;
+  OpContext ctx = make_ctx();
+  auto report = Engine(opts).run(spec.value(), ctx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().bindings.size(), 2u);
+}
+
+TEST(Engine, RebindingReplacesValue) {
+  auto spec = PipelineSpec::parse(R"([
+    {"func": "field_extract", "input": None, "output": "P", "param": []},
+    {"func": "filter", "input": ["P"], "output": "P", "require": ["is_tcp"]},
+    {"func": "groupby", "input": ["P"], "output": "G", "flowid": ["srcip"]},
+  ])");
+  ASSERT_TRUE(spec.ok());
+  OpContext ctx = make_ctx();
+  auto report = Engine().run(spec.value(), ctx);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+}
+
+TEST(Engine, RuntimeErrorNamesTheOp) {
+  // one_hot on a missing column passes type check but fails at run time.
+  auto spec = PipelineSpec::parse(R"([
+    {"func": "field_extract", "input": None, "output": "P", "param": []},
+    {"func": "packet_features", "input": ["P"], "output": "F",
+     "param": ["len"]},
+    {"func": "one_hot", "input": ["F"], "output": "F2", "column": "ghost"},
+  ])");
+  ASSERT_TRUE(spec.ok());
+  OpContext ctx = make_ctx();
+  auto report = Engine().run(spec.value(), ctx);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().message.find("one_hot"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lumen::core

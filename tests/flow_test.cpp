@@ -1,0 +1,167 @@
+// Flow/connection assembly tests over hand-crafted traces.
+#include <gtest/gtest.h>
+
+#include "flow/flow.h"
+#include "netio/builder.h"
+#include "netio/parse.h"
+
+namespace lumen::flow {
+namespace {
+
+using namespace lumen::netio;
+
+const MacAddr kMacA{2, 0, 0, 0, 0, 1};
+const MacAddr kMacB{2, 0, 0, 0, 0, 2};
+constexpr uint32_t kIpA = 0x0a000001;
+constexpr uint32_t kIpB = 0x0a000002;
+
+void push_tcp(Trace& t, double ts, uint32_t sip, uint32_t dip, uint16_t sp,
+              uint16_t dp, uint8_t flags, size_t payload = 0) {
+  TcpOpts o;
+  o.flags = flags;
+  t.raw.push_back(RawPacket{
+      ts, build_tcp(kMacA, kMacB, sip, dip, sp, dp, o, Bytes(payload, 'x'))});
+}
+
+Trace finish(Trace t) {
+  parse_trace(t);
+  return t;
+}
+
+TEST(UniFlows, SeparatesDirectionsAndTuples) {
+  Trace t;
+  push_tcp(t, 0.0, kIpA, kIpB, 1000, 80, kSyn);
+  push_tcp(t, 0.1, kIpB, kIpA, 80, 1000, kSyn | kAck);
+  push_tcp(t, 0.2, kIpA, kIpB, 1000, 80, kAck);
+  push_tcp(t, 0.3, kIpA, kIpB, 2000, 80, kSyn);  // different sport
+  t = finish(std::move(t));
+  const std::vector<Flow> flows = assemble_uniflows(t);
+  ASSERT_EQ(flows.size(), 3u);
+  EXPECT_EQ(flows[0].pkts.size(), 2u);  // A->B :1000
+  EXPECT_EQ(flows[1].pkts.size(), 1u);  // B->A
+  EXPECT_EQ(flows[2].pkts.size(), 1u);  // A->B :2000
+  EXPECT_EQ(flows[0].key.src_port, 1000);
+  EXPECT_EQ(flows[1].key.src_ip, kIpB);
+}
+
+TEST(UniFlows, TimeoutSplitsFlows) {
+  Trace t;
+  push_tcp(t, 0.0, kIpA, kIpB, 1000, 80, kAck);
+  push_tcp(t, 100.0, kIpA, kIpB, 1000, 80, kAck);  // idle > 60s default
+  t = finish(std::move(t));
+  EXPECT_EQ(assemble_uniflows(t).size(), 2u);
+  EXPECT_EQ(assemble_uniflows(t, 200.0).size(), 1u);
+}
+
+TEST(UniFlows, SkipsNonIpPackets) {
+  Trace t;
+  t.raw.push_back(RawPacket{
+      0.0, build_arp(kMacA, kMacB, 1, kMacA, kIpA, kMacB, kIpB)});
+  push_tcp(t, 0.1, kIpA, kIpB, 1, 2, kAck);
+  t = finish(std::move(t));
+  EXPECT_EQ(assemble_uniflows(t).size(), 1u);
+}
+
+TEST(Connections, PairsBothDirections) {
+  Trace t;
+  push_tcp(t, 0.0, kIpA, kIpB, 1000, 80, kSyn);
+  push_tcp(t, 0.1, kIpB, kIpA, 80, 1000, kSyn | kAck);
+  push_tcp(t, 0.2, kIpA, kIpB, 1000, 80, kAck, 10);
+  push_tcp(t, 0.3, kIpB, kIpA, 80, 1000, kAck, 20);
+  t = finish(std::move(t));
+  const std::vector<Connection> conns = assemble_connections(t);
+  ASSERT_EQ(conns.size(), 1u);
+  const Connection& c = conns[0];
+  EXPECT_EQ(c.orig_key.src_ip, kIpA);  // initiator = first packet's source
+  EXPECT_EQ(c.orig_pkts, 2u);
+  EXPECT_EQ(c.resp_pkts, 2u);
+  EXPECT_GT(c.resp_bytes, 0u);
+  ASSERT_EQ(c.dir.size(), 4u);
+  EXPECT_EQ(c.dir[0], 0);
+  EXPECT_EQ(c.dir[1], 1);
+}
+
+TEST(Connections, StateSF) {
+  Trace t;
+  push_tcp(t, 0.0, kIpA, kIpB, 1000, 80, kSyn);
+  push_tcp(t, 0.1, kIpB, kIpA, 80, 1000, kSyn | kAck);
+  push_tcp(t, 0.2, kIpA, kIpB, 1000, 80, kAck);
+  push_tcp(t, 0.3, kIpA, kIpB, 1000, 80, kFin | kAck);
+  push_tcp(t, 0.4, kIpB, kIpA, 80, 1000, kFin | kAck);
+  t = finish(std::move(t));
+  const auto conns = assemble_connections(t);
+  ASSERT_EQ(conns.size(), 1u);
+  EXPECT_EQ(summarize(conns[0], t).state, ConnState::kSF);
+}
+
+TEST(Connections, StateS0AndREJ) {
+  Trace t;
+  push_tcp(t, 0.0, kIpA, kIpB, 1000, 80, kSyn);  // unanswered
+  push_tcp(t, 200.0, kIpA, kIpB, 1001, 80, kSyn);
+  push_tcp(t, 200.1, kIpB, kIpA, 80, 1001, kRst | kAck);  // rejected
+  t = finish(std::move(t));
+  const auto conns = assemble_connections(t);
+  ASSERT_EQ(conns.size(), 2u);
+  EXPECT_EQ(summarize(conns[0], t).state, ConnState::kS0);
+  EXPECT_EQ(summarize(conns[1], t).state, ConnState::kREJ);
+}
+
+TEST(Connections, RetransmissionsCounted) {
+  Trace t;
+  // Same data-bearing seq twice in the same direction.
+  TcpOpts o;
+  o.flags = kPsh | kAck;
+  o.seq = 555;
+  t.raw.push_back(RawPacket{0.0, build_tcp(kMacA, kMacB, kIpA, kIpB, 1, 2, o,
+                                           Bytes(10, 'a'))});
+  t.raw.push_back(RawPacket{0.1, build_tcp(kMacA, kMacB, kIpA, kIpB, 1, 2, o,
+                                           Bytes(10, 'a'))});
+  t = finish(std::move(t));
+  const auto conns = assemble_connections(t);
+  ASSERT_EQ(conns.size(), 1u);
+  EXPECT_EQ(summarize(conns[0], t).retransmissions, 1u);
+}
+
+TEST(Connections, ServiceDetection) {
+  Trace t;
+  t.raw.push_back(RawPacket{
+      0.0, build_udp(kMacA, kMacB, kIpA, kIpB, 40000, 53,
+                     payload_dns_query(1, "x.com"))});
+  t = finish(std::move(t));
+  const auto conns = assemble_connections(t);
+  ASSERT_EQ(conns.size(), 1u);
+  const ConnRecord rec = summarize(conns[0], t);
+  EXPECT_EQ(rec.service, AppProto::kDns);
+  EXPECT_EQ(rec.proto, 17);
+  EXPECT_EQ(rec.state, ConnState::kOTH);  // non-TCP
+}
+
+TEST(UnitLabel, MajorityWithTieBreakMalicious) {
+  const std::vector<uint32_t> pkts = {0, 1, 2, 3};
+  const std::vector<uint8_t> labels = {1, 1, 0, 0};
+  const std::vector<uint8_t> attacks = {3, 3, 0, 0};
+  uint8_t attack = 0;
+  EXPECT_EQ(unit_label(pkts, labels, attacks, &attack), 1);  // tie -> 1
+  EXPECT_EQ(attack, 3);
+}
+
+TEST(UnitLabel, MinorityMaliciousStaysBenign) {
+  const std::vector<uint32_t> pkts = {0, 1, 2, 3};
+  const std::vector<uint8_t> labels = {1, 0, 0, 0};
+  const std::vector<uint8_t> attacks = {5, 0, 0, 0};
+  uint8_t attack = 9;
+  EXPECT_EQ(unit_label(pkts, labels, attacks, &attack), 0);
+  EXPECT_EQ(attack, 0);  // benign units carry no attack tag
+}
+
+TEST(UnitLabel, DominantAttackWins) {
+  const std::vector<uint32_t> pkts = {0, 1, 2};
+  const std::vector<uint8_t> labels = {1, 1, 1};
+  const std::vector<uint8_t> attacks = {2, 7, 7};
+  uint8_t attack = 0;
+  EXPECT_EQ(unit_label(pkts, labels, attacks, &attack), 1);
+  EXPECT_EQ(attack, 7);
+}
+
+}  // namespace
+}  // namespace lumen::flow

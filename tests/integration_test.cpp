@@ -1,0 +1,175 @@
+// Cross-module integration tests: full algorithm runs through the engine's
+// template path, a miniature benchmark sweep, per-attack score consistency,
+// and the synthesizer wired to the benchmark.
+#include <gtest/gtest.h>
+
+#include "eval/benchmark.h"
+#include "eval/results.h"
+#include "eval/synthesis.h"
+#include "ml/metrics.h"
+
+namespace lumen {
+namespace {
+
+eval::Benchmark& bench() {
+  static eval::Benchmark b = [] {
+    eval::Benchmark::Options opts;
+    opts.dataset_scale = 0.2;
+    opts.max_train_rows = 800;
+    opts.max_test_rows = 800;
+    return eval::Benchmark(opts);
+  }();
+  return b;
+}
+
+TEST(Integration, FullTemplatePathForEveryRegistryAlgorithm) {
+  // Run feature template + model + train + predict + evaluate entirely
+  // through the engine's template language for every algorithm.
+  for (const core::AlgorithmDef& algo : core::algorithm_registry()) {
+    const std::string ds_id =
+        algo.granularity == trace::Granularity::kPacket
+            ? (algo.needs_app_metadata ? "P0" : (algo.needs_ip ? "P1" : "P2"))
+            : "F4";
+    const trace::Dataset& ds = bench().dataset(ds_id);
+
+    // Extend the feature template with the model/train/predict/evaluate
+    // stages programmatically (same JSON entries a template author writes).
+    const size_t eq = algo.feature_template.find('[');
+    ASSERT_NE(eq, std::string::npos) << algo.id;
+    auto parsed = core::Json::parse(
+        std::string_view(algo.feature_template).substr(eq));
+    ASSERT_TRUE(parsed.ok()) << algo.id << ": " << parsed.error().message;
+    core::Json pipeline = std::move(parsed).value();
+
+    auto model_entry = core::Json::parse(algo.model_spec);
+    ASSERT_TRUE(model_entry.ok()) << algo.id;
+    core::Json model_json = std::move(model_entry).value();
+    model_json.set("func", core::Json::string("model"));
+    model_json.set("output", core::Json::string("clf"));
+    pipeline.push_back(std::move(model_json));
+
+    auto entry = [](const char* text) {
+      auto r = core::Json::parse(text);
+      EXPECT_TRUE(r.ok());
+      return r.value();
+    };
+    pipeline.push_back(entry(
+        R"({"func": "train", "input": ["clf", "Features"], "output": "trained"})"));
+    pipeline.push_back(entry(
+        R"({"func": "predict", "input": ["trained", "Features"], "output": "preds"})"));
+    pipeline.push_back(entry(
+        R"({"func": "evaluate", "input": ["preds"], "output": "metrics"})"));
+
+    auto spec = core::PipelineSpec::from_json(pipeline);
+    ASSERT_TRUE(spec.ok()) << algo.id << ": " << spec.error().message;
+    core::OpContext ctx;
+    ctx.dataset = &ds;
+    auto report = core::Engine().run(spec.value(), ctx);
+    ASSERT_TRUE(report.ok()) << algo.id << ": " << report.error().message;
+    const core::Metrics* m = report.value().get<core::Metrics>("metrics");
+    ASSERT_NE(m, nullptr) << algo.id;
+    EXPECT_GE(m->get("accuracy"), 0.0);
+    EXPECT_LE(m->get("accuracy"), 1.0);
+  }
+}
+
+TEST(Integration, MiniBenchmarkSweepIsConsistent) {
+  eval::ResultStore store;
+  const std::vector<std::string> algos = {"A13", "A14", "A15"};
+  const std::vector<std::string> sets = {"F4", "F6", "F9"};
+  for (const std::string& a : algos) {
+    for (const std::string& train : sets) {
+      for (const std::string& test : sets) {
+        auto run = train == test ? bench().same_dataset(a, train)
+                                 : bench().cross_dataset(a, train, test);
+        ASSERT_TRUE(run.ok()) << a << " " << train << "->" << test << ": "
+                              << run.error().message;
+        store.add_record(run.value().record);
+        // Metrics are internally consistent with the raw predictions.
+        const auto& p = run.value().predictions;
+        const ml::Confusion c = ml::confusion(p.y_true, p.y_pred);
+        EXPECT_DOUBLE_EQ(run.value().record.precision, ml::precision(c));
+        EXPECT_DOUBLE_EQ(run.value().record.recall, ml::recall(c));
+      }
+    }
+  }
+  // 3 algos x 9 pairs x 5 metrics.
+  EXPECT_EQ(store.size(), 3u * 9u * 5u);
+  // Store values queryable per pair.
+  EXPECT_TRUE(store.value("A14", "F4", "F6", "precision").has_value());
+}
+
+TEST(Integration, SameDatasetRunsAreCachedAndRepeatable) {
+  auto r1 = bench().same_dataset("A14", "F4");
+  auto r2 = bench().same_dataset("A14", "F4");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().predictions.y_pred, r2.value().predictions.y_pred);
+  EXPECT_DOUBLE_EQ(r1.value().record.precision, r2.value().record.precision);
+}
+
+TEST(Integration, PerAttackAggregatesMatchManualComputation) {
+  auto run = bench().same_dataset("A14", "F4");
+  ASSERT_TRUE(run.ok());
+  const auto scores = bench().per_attack(run.value());
+  ASSERT_FALSE(scores.empty());
+  for (const eval::AttackScore& s : scores) {
+    // Recompute by hand from the predictions.
+    const auto& p = run.value().predictions;
+    size_t tp = 0, fp = 0, fn = 0;
+    for (size_t i = 0; i < p.y_true.size(); ++i) {
+      const bool benign = p.y_true[i] == 0;
+      const bool mine = !benign && p.attack[i] == static_cast<uint8_t>(s.attack);
+      if (mine && p.y_pred[i] != 0) ++tp;
+      if (mine && p.y_pred[i] == 0) ++fn;
+      if (benign && p.y_pred[i] != 0) ++fp;
+    }
+    const double prec =
+        tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                    : 0.0;
+    const double rec =
+        tp + fn > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                    : 0.0;
+    EXPECT_NEAR(s.precision, prec, 1e-12);
+    EXPECT_NEAR(s.recall, rec, 1e-12);
+  }
+}
+
+TEST(Integration, CrossDatasetFeatureColumnsAlign) {
+  // Cross-dataset evaluation requires train and test tables to share a
+  // column layout for every algorithm.
+  for (const char* algo : {"A07", "A10", "A13", "A14", "A15"}) {
+    auto a = bench().features(algo, "F4");
+    auto b = bench().features(algo, "F6");
+    ASSERT_TRUE(a.ok() && b.ok()) << algo;
+    EXPECT_EQ(a.value()->col_names, b.value()->col_names) << algo;
+  }
+}
+
+TEST(Integration, SynthesizedWinnerRunsThroughBenchmark) {
+  eval::SynthOptions opts;
+  opts.datasets = {"F4", "F9"};
+  opts.blocks = {"zeek", "iiot"};
+  opts.models = {"GaussianNB"};
+  const eval::SynthResult result = eval::synthesize(bench(), opts);
+  // The winner's rendered AlgorithmDef evaluates under the same protocol.
+  const double again = eval::score_candidate(bench(), result.candidate,
+                                             opts.datasets, opts.metric);
+  EXPECT_DOUBLE_EQ(again, result.score);
+}
+
+TEST(Integration, MergedTrainingSmallerThanConcatOfAll) {
+  auto run = bench().merged_training("A14", 0.1);
+  ASSERT_TRUE(run.ok()) << run.error().message;
+  // 10% merged training set must be far smaller than the sum of all sets.
+  size_t total = 0;
+  for (const std::string& ds : trace::connection_dataset_ids()) {
+    auto f = bench().features("A14", ds);
+    if (f.ok()) total += f.value()->rows;
+  }
+  EXPECT_LT(run.value().record.n_train, total / 4);
+  EXPECT_GT(run.value().record.n_train, 0u);
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,151 @@
+// Feature CSV persistence and the I/O operations (pcap_source,
+// save_features, load_features).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/engine.h"
+#include "features/csv.h"
+#include "netio/pcap.h"
+#include "trace/registry.h"
+
+namespace lumen {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "lumen_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& n) const { return (dir_ / n).string(); }
+  std::filesystem::path dir_;
+};
+
+features::FeatureTable sample_table() {
+  features::FeatureTable t = features::FeatureTable::make(3, {"a", "b"});
+  for (size_t r = 0; r < 3; ++r) {
+    t.at(r, 0) = 1.5 * static_cast<double>(r);
+    t.at(r, 1) = -0.25 + static_cast<double>(r);
+    t.labels[r] = static_cast<int>(r % 2);
+    t.unit_id[r] = static_cast<int64_t>(1000 + r);
+    t.attack[r] = static_cast<uint8_t>(r);
+    t.unit_time[r] = 1e9 + 0.125 * static_cast<double>(r);
+  }
+  return t;
+}
+
+TEST_F(IoTest, CsvRoundtripPreservesEverything) {
+  const features::FeatureTable t = sample_table();
+  ASSERT_TRUE(features::save_csv(t, path("t.csv")).ok());
+  auto r = features::load_csv(path("t.csv"));
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  const features::FeatureTable& u = r.value();
+  ASSERT_EQ(u.rows, t.rows);
+  ASSERT_EQ(u.cols, t.cols);
+  EXPECT_EQ(u.col_names, t.col_names);
+  EXPECT_EQ(u.labels, t.labels);
+  EXPECT_EQ(u.unit_id, t.unit_id);
+  EXPECT_EQ(u.attack, t.attack);
+  for (size_t r2 = 0; r2 < t.rows; ++r2) {
+    EXPECT_NEAR(u.unit_time[r2], t.unit_time[r2], 1e-6);
+    for (size_t c = 0; c < t.cols; ++c) {
+      EXPECT_DOUBLE_EQ(u.at(r2, c), t.at(r2, c));
+    }
+  }
+}
+
+TEST_F(IoTest, CsvRejectsForeignFiles) {
+  std::FILE* f = std::fopen(path("x.csv").c_str(), "w");
+  std::fprintf(f, "just,some,random,csv\n1,2,3,4\n");
+  std::fclose(f);
+  EXPECT_FALSE(features::load_csv(path("x.csv")).ok());
+  EXPECT_FALSE(features::load_csv(path("missing.csv")).ok());
+}
+
+TEST_F(IoTest, PipelineOverPcapSource) {
+  // Write a benchmark capture, then run a pipeline sourcing from the file.
+  const trace::Dataset ds = trace::make_dataset("F4", 0.15);
+  ASSERT_TRUE(netio::write_pcap(path("f4.pcap"), ds.trace).ok());
+
+  const std::string tpl = R"([
+    {"func": "pcap_source", "input": None, "output": "Packets",
+     "path": ")" + path("f4.pcap") + R"("},
+    {"func": "connections", "input": ["Packets"], "output": "Conns"},
+    {"func": "conn_features", "input": ["Conns"], "output": "Features",
+     "set": ["zeek"]},
+    {"func": "save_features", "input": ["Features"], "output": "Saved",
+     "path": ")" + path("features.csv") + R"("},
+  ])";
+  auto spec = core::PipelineSpec::parse(tpl);
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  core::OpContext ctx;  // no registry dataset bound: pure pcap pipeline
+  auto report = core::Engine().run(spec.value(), ctx);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  const auto* saved = report.value().get<features::FeatureTable>("Saved");
+  ASSERT_NE(saved, nullptr);
+  EXPECT_GT(saved->rows, 50u);
+
+  // The persisted CSV reloads into an identical table via load_features.
+  const std::string tpl2 = R"([
+    {"func": "load_features", "input": None, "output": "Features",
+     "path": ")" + path("features.csv") + R"("},
+  ])";
+  auto spec2 = core::PipelineSpec::parse(tpl2);
+  ASSERT_TRUE(spec2.ok());
+  core::OpContext ctx2;
+  auto report2 = core::Engine().run(spec2.value(), ctx2);
+  ASSERT_TRUE(report2.ok()) << report2.error().message;
+  const auto* loaded = report2.value().get<features::FeatureTable>("Features");
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->rows, saved->rows);
+  EXPECT_EQ(loaded->cols, saved->cols);
+}
+
+TEST_F(IoTest, PcapSinkRoundtripsFilteredPackets) {
+  const trace::Dataset ds = trace::make_dataset("F4", 0.15);
+  core::OpContext ctx;
+  ctx.dataset = &ds;
+  const std::string tpl = R"([
+    {"func": "field_extract", "input": None, "output": "Packets", "param": []},
+    {"func": "filter", "input": ["Packets"], "output": "Tcp",
+     "require": ["is_tcp"]},
+    {"func": "pcap_sink", "input": ["Tcp"], "output": "Sunk",
+     "path": ")" + path("tcp_only.pcap") + R"("},
+  ])";
+  auto spec = core::PipelineSpec::parse(tpl);
+  ASSERT_TRUE(spec.ok());
+  auto report = core::Engine().run(spec.value(), ctx);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  auto reloaded = netio::read_pcap(path("tcp_only.pcap"));
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_GT(reloaded.value().size(), 100u);
+  for (const auto& v : reloaded.value().view) {
+    EXPECT_TRUE(v.has_tcp());
+  }
+}
+
+TEST_F(IoTest, PcapSourceErrorsOnMissingFile) {
+  auto spec = core::PipelineSpec::parse(R"([
+    {"func": "pcap_source", "input": None, "output": "P",
+     "path": "/nonexistent/never.pcap"},
+  ])");
+  ASSERT_TRUE(spec.ok());
+  core::OpContext ctx;
+  EXPECT_FALSE(core::Engine().run(spec.value(), ctx).ok());
+}
+
+TEST_F(IoTest, SaveFeaturesRequiresPath) {
+  auto spec = core::PipelineSpec::parse(R"([
+    {"func": "load_features", "input": None, "output": "F"},
+  ])");
+  ASSERT_TRUE(spec.ok());
+  core::OpContext ctx;
+  auto r = core::Engine().run(spec.value(), ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("path"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lumen

@@ -1,0 +1,127 @@
+// Template-language JSON parser tests, including the Python-ish tolerances
+// (single quotes, None, trailing commas) the paper's Fig. 4 examples use.
+#include <gtest/gtest.h>
+
+#include "core/json.h"
+
+namespace lumen::core {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").value().is_null());
+  EXPECT_TRUE(Json::parse("None").value().is_null());
+  EXPECT_TRUE(Json::parse("true").value().as_bool());
+  EXPECT_FALSE(Json::parse("False").value().as_bool(true));
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5e2").value().as_number(), -350.0);
+  EXPECT_EQ(Json::parse("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(Json, SingleQuotedStrings) {
+  auto r = Json::parse("{'func': 'Field Extract'}");
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r.value().get_string("func"), "Field Extract");
+}
+
+TEST(Json, TrailingCommas) {
+  auto arr = Json::parse("[1, 2, 3,]");
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ(arr.value().size(), 3u);
+  auto obj = Json::parse("{\"a\": 1,}");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj.value().get_int("a"), 1);
+}
+
+TEST(Json, Comments) {
+  auto r = Json::parse("[1, # inline comment\n 2]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(Json, NestedStructures) {
+  auto r = Json::parse(R"({"list": [{"field": "len", "funcs": ["mean"]}]})");
+  ASSERT_TRUE(r.ok());
+  const Json* list = r.value().get("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->size(), 1u);
+  EXPECT_EQ(list->items()[0].get_string("field"), "len");
+}
+
+TEST(Json, EscapeSequences) {
+  auto r = Json::parse(R"("a\nb\t\"c\"")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().as_string(), "a\nb\t\"c\"");
+}
+
+TEST(Json, ErrorsCarryPosition) {
+  auto r = Json::parse("{\n  \"a\": blorp\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(Json, RejectsTrailingContent) {
+  EXPECT_FALSE(Json::parse("[1] junk").ok());
+}
+
+TEST(Json, RejectsUnterminated) {
+  EXPECT_FALSE(Json::parse("[1, 2").ok());
+  EXPECT_FALSE(Json::parse("{\"a\": 1").ok());
+  EXPECT_FALSE(Json::parse("\"abc").ok());
+}
+
+TEST(Json, TypedGettersWithDefaults) {
+  auto r = Json::parse(R"({"s": "x", "n": 3, "b": true, "l": ["a", "b"]})");
+  ASSERT_TRUE(r.ok());
+  const Json& j = r.value();
+  EXPECT_EQ(j.get_string("s"), "x");
+  EXPECT_EQ(j.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(j.get_int("n"), 3);
+  EXPECT_EQ(j.get_int("missing", -1), -1);
+  EXPECT_TRUE(j.get_bool("b"));
+  EXPECT_EQ(j.get_string_list("l").size(), 2u);
+  // A scalar string is promoted to a one-element list.
+  auto r2 = Json::parse(R"({"l": "only"})");
+  EXPECT_EQ(r2.value().get_string_list("l").size(), 1u);
+}
+
+TEST(Json, DumpParseRoundtrip) {
+  const std::string text =
+      R"({"func":"groupby","input":["Packets"],"n":2.5,"flag":true,"nil":null})";
+  auto r = Json::parse(text);
+  ASSERT_TRUE(r.ok());
+  auto r2 = Json::parse(r.value().dump());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r.value().dump(), r2.value().dump());
+}
+
+TEST(Json, SetReplacesExistingKey) {
+  Json obj = Json::object();
+  obj.set("k", Json::number(1));
+  obj.set("k", Json::number(2));
+  EXPECT_EQ(obj.get_int("k"), 2);
+  EXPECT_EQ(obj.size(), 1u);
+}
+
+TEST(Json, ParsesThePaperTemplateStyle) {
+  // Close to the paper's Fig. 4 (Python-ish literals).
+  const char* tpl = R"([
+    {
+      'func': 'Field Extract',
+      'input': None,
+      'output': 'Packets',
+      'param': ['srcIP', 'dstIP', 'TCPFlags', 'packetLength'],
+    },
+    {
+      'func': 'Groupby',
+      'input': ['Packets'],
+      'output': 'Grouped_packets',
+      'flowid': ['srcIp'],
+    },
+  ])";
+  auto r = Json::parse(tpl);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value().items()[1].get_string_list("flowid")[0], "srcIp");
+}
+
+}  // namespace
+}  // namespace lumen::core

@@ -1,0 +1,96 @@
+// Metric correctness against hand-computed cases plus statistical
+// properties of the rank-based AUC.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+
+namespace lumen::ml {
+namespace {
+
+TEST(Confusion, CountsAllCells) {
+  const std::vector<int> y_true = {1, 1, 1, 0, 0, 0, 0, 1};
+  const std::vector<int> y_pred = {1, 0, 1, 0, 1, 0, 0, 1};
+  const Confusion c = confusion(y_true, y_pred);
+  EXPECT_EQ(c.tp, 3u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 3u);
+}
+
+TEST(Metrics, HandComputedValues) {
+  const Confusion c{.tp = 3, .fp = 1, .tn = 3, .fn = 1};
+  EXPECT_DOUBLE_EQ(precision(c), 0.75);
+  EXPECT_DOUBLE_EQ(recall(c), 0.75);
+  EXPECT_DOUBLE_EQ(f1(c), 0.75);
+  EXPECT_DOUBLE_EQ(accuracy(c), 0.75);
+}
+
+TEST(Metrics, DegenerateCasesDefinedAsZero) {
+  // No predicted positives.
+  EXPECT_DOUBLE_EQ(precision(Confusion{.tp = 0, .fp = 0, .tn = 5, .fn = 2}),
+                   0.0);
+  // No actual positives.
+  EXPECT_DOUBLE_EQ(recall(Confusion{.tp = 0, .fp = 3, .tn = 5, .fn = 0}), 0.0);
+  // Empty everything.
+  EXPECT_DOUBLE_EQ(accuracy(Confusion{}), 0.0);
+  EXPECT_DOUBLE_EQ(f1(Confusion{}), 0.0);
+}
+
+TEST(Auc, PerfectSeparation) {
+  const std::vector<int> y = {0, 0, 0, 1, 1};
+  const std::vector<double> s = {0.1, 0.2, 0.3, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(auc(y, s), 1.0);
+}
+
+TEST(Auc, PerfectInversion) {
+  const std::vector<int> y = {1, 1, 0, 0};
+  const std::vector<double> s = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(auc(y, s), 0.0);
+}
+
+TEST(Auc, AllTiedIsHalf) {
+  const std::vector<int> y = {0, 1, 0, 1};
+  const std::vector<double> s = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(auc(y, s), 0.5);
+}
+
+TEST(Auc, HandComputedWithTies) {
+  // Scores: pos {0.9, 0.5}, neg {0.5, 0.1}. Pairs: (0.9>0.5)=1, (0.9>0.1)=1,
+  // (0.5=0.5)=0.5, (0.5>0.1)=1 -> 3.5/4 = 0.875.
+  const std::vector<int> y = {1, 1, 0, 0};
+  const std::vector<double> s = {0.9, 0.5, 0.5, 0.1};
+  EXPECT_DOUBLE_EQ(auc(y, s), 0.875);
+}
+
+TEST(Auc, SingleClassIsHalf) {
+  const std::vector<int> y = {1, 1, 1};
+  const std::vector<double> s = {0.1, 0.2, 0.3};
+  EXPECT_DOUBLE_EQ(auc(y, s), 0.5);
+}
+
+TEST(Auc, RandomScoresNearHalf) {
+  Rng rng(83);
+  std::vector<int> y(4000);
+  std::vector<double> s(4000);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = rng.bernoulli(0.3) ? 1 : 0;
+    s[i] = rng.uniform();
+  }
+  EXPECT_NEAR(auc(y, s), 0.5, 0.03);
+}
+
+TEST(Auc, InvariantToMonotoneTransform) {
+  Rng rng(89);
+  std::vector<int> y(500);
+  std::vector<double> s1(500), s2(500);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = rng.bernoulli(0.4) ? 1 : 0;
+    s1[i] = rng.normal(y[i] * 1.0, 1.0);
+    s2[i] = 3.0 * s1[i] + 100.0;  // strictly increasing transform
+  }
+  EXPECT_DOUBLE_EQ(auc(y, s1), auc(y, s2));
+}
+
+}  // namespace
+}  // namespace lumen::ml

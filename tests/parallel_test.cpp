@@ -1,0 +1,62 @@
+// ThreadPool / parallel_for tests (the Ray-substitute map phase).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/parallel.h"
+
+namespace lumen {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ParallelFor, CoversExactRange) {
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for(0, hits.size(), [&](size_t i) { hits[i].fetch_add(1); },
+               /*min_parallel=*/10);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelFor, EmptyAndReversedRangesAreNoops) {
+  int hits = 0;
+  parallel_for(5, 5, [&](size_t) { ++hits; });
+  parallel_for(7, 3, [&](size_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(ParallelFor, SmallRangeRunsSerial) {
+  // Below min_parallel the loop runs inline; order must be sequential.
+  std::vector<size_t> order;
+  parallel_for(0, 10, [&](size_t i) { order.push_back(i); },
+               /*min_parallel=*/100);
+  std::vector<size_t> expect(10);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  std::atomic<long long> sum{0};
+  parallel_for(1, 10001, [&](size_t i) { sum.fetch_add(static_cast<long long>(i)); },
+               /*min_parallel=*/16);
+  EXPECT_EQ(sum.load(), 10000LL * 10001 / 2);
+}
+
+}  // namespace
+}  // namespace lumen

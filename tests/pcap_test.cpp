@@ -1,0 +1,108 @@
+// pcap reader/writer tests: roundtrips, foreign byte order, corrupt files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "netio/builder.h"
+#include "netio/pcap.h"
+
+namespace lumen::netio {
+namespace {
+
+class PcapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "lumen_pcap_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+Trace make_trace(size_t n) {
+  Trace t;
+  const MacAddr a{2, 0, 0, 0, 0, 1};
+  const MacAddr b{2, 0, 0, 0, 0, 2};
+  for (size_t i = 0; i < n; ++i) {
+    TcpOpts tcp;
+    tcp.seq = static_cast<uint32_t>(i);
+    t.raw.push_back(RawPacket{
+        1000.0 + 0.125 * static_cast<double>(i),
+        build_tcp(a, b, 0x0a000001, 0x0a000002, 1234, 80, tcp,
+                  Bytes(i % 7, 0x61))});
+  }
+  return t;
+}
+
+TEST_F(PcapTest, WriteReadRoundtrip) {
+  Trace t = make_trace(25);
+  ASSERT_TRUE(write_pcap(path("a.pcap"), t).ok());
+  auto rt = read_pcap(path("a.pcap"));
+  ASSERT_TRUE(rt.ok()) << rt.error().message;
+  const Trace& r = rt.value();
+  ASSERT_EQ(r.size(), t.size());
+  EXPECT_EQ(r.link, LinkType::kEthernet);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(r.raw[i].data, t.raw[i].data) << "packet " << i;
+    EXPECT_NEAR(r.raw[i].ts, t.raw[i].ts, 1e-6) << "packet " << i;
+  }
+  // Views were parsed on read.
+  ASSERT_EQ(r.view.size(), t.size());
+  EXPECT_EQ(r.view[3].dst_port, 80);
+}
+
+TEST_F(PcapTest, PreservesLinkType) {
+  Trace t;
+  t.link = LinkType::kIeee80211;
+  t.raw.push_back(RawPacket{
+      1.0, build_dot11_mgmt(8, MacAddr{1, 2, 3, 4, 5, 6},
+                            MacAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+                            MacAddr{1, 2, 3, 4, 5, 6}, {0, 0})});
+  ASSERT_TRUE(write_pcap(path("w.pcap"), t).ok());
+  auto rt = read_pcap(path("w.pcap"));
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(rt.value().link, LinkType::kIeee80211);
+  EXPECT_TRUE(rt.value().view.at(0).is_dot11);
+}
+
+TEST_F(PcapTest, RejectsBadMagic) {
+  std::FILE* f = std::fopen(path("bad.pcap").c_str(), "wb");
+  const char junk[32] = "this is not a pcap file";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  auto rt = read_pcap(path("bad.pcap"));
+  ASSERT_FALSE(rt.ok());
+  EXPECT_NE(rt.error().message.find("magic"), std::string::npos);
+}
+
+TEST_F(PcapTest, RejectsTruncatedRecord) {
+  Trace t = make_trace(3);
+  ASSERT_TRUE(write_pcap(path("t.pcap"), t).ok());
+  // Chop the last 5 bytes off.
+  const auto full = std::filesystem::file_size(path("t.pcap"));
+  std::filesystem::resize_file(path("t.pcap"), full - 5);
+  auto rt = read_pcap(path("t.pcap"));
+  EXPECT_FALSE(rt.ok());
+}
+
+TEST_F(PcapTest, MissingFileFailsCleanly) {
+  auto rt = read_pcap(path("nope.pcap"));
+  ASSERT_FALSE(rt.ok());
+}
+
+TEST_F(PcapTest, EmptyTraceRoundtrips) {
+  Trace t;
+  ASSERT_TRUE(write_pcap(path("e.pcap"), t).ok());
+  auto rt = read_pcap(path("e.pcap"));
+  ASSERT_TRUE(rt.ok());
+  EXPECT_TRUE(rt.value().empty());
+}
+
+}  // namespace
+}  // namespace lumen::netio

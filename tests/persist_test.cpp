@@ -1,0 +1,130 @@
+// Model persistence tests: save/load roundtrips preserve predictions
+// bit-for-bit; corrupt streams fail cleanly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/rng.h"
+#include "ml/persist.h"
+
+namespace lumen::ml {
+namespace {
+
+FeatureTable blobs(size_t n, uint64_t seed) {
+  FeatureTable t = FeatureTable::make(n, {"a", "b", "c"});
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const int label = rng.bernoulli(0.4) ? 1 : 0;
+    for (size_t d = 0; d < 3; ++d) {
+      t.at(i, d) = rng.normal(label * 3.0, 1.0);
+    }
+    t.labels[i] = label;
+  }
+  return t;
+}
+
+TEST(Persist, TreeRoundtripPreservesPredictions) {
+  const FeatureTable data = blobs(300, 1);
+  DecisionTree tree;
+  tree.fit(data);
+  std::stringstream ss;
+  ASSERT_TRUE(save_model(tree, ss).ok());
+  auto loaded = load_tree(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value().node_count(), tree.node_count());
+  EXPECT_EQ(loaded.value().depth(), tree.depth());
+  EXPECT_EQ(loaded.value().predict(data), tree.predict(data));
+  EXPECT_EQ(loaded.value().score(data), tree.score(data));
+}
+
+TEST(Persist, ForestRoundtripPreservesPredictions) {
+  const FeatureTable data = blobs(250, 2);
+  ForestConfig cfg;
+  cfg.n_trees = 9;
+  RandomForest rf(cfg);
+  rf.fit(data);
+  std::stringstream ss;
+  ASSERT_TRUE(save_model(rf, ss).ok());
+  auto loaded = load_forest(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value().tree_count(), 9u);
+  EXPECT_EQ(loaded.value().predict(data), rf.predict(data));
+  EXPECT_EQ(loaded.value().score(data), rf.score(data));
+}
+
+TEST(Persist, NbRoundtripPreservesScores) {
+  const FeatureTable data = blobs(200, 3);
+  GaussianNB nb;
+  nb.fit(data);
+  std::stringstream ss;
+  ASSERT_TRUE(save_model(nb, ss).ok());
+  auto loaded = load_nb(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  const auto a = nb.score(data);
+  const auto b = loaded.value().score(data);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Persist, NormalizerRoundtrip) {
+  const FeatureTable data = blobs(100, 4);
+  features::Normalizer n(features::NormKind::kZScore);
+  n.fit(data);
+  std::stringstream ss;
+  ASSERT_TRUE(save_normalizer(n, ss).ok());
+  auto loaded = load_normalizer(ss);
+  ASSERT_TRUE(loaded.ok());
+  FeatureTable a = data, b = data;
+  n.apply(a);
+  loaded.value().apply(b);
+  EXPECT_EQ(a.data, b.data);
+  EXPECT_EQ(loaded.value().kind(), features::NormKind::kZScore);
+}
+
+TEST(Persist, FileRoundtrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lumen_rf.model").string();
+  const FeatureTable data = blobs(150, 5);
+  RandomForest rf;
+  rf.fit(data);
+  ASSERT_TRUE(save_model_file(rf, path).ok());
+  auto loaded = load_forest_file(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().predict(data), rf.predict(data));
+  std::filesystem::remove(path);
+}
+
+TEST(Persist, RejectsWrongTypeAndGarbage) {
+  const FeatureTable data = blobs(50, 6);
+  DecisionTree tree;
+  tree.fit(data);
+  std::stringstream ss;
+  ASSERT_TRUE(save_model(tree, ss).ok());
+  // A tree stream is not a forest.
+  auto as_forest = load_forest(ss);
+  EXPECT_FALSE(as_forest.ok());
+  // Garbage is rejected with a clear message.
+  std::stringstream junk("this is not a model");
+  auto r = load_tree(junk);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("not a lumen model"), std::string::npos);
+  // Truncation is detected.
+  std::stringstream trunc;
+  ASSERT_TRUE(save_model(tree, trunc).ok());
+  std::string text = trunc.str();
+  std::stringstream cut(text.substr(0, text.size() / 2));
+  EXPECT_FALSE(load_tree(cut).ok());
+}
+
+TEST(Persist, HeaderPeekReportsType) {
+  std::stringstream ss;
+  GaussianNB nb;
+  nb.fit(blobs(60, 7));
+  ASSERT_TRUE(save_model(nb, ss).ok());
+  auto type = read_model_header(ss);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(type.value(), "nb");
+}
+
+}  // namespace
+}  // namespace lumen::ml

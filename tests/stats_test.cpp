@@ -1,0 +1,152 @@
+// Tests for the streaming statistics primitives, including parameterized
+// property sweeps comparing Welford against the naive two-pass computation
+// and checking the decay laws of the damped (Kitsune) statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "features/stats.h"
+
+namespace lumen::features {
+namespace {
+
+TEST(RunningStats, MatchesNaiveOnKnownData) {
+  RunningStats rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(v);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.population_variance(), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+}
+
+/// Property: Welford == naive over random streams of several sizes/scales.
+class WelfordProperty : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(WelfordProperty, AgreesWithTwoPass) {
+  const auto [n, scale] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 31 + static_cast<int>(scale)));
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.normal(10.0 * scale, scale);
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / n;
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= n;
+  EXPECT_NEAR(rs.mean(), mean, 1e-9 * std::max(1.0, std::fabs(mean)));
+  EXPECT_NEAR(rs.population_variance(), var, 1e-7 * std::max(1.0, var));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WelfordProperty,
+    ::testing::Combine(::testing::Values(2, 10, 100, 5000),
+                       ::testing::Values(1.0, 1e-3, 1e6)));
+
+TEST(DampedStat, NoDecayAtSameTimestamp) {
+  DampedStat s(1.0);
+  s.insert(10.0, 0.0);
+  s.insert(20.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.weight(), 2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 15.0);
+}
+
+TEST(DampedStat, HalvesWeightPerHalfLife) {
+  // lambda = 1 => factor 2^-dt: weight halves every 1 second.
+  DampedStat s(1.0);
+  s.insert(4.0, 0.0);
+  s.decay(1.0);
+  EXPECT_NEAR(s.weight(), 0.5, 1e-12);
+  s.decay(2.0);
+  EXPECT_NEAR(s.weight(), 0.25, 1e-12);
+  // Mean is scale-invariant under decay.
+  EXPECT_NEAR(s.mean(), 4.0, 1e-12);
+}
+
+TEST(DampedStat, VarianceIsNonNegative) {
+  Rng rng(5);
+  DampedStat s(0.5);
+  double t = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    t += rng.exponential(3.0);
+    s.insert(rng.lognormal(2.0, 1.0), t);
+    EXPECT_GE(s.variance(), 0.0);
+  }
+}
+
+/// Property: with constant inserts the damped mean equals the constant.
+class DampedConstant : public ::testing::TestWithParam<double> {};
+
+TEST_P(DampedConstant, MeanTracksConstant) {
+  DampedStat s(GetParam());
+  for (int i = 0; i < 50; ++i) s.insert(7.5, 0.1 * i);
+  EXPECT_NEAR(s.mean(), 7.5, 1e-9);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, DampedConstant,
+                         ::testing::Values(5.0, 3.0, 1.0, 0.1, 0.01));
+
+TEST(DampedStat2D, PccBounded) {
+  Rng rng(9);
+  DampedStat2D s(1.0);
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t += 0.01;
+    s.insert(static_cast<int>(rng.below(2)), rng.normal(100.0, 20.0), t);
+    EXPECT_GE(s.pcc(), -1.0);
+    EXPECT_LE(s.pcc(), 1.0);
+    EXPECT_GE(s.magnitude(), 0.0);
+    EXPECT_GE(s.radius(), 0.0);
+  }
+}
+
+TEST(DampedStat2D, MagnitudeOfSymmetricStreams) {
+  DampedStat2D s(0.1);
+  for (int i = 0; i < 100; ++i) {
+    s.insert(0, 3.0, 0.01 * i);
+    s.insert(1, 4.0, 0.01 * i);
+  }
+  // magnitude = sqrt(3^2 + 4^2) = 5.
+  EXPECT_NEAR(s.magnitude(), 5.0, 1e-6);
+}
+
+TEST(Entropy, KnownValues) {
+  EXPECT_DOUBLE_EQ(entropy_bits({1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(entropy_bits({1.0, 1.0, 1.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(entropy_bits({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_bits({}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_bits({0.0, 4.0}), 0.0);
+}
+
+TEST(Entropy, UniformMaximizes) {
+  // Entropy of any non-uniform distribution over k symbols < log2(k).
+  EXPECT_LT(entropy_bits({3.0, 1.0}), 1.0);
+  EXPECT_LT(entropy_bits({10.0, 1.0, 1.0, 1.0}), 2.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+}
+
+TEST(Percentile, MedianOddCount) {
+  std::vector<double> v = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+}  // namespace
+}  // namespace lumen::features

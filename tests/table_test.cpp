@@ -1,0 +1,136 @@
+// FeatureTable and feature-transform tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/table.h"
+#include "features/transform.h"
+
+namespace lumen::features {
+namespace {
+
+FeatureTable small_table() {
+  FeatureTable t = FeatureTable::make(4, {"a", "b", "c"});
+  // a = 0..3, b = 2*a (perfectly correlated), c = constant.
+  for (size_t r = 0; r < 4; ++r) {
+    t.at(r, 0) = static_cast<double>(r);
+    t.at(r, 1) = 2.0 * static_cast<double>(r);
+    t.at(r, 2) = 5.0;
+    t.labels[r] = r % 2;
+    t.unit_id[r] = static_cast<int64_t>(100 + r);
+    t.unit_time[r] = 10.0 * static_cast<double>(r);
+    t.attack[r] = static_cast<uint8_t>(r);
+  }
+  return t;
+}
+
+TEST(FeatureTable, SelectRowsPreservesMetadata) {
+  const FeatureTable t = small_table();
+  const std::vector<size_t> pick = {1, 3};
+  const FeatureTable s = t.select_rows(pick);
+  ASSERT_EQ(s.rows, 2u);
+  EXPECT_EQ(s.at(0, 0), 1.0);
+  EXPECT_EQ(s.at(1, 1), 6.0);
+  EXPECT_EQ(s.labels[0], 1);
+  EXPECT_EQ(s.unit_id[1], 103);
+  EXPECT_EQ(s.unit_time[1], 30.0);
+  EXPECT_EQ(s.attack[0], 1);
+}
+
+TEST(FeatureTable, SelectColsByMask) {
+  const FeatureTable t = small_table();
+  const std::vector<uint8_t> keep = {1, 0, 1};
+  const FeatureTable s = t.select_cols(keep);
+  ASSERT_EQ(s.cols, 2u);
+  EXPECT_EQ(s.col_names[0], "a");
+  EXPECT_EQ(s.col_names[1], "c");
+  EXPECT_EQ(s.at(2, 0), 2.0);
+  EXPECT_EQ(s.at(2, 1), 5.0);
+}
+
+TEST(FeatureTable, AppendRequiresMatchingColumns) {
+  FeatureTable t = small_table();
+  FeatureTable u = small_table();
+  EXPECT_TRUE(t.append(u));
+  EXPECT_EQ(t.rows, 8u);
+  FeatureTable w = FeatureTable::make(1, {"x"});
+  EXPECT_FALSE(t.append(w));
+  EXPECT_EQ(t.rows, 8u);
+}
+
+TEST(Normalizer, MinMaxMapsToUnitRange) {
+  FeatureTable t = small_table();
+  Normalizer n(NormKind::kMinMax);
+  n.fit(t);
+  n.apply(t);
+  for (size_t r = 0; r < t.rows; ++r) {
+    EXPECT_GE(t.at(r, 0), 0.0);
+    EXPECT_LE(t.at(r, 0), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(3, 0), 1.0);
+  // Constant column is untouched (scale clamps to 1), stays finite.
+  EXPECT_TRUE(std::isfinite(t.at(0, 2)));
+}
+
+TEST(Normalizer, ZScoreCentersData) {
+  FeatureTable t = small_table();
+  Normalizer n(NormKind::kZScore);
+  n.fit(t);
+  n.apply(t);
+  double mean = 0.0;
+  for (size_t r = 0; r < t.rows; ++r) mean += t.at(r, 0);
+  EXPECT_NEAR(mean / 4.0, 0.0, 1e-12);
+}
+
+TEST(Normalizer, TestDataUsesTrainStatistics) {
+  FeatureTable train = small_table();
+  Normalizer n(NormKind::kMinMax);
+  n.fit(train);
+  FeatureTable test = FeatureTable::make(1, {"a", "b", "c"});
+  test.at(0, 0) = 6.0;  // outside the train range
+  n.apply(test);
+  EXPECT_DOUBLE_EQ(test.at(0, 0), 2.0);  // (6-0)/3 — no re-fit on test
+}
+
+TEST(CorrelationFilter, DropsDuplicatesAndConstants) {
+  const FeatureTable t = small_table();
+  CorrelationFilter f(0.95);
+  f.fit(t);
+  const FeatureTable s = f.apply(t);
+  // b (duplicate of a) and c (constant) are gone.
+  ASSERT_EQ(s.cols, 1u);
+  EXPECT_EQ(s.col_names[0], "a");
+}
+
+TEST(CorrelationFilter, KeepsIndependentColumns) {
+  FeatureTable t = FeatureTable::make(8, {"x", "y"});
+  const double xs[] = {0, 1, 2, 3, 4, 5, 6, 7};
+  const double ys[] = {3, 1, 4, 1, 5, 9, 2, 6};
+  for (size_t r = 0; r < 8; ++r) {
+    t.at(r, 0) = xs[r];
+    t.at(r, 1) = ys[r];
+  }
+  CorrelationFilter f(0.95);
+  f.fit(t);
+  EXPECT_EQ(f.apply(t).cols, 2u);
+}
+
+TEST(Impute, ReplacesNonFinite) {
+  FeatureTable t = FeatureTable::make(2, {"a"});
+  t.at(0, 0) = std::nan("");
+  t.at(1, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(impute_non_finite(t), 2u);
+  EXPECT_EQ(t.at(0, 0), 0.0);
+  EXPECT_EQ(t.at(1, 0), 0.0);
+  EXPECT_EQ(impute_non_finite(t), 0u);
+}
+
+TEST(ColumnCorrelation, PerfectAndNone) {
+  const FeatureTable t = small_table();
+  EXPECT_NEAR(column_correlation(t, 0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(column_correlation(t, 0, 2), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lumen::features

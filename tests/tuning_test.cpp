@@ -1,0 +1,122 @@
+// Grid-search hyperparameter tuning tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/forest.h"
+#include "ml/tree.h"
+#include "ml/tuning.h"
+
+namespace lumen::ml {
+namespace {
+
+FeatureTable blobs(size_t n_per_class, double gap, uint64_t seed) {
+  FeatureTable t = FeatureTable::make(2 * n_per_class, {"x", "y", "z"});
+  Rng rng(seed);
+  for (size_t i = 0; i < t.rows; ++i) {
+    const int label = i < n_per_class ? 0 : 1;
+    for (size_t d = 0; d < 3; ++d) {
+      t.at(i, d) = rng.normal(label * gap, 1.0);
+    }
+    t.labels[i] = label;
+  }
+  return t;
+}
+
+TEST(ParamGrid, CartesianProductDeterministic) {
+  ParamGrid grid;
+  grid.axes["a"] = {1.0, 2.0};
+  grid.axes["b"] = {10.0, 20.0, 30.0};
+  const auto points = grid.points();
+  ASSERT_EQ(points.size(), 6u);
+  // Every combination appears exactly once.
+  std::set<std::pair<double, double>> seen;
+  for (const ParamPoint& p : points) {
+    seen.insert({p.at("a"), p.at("b")});
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  // Deterministic ordering across calls.
+  EXPECT_EQ(grid.points().front().at("a"), points.front().at("a"));
+}
+
+TEST(ParamGrid, EmptyGridIsSinglePoint) {
+  ParamGrid grid;
+  EXPECT_EQ(grid.points().size(), 1u);
+  EXPECT_TRUE(grid.points()[0].empty());
+}
+
+TEST(KFold, PartitionsAllRowsEvenly) {
+  const auto fold = kfold_assignment(100, 4, 7);
+  ASSERT_EQ(fold.size(), 100u);
+  size_t counts[4] = {0, 0, 0, 0};
+  for (size_t f : fold) {
+    ASSERT_LT(f, 4u);
+    ++counts[f];
+  }
+  for (size_t c : counts) EXPECT_EQ(c, 25u);
+  // Deterministic for the same seed, different for another.
+  EXPECT_EQ(kfold_assignment(100, 4, 7), fold);
+  EXPECT_NE(kfold_assignment(100, 4, 8), fold);
+}
+
+TEST(GridSearch, FindsTheBetterDepth) {
+  // XOR-ish structure needs depth >= 2; depth 1 underfits badly.
+  FeatureTable t = FeatureTable::make(400, {"x", "y"});
+  Rng rng(21);
+  for (size_t i = 0; i < t.rows; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    t.at(i, 0) = x;
+    t.at(i, 1) = y;
+    t.labels[i] = (x > 0) == (y > 0) ? 1 : 0;
+  }
+  ParamGrid grid;
+  grid.axes["max_depth"] = {1.0, 6.0};
+  const TuneResult result = grid_search(
+      [](const ParamPoint& p) -> ModelPtr {
+        TreeConfig cfg;
+        cfg.max_depth = static_cast<int>(p.at("max_depth"));
+        return std::make_shared<DecisionTree>(cfg);
+      },
+      t, grid, 3);
+  ASSERT_EQ(result.trials.size(), 2u);
+  EXPECT_EQ(result.best.params.at("max_depth"), 6.0);
+  EXPECT_GT(result.best.mean_score, 0.8);
+}
+
+TEST(GridSearch, ReportsAllTrialsWithScores) {
+  const FeatureTable t = blobs(80, 4.0, 23);
+  ParamGrid grid;
+  grid.axes["n_trees"] = {5.0, 10.0};
+  grid.axes["max_depth"] = {4.0, 8.0};
+  const TuneResult result = grid_search(
+      [](const ParamPoint& p) -> ModelPtr {
+        ForestConfig cfg;
+        cfg.n_trees = static_cast<size_t>(p.at("n_trees"));
+        cfg.max_depth = static_cast<int>(p.at("max_depth"));
+        return std::make_shared<RandomForest>(cfg);
+      },
+      t, grid, 3);
+  ASSERT_EQ(result.trials.size(), 4u);
+  for (const Trial& trial : result.trials) {
+    EXPECT_GE(trial.mean_score, 0.0);
+    EXPECT_LE(trial.mean_score, 1.0);
+    EXPECT_GE(trial.std_score, 0.0);
+  }
+}
+
+TEST(GridSearch, DegenerateInputsHandled) {
+  const FeatureTable tiny = blobs(1, 1.0, 29);
+  ParamGrid grid;
+  grid.axes["max_depth"] = {2.0};
+  const TuneResult r = grid_search(
+      [](const ParamPoint&) -> ModelPtr {
+        return std::make_shared<DecisionTree>();
+      },
+      tiny, grid, 5);  // more folds than rows
+  EXPECT_TRUE(r.trials.empty());
+  EXPECT_LT(r.best.mean_score, 0.0);
+}
+
+}  // namespace
+}  // namespace lumen::ml
