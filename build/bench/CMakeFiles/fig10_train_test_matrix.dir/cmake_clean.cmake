@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_train_test_matrix.dir/fig10_train_test_matrix.cpp.o"
+  "CMakeFiles/fig10_train_test_matrix.dir/fig10_train_test_matrix.cpp.o.d"
+  "fig10_train_test_matrix"
+  "fig10_train_test_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_train_test_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

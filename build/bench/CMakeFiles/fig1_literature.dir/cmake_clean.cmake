@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_literature.dir/fig1_literature.cpp.o"
+  "CMakeFiles/fig1_literature.dir/fig1_literature.cpp.o.d"
+  "fig1_literature"
+  "fig1_literature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_literature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

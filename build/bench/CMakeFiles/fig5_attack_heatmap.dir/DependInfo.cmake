@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_attack_heatmap.cpp" "bench/CMakeFiles/fig5_attack_heatmap.dir/fig5_attack_heatmap.cpp.o" "gcc" "bench/CMakeFiles/fig5_attack_heatmap.dir/fig5_attack_heatmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/lumen_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lumen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lumen_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/lumen_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/lumen_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lumen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/netio/CMakeFiles/lumen_netio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_attack_heatmap.dir/fig5_attack_heatmap.cpp.o"
+  "CMakeFiles/fig5_attack_heatmap.dir/fig5_attack_heatmap.cpp.o.d"
+  "fig5_attack_heatmap"
+  "fig5_attack_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_attack_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_improved_heatmap.dir/fig6_improved_heatmap.cpp.o"
+  "CMakeFiles/fig6_improved_heatmap.dir/fig6_improved_heatmap.cpp.o.d"
+  "fig6_improved_heatmap"
+  "fig6_improved_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_improved_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_best_gap.dir/fig7_best_gap.cpp.o"
+  "CMakeFiles/fig7_best_gap.dir/fig7_best_gap.cpp.o.d"
+  "fig7_best_gap"
+  "fig7_best_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_best_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_same_dataset.dir/fig8_same_dataset.cpp.o"
+  "CMakeFiles/fig8_same_dataset.dir/fig8_same_dataset.cpp.o.d"
+  "fig8_same_dataset"
+  "fig8_same_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_same_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

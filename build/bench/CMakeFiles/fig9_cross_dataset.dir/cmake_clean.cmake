@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cross_dataset.dir/fig9_cross_dataset.cpp.o"
+  "CMakeFiles/fig9_cross_dataset.dir/fig9_cross_dataset.cpp.o.d"
+  "fig9_cross_dataset"
+  "fig9_cross_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cross_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_literature.dir/table1_literature.cpp.o"
+  "CMakeFiles/table1_literature.dir/table1_literature.cpp.o.d"
+  "table1_literature"
+  "table1_literature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_literature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_3_inventory.dir/table2_3_inventory.cpp.o"
+  "CMakeFiles/table2_3_inventory.dir/table2_3_inventory.cpp.o.d"
+  "table2_3_inventory"
+  "table2_3_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_3_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

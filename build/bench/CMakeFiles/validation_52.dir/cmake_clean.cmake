@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_52.dir/validation_52.cpp.o"
+  "CMakeFiles/validation_52.dir/validation_52.cpp.o.d"
+  "validation_52"
+  "validation_52.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_52.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for validation_52.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_classification.dir/device_classification.cpp.o"
+  "CMakeFiles/device_classification.dir/device_classification.cpp.o.d"
+  "device_classification"
+  "device_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithms.cpp" "src/core/CMakeFiles/lumen_core.dir/algorithms.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/algorithms.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/lumen_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/json.cpp" "src/core/CMakeFiles/lumen_core.dir/json.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/json.cpp.o.d"
+  "/root/repo/src/core/kitsune_extractor.cpp" "src/core/CMakeFiles/lumen_core.dir/kitsune_extractor.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/kitsune_extractor.cpp.o.d"
+  "/root/repo/src/core/op.cpp" "src/core/CMakeFiles/lumen_core.dir/op.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/op.cpp.o.d"
+  "/root/repo/src/core/ops_common.cpp" "src/core/CMakeFiles/lumen_core.dir/ops_common.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/ops_common.cpp.o.d"
+  "/root/repo/src/core/ops_flow.cpp" "src/core/CMakeFiles/lumen_core.dir/ops_flow.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/ops_flow.cpp.o.d"
+  "/root/repo/src/core/ops_io.cpp" "src/core/CMakeFiles/lumen_core.dir/ops_io.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/ops_io.cpp.o.d"
+  "/root/repo/src/core/ops_model.cpp" "src/core/CMakeFiles/lumen_core.dir/ops_model.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/ops_model.cpp.o.d"
+  "/root/repo/src/core/ops_packet.cpp" "src/core/CMakeFiles/lumen_core.dir/ops_packet.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/ops_packet.cpp.o.d"
+  "/root/repo/src/core/ops_table.cpp" "src/core/CMakeFiles/lumen_core.dir/ops_table.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/ops_table.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/lumen_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/stream.cpp" "src/core/CMakeFiles/lumen_core.dir/stream.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/stream.cpp.o.d"
+  "/root/repo/src/core/value.cpp" "src/core/CMakeFiles/lumen_core.dir/value.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netio/CMakeFiles/lumen_netio.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/lumen_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lumen_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/lumen_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lumen_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_core.dir/algorithms.cpp.o"
+  "CMakeFiles/lumen_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/engine.cpp.o"
+  "CMakeFiles/lumen_core.dir/engine.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/json.cpp.o"
+  "CMakeFiles/lumen_core.dir/json.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/kitsune_extractor.cpp.o"
+  "CMakeFiles/lumen_core.dir/kitsune_extractor.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/op.cpp.o"
+  "CMakeFiles/lumen_core.dir/op.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/ops_common.cpp.o"
+  "CMakeFiles/lumen_core.dir/ops_common.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/ops_flow.cpp.o"
+  "CMakeFiles/lumen_core.dir/ops_flow.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/ops_io.cpp.o"
+  "CMakeFiles/lumen_core.dir/ops_io.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/ops_model.cpp.o"
+  "CMakeFiles/lumen_core.dir/ops_model.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/ops_packet.cpp.o"
+  "CMakeFiles/lumen_core.dir/ops_packet.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/ops_table.cpp.o"
+  "CMakeFiles/lumen_core.dir/ops_table.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/pipeline.cpp.o"
+  "CMakeFiles/lumen_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/stream.cpp.o"
+  "CMakeFiles/lumen_core.dir/stream.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/value.cpp.o"
+  "CMakeFiles/lumen_core.dir/value.cpp.o.d"
+  "liblumen_core.a"
+  "liblumen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

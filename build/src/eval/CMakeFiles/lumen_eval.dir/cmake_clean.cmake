@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_eval.dir/benchmark.cpp.o"
+  "CMakeFiles/lumen_eval.dir/benchmark.cpp.o.d"
+  "CMakeFiles/lumen_eval.dir/literature.cpp.o"
+  "CMakeFiles/lumen_eval.dir/literature.cpp.o.d"
+  "CMakeFiles/lumen_eval.dir/relevance.cpp.o"
+  "CMakeFiles/lumen_eval.dir/relevance.cpp.o.d"
+  "CMakeFiles/lumen_eval.dir/report.cpp.o"
+  "CMakeFiles/lumen_eval.dir/report.cpp.o.d"
+  "CMakeFiles/lumen_eval.dir/results.cpp.o"
+  "CMakeFiles/lumen_eval.dir/results.cpp.o.d"
+  "CMakeFiles/lumen_eval.dir/synthesis.cpp.o"
+  "CMakeFiles/lumen_eval.dir/synthesis.cpp.o.d"
+  "liblumen_eval.a"
+  "liblumen_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_features.dir/csv.cpp.o"
+  "CMakeFiles/lumen_features.dir/csv.cpp.o.d"
+  "CMakeFiles/lumen_features.dir/stats.cpp.o"
+  "CMakeFiles/lumen_features.dir/stats.cpp.o.d"
+  "CMakeFiles/lumen_features.dir/transform.cpp.o"
+  "CMakeFiles/lumen_features.dir/transform.cpp.o.d"
+  "liblumen_features.a"
+  "liblumen_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_flow.dir/flow.cpp.o"
+  "CMakeFiles/lumen_flow.dir/flow.cpp.o.d"
+  "liblumen_flow.a"
+  "liblumen_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

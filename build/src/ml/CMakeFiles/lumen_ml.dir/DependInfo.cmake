@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/automl.cpp" "src/ml/CMakeFiles/lumen_ml.dir/automl.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/automl.cpp.o.d"
+  "/root/repo/src/ml/bayes.cpp" "src/ml/CMakeFiles/lumen_ml.dir/bayes.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/bayes.cpp.o.d"
+  "/root/repo/src/ml/eigen.cpp" "src/ml/CMakeFiles/lumen_ml.dir/eigen.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/eigen.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/lumen_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/gmm.cpp" "src/ml/CMakeFiles/lumen_ml.dir/gmm.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/gmm.cpp.o.d"
+  "/root/repo/src/ml/kernel.cpp" "src/ml/CMakeFiles/lumen_ml.dir/kernel.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/kernel.cpp.o.d"
+  "/root/repo/src/ml/kitnet.cpp" "src/ml/CMakeFiles/lumen_ml.dir/kitnet.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/kitnet.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/lumen_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/lumen_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/linear.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/lumen_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/lumen_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "src/ml/CMakeFiles/lumen_ml.dir/model.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/model.cpp.o.d"
+  "/root/repo/src/ml/persist.cpp" "src/ml/CMakeFiles/lumen_ml.dir/persist.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/persist.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/lumen_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/tree.cpp.o.d"
+  "/root/repo/src/ml/tuning.cpp" "src/ml/CMakeFiles/lumen_ml.dir/tuning.cpp.o" "gcc" "src/ml/CMakeFiles/lumen_ml.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/lumen_features.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

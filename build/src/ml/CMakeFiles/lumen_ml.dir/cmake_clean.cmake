@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_ml.dir/automl.cpp.o"
+  "CMakeFiles/lumen_ml.dir/automl.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/bayes.cpp.o"
+  "CMakeFiles/lumen_ml.dir/bayes.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/eigen.cpp.o"
+  "CMakeFiles/lumen_ml.dir/eigen.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/forest.cpp.o"
+  "CMakeFiles/lumen_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/gmm.cpp.o"
+  "CMakeFiles/lumen_ml.dir/gmm.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/kernel.cpp.o"
+  "CMakeFiles/lumen_ml.dir/kernel.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/kitnet.cpp.o"
+  "CMakeFiles/lumen_ml.dir/kitnet.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/knn.cpp.o"
+  "CMakeFiles/lumen_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/linear.cpp.o"
+  "CMakeFiles/lumen_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/metrics.cpp.o"
+  "CMakeFiles/lumen_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/mlp.cpp.o"
+  "CMakeFiles/lumen_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/model.cpp.o"
+  "CMakeFiles/lumen_ml.dir/model.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/persist.cpp.o"
+  "CMakeFiles/lumen_ml.dir/persist.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/tree.cpp.o"
+  "CMakeFiles/lumen_ml.dir/tree.cpp.o.d"
+  "CMakeFiles/lumen_ml.dir/tuning.cpp.o"
+  "CMakeFiles/lumen_ml.dir/tuning.cpp.o.d"
+  "liblumen_ml.a"
+  "liblumen_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

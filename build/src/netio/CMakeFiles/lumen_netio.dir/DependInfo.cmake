@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netio/builder.cpp" "src/netio/CMakeFiles/lumen_netio.dir/builder.cpp.o" "gcc" "src/netio/CMakeFiles/lumen_netio.dir/builder.cpp.o.d"
+  "/root/repo/src/netio/bytes.cpp" "src/netio/CMakeFiles/lumen_netio.dir/bytes.cpp.o" "gcc" "src/netio/CMakeFiles/lumen_netio.dir/bytes.cpp.o.d"
+  "/root/repo/src/netio/parse.cpp" "src/netio/CMakeFiles/lumen_netio.dir/parse.cpp.o" "gcc" "src/netio/CMakeFiles/lumen_netio.dir/parse.cpp.o.d"
+  "/root/repo/src/netio/pcap.cpp" "src/netio/CMakeFiles/lumen_netio.dir/pcap.cpp.o" "gcc" "src/netio/CMakeFiles/lumen_netio.dir/pcap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_netio.dir/builder.cpp.o"
+  "CMakeFiles/lumen_netio.dir/builder.cpp.o.d"
+  "CMakeFiles/lumen_netio.dir/bytes.cpp.o"
+  "CMakeFiles/lumen_netio.dir/bytes.cpp.o.d"
+  "CMakeFiles/lumen_netio.dir/parse.cpp.o"
+  "CMakeFiles/lumen_netio.dir/parse.cpp.o.d"
+  "CMakeFiles/lumen_netio.dir/pcap.cpp.o"
+  "CMakeFiles/lumen_netio.dir/pcap.cpp.o.d"
+  "liblumen_netio.a"
+  "liblumen_netio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_netio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_trace.dir/attacks.cpp.o"
+  "CMakeFiles/lumen_trace.dir/attacks.cpp.o.d"
+  "CMakeFiles/lumen_trace.dir/registry.cpp.o"
+  "CMakeFiles/lumen_trace.dir/registry.cpp.o.d"
+  "CMakeFiles/lumen_trace.dir/sim.cpp.o"
+  "CMakeFiles/lumen_trace.dir/sim.cpp.o.d"
+  "liblumen_trace.a"
+  "liblumen_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_convergence_test.dir/ml_convergence_test.cpp.o"
+  "CMakeFiles/ml_convergence_test.dir/ml_convergence_test.cpp.o.d"
+  "ml_convergence_test"
+  "ml_convergence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_convergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

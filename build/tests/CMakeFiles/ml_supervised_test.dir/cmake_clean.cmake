@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_supervised_test.dir/ml_supervised_test.cpp.o"
+  "CMakeFiles/ml_supervised_test.dir/ml_supervised_test.cpp.o.d"
+  "ml_supervised_test"
+  "ml_supervised_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_supervised_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

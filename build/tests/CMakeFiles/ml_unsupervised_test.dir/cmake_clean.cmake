@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_unsupervised_test.dir/ml_unsupervised_test.cpp.o"
+  "CMakeFiles/ml_unsupervised_test.dir/ml_unsupervised_test.cpp.o.d"
+  "ml_unsupervised_test"
+  "ml_unsupervised_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_unsupervised_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

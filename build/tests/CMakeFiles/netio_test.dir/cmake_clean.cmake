@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netio_test.dir/netio_test.cpp.o"
+  "CMakeFiles/netio_test.dir/netio_test.cpp.o.d"
+  "netio_test"
+  "netio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relevance_test.dir/relevance_test.cpp.o"
+  "CMakeFiles/relevance_test.dir/relevance_test.cpp.o.d"
+  "relevance_test"
+  "relevance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relevance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen.dir/lumen_cli.cpp.o"
+  "CMakeFiles/lumen.dir/lumen_cli.cpp.o.d"
+  "lumen"
+  "lumen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
