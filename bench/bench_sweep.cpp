@@ -1,0 +1,107 @@
+// Micro-benchmark for the parallel evaluation sweep: times a serial
+// (SerialGuard-forced) same-dataset sweep against the pool-parallel sweep on
+// a reduced grid, verifies the result CSVs are byte-identical, and emits
+// BENCH_sweep.json so future PRs can track the wall-clock trend.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/parallel.h"
+#include "fig_common.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+lumen::eval::Benchmark fresh_benchmark() {
+  lumen::eval::Benchmark::Options opts;
+  opts.dataset_scale = 0.25;
+  opts.max_train_rows = 1200;
+  opts.max_test_rows = 1200;
+  return lumen::eval::Benchmark(opts);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lumen;
+  bench::print_header("bench_sweep: serial vs parallel evaluation sweep");
+
+  const std::vector<std::string> algos = {"A08", "A13", "A14"};
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lumen_bench_sweep").string();
+  std::filesystem::create_directories(dir);
+
+  // Serial baseline: fresh caches, every parallel_for forced inline.
+  eval::Benchmark serial_bench = fresh_benchmark();
+  eval::ResultStore serial_store;
+  const Clock::time_point t_serial = Clock::now();
+  {
+    SerialGuard guard;
+    eval::sweep_same_dataset(serial_bench, algos, serial_store, {},
+                             /*parallel=*/false);
+  }
+  const double serial_s = seconds_since(t_serial);
+
+  // Parallel sweep: fresh caches again so no work is amortized away.
+  eval::Benchmark parallel_bench = fresh_benchmark();
+  eval::ResultStore parallel_store;
+  const Clock::time_point t_parallel = Clock::now();
+  eval::sweep_same_dataset(parallel_bench, algos, parallel_store);
+  const double parallel_s = seconds_since(t_parallel);
+
+  const std::string serial_csv = dir + "/serial.csv";
+  const std::string parallel_csv = dir + "/parallel.csv";
+  (void)serial_store.save_csv(serial_csv);
+  (void)parallel_store.save_csv(parallel_csv);
+  const bool identical = file_bytes(serial_csv) == file_bytes(parallel_csv) &&
+                         serial_store.size() > 0;
+
+  const size_t threads = ThreadPool::global().size();
+  const size_t hw_threads = std::thread::hardware_concurrency();
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  const size_t pairs =
+      eval::same_dataset_pairs(parallel_bench, algos).size();
+
+  std::printf("grid: %zu algorithms, %zu (algo, dataset) pairs\n",
+              algos.size(), pairs);
+  std::printf("threads:           %zu (pool), %zu (hardware)\n", threads,
+              hw_threads);
+  std::printf("serial sweep:      %.3f s\n", serial_s);
+  std::printf("parallel sweep:    %.3f s\n", parallel_s);
+  std::printf("speedup:           %.2fx\n", speedup);
+  std::printf("csv byte-identical: %s\n", identical ? "yes" : "NO (BUG)");
+
+  if (std::FILE* f = std::fopen("BENCH_sweep.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"same_dataset_sweep\",\n"
+                 "  \"grid_pairs\": %zu,\n"
+                 "  \"threads\": %zu,\n"
+                 "  \"hardware_threads\": %zu,\n"
+                 "  \"serial_seconds\": %.4f,\n"
+                 "  \"parallel_seconds\": %.4f,\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"csv_identical\": %s\n"
+                 "}\n",
+                 pairs, threads, hw_threads, serial_s, parallel_s, speedup,
+                 identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("[artifact] BENCH_sweep.json\n");
+  }
+  return identical ? 0 : 1;
+}

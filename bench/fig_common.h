@@ -7,11 +7,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/benchmark.h"
 #include "eval/report.h"
 #include "eval/results.h"
+#include "eval/sweep.h"
 
 namespace lumen::bench {
 
@@ -43,62 +45,29 @@ inline std::vector<std::string> all_algorithms(bool include_synth = false) {
 
 /// The strictly-faithful dataset ids for an algorithm.
 inline std::vector<std::string> faithful_datasets(const std::string& algo_id) {
-  Benchmark& bench = shared_benchmark();
-  const core::AlgorithmDef* algo = core::find_algorithm(algo_id);
-  std::vector<std::string> out;
-  for (const std::string& ds : trace::all_dataset_ids()) {
-    if (algo != nullptr && core::strict_faithful(*algo, bench.dataset(ds))) {
-      out.push_back(ds);
-    }
-  }
-  return out;
+  return eval::faithful_datasets(shared_benchmark(), algo_id);
 }
 
-/// Run every same-dataset pair; records land in `store`, and `on_run` (if
-/// set) sees each run for per-attack post-processing.
-template <typename OnRun>
-void sweep_same_dataset(const std::vector<std::string>& algos,
-                        ResultStore& store, OnRun on_run) {
-  Benchmark& bench = shared_benchmark();
-  for (const std::string& algo : algos) {
-    for (const std::string& ds : faithful_datasets(algo)) {
-      auto run = bench.same_dataset(algo, ds);
-      if (!run.ok()) {
-        std::fprintf(stderr, "[skip] %s on %s: %s\n", algo.c_str(), ds.c_str(),
-                     run.error().message.c_str());
-        continue;
-      }
-      store.add_record(run.value().record);
-      on_run(run.value());
-    }
-  }
-}
-
+/// Run every same-dataset pair across the pool; records land in `store` in
+/// canonical (serial) order, and `on_run` (if set) sees each run for
+/// per-attack post-processing.
 inline void sweep_same_dataset(const std::vector<std::string>& algos,
-                               ResultStore& store) {
-  sweep_same_dataset(algos, store, [](const Benchmark::RunOutput&) {});
+                               ResultStore& store,
+                               const eval::RunCallback& on_run = {}) {
+  eval::sweep_same_dataset(shared_benchmark(), algos, store, on_run);
 }
 
-/// Run every cross-dataset pair (train != test) among faithful datasets.
+/// Run every cross-dataset pair (train != test) among faithful datasets,
+/// across the pool, merging in canonical order.
 inline void sweep_cross_dataset(const std::vector<std::string>& algos,
                                 ResultStore& store) {
-  Benchmark& bench = shared_benchmark();
-  for (const std::string& algo : algos) {
-    const std::vector<std::string> datasets = faithful_datasets(algo);
-    for (const std::string& train : datasets) {
-      for (const std::string& test : datasets) {
-        if (train == test) continue;
-        auto run = bench.cross_dataset(algo, train, test);
-        if (!run.ok()) {
-          std::fprintf(stderr, "[skip] %s %s->%s: %s\n", algo.c_str(),
-                       train.c_str(), test.c_str(),
-                       run.error().message.c_str());
-          continue;
-        }
-        store.add_record(run.value().record);
-      }
-    }
-  }
+  eval::sweep_cross_dataset(shared_benchmark(), algos, store);
+}
+
+/// Warm the shared benchmark's caches for explicit (algo, dataset) pairs.
+inline void prefetch_same_dataset(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  eval::prefetch_same_dataset(shared_benchmark(), pairs);
 }
 
 /// Write CSV artifacts next to the binary under ./results/.

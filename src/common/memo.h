@@ -1,0 +1,73 @@
+// Concurrency-safe per-key memoization: the first caller of a key computes,
+// every concurrent caller of the same key blocks on that one computation
+// instead of duplicating or racing it. Values are stored behind shared_ptr
+// slots so returned pointers stay valid for the cache's lifetime no matter
+// how the underlying map rebalances.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/result.h"
+
+namespace lumen {
+
+template <typename K, typename V>
+class MemoCache {
+ public:
+  /// Return the cached value for `key`, computing it with `compute` when
+  /// absent. Exceptions thrown by `compute` are converted into an Error so
+  /// waiting threads always wake up with a completed slot.
+  Result<const V*> get_or_compute(const K& key,
+                                  const std::function<Result<V>()>& compute) {
+    std::shared_ptr<Slot> slot;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = slots_.find(key);
+      if (it == slots_.end()) {
+        it = slots_.emplace(key, std::make_shared<Slot>()).first;
+        owner = true;
+      }
+      slot = it->second;
+    }
+    if (owner) {
+      std::optional<Result<V>> outcome;
+      try {
+        outcome.emplace(compute());
+      } catch (const std::exception& e) {
+        outcome.emplace(Error::make("memo", e.what()));
+      } catch (...) {
+        outcome.emplace(Error::make("memo", "unknown exception"));
+      }
+      {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        slot->outcome = std::move(outcome);
+      }
+      slot->cv.notify_all();
+    } else {
+      std::unique_lock<std::mutex> lock(slot->mu);
+      slot->cv.wait(lock, [&] { return slot->outcome.has_value(); });
+    }
+    const Result<V>& r = *slot->outcome;
+    if (!r.ok()) return r.error();
+    return &r.value();
+  }
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Result<V>> outcome;
+  };
+
+  std::mutex mu_;
+  std::map<K, std::shared_ptr<Slot>> slots_;
+};
+
+}  // namespace lumen

@@ -1,29 +1,77 @@
-// A small work-stealing-free thread pool with a parallel_for helper.
+// A small thread pool with a parallel_for helper and per-call task groups.
 //
 // Lumen's Python implementation leans on Ray/Modin for distributed map-reduce
 // style operators. Our substitution is shared-memory parallelism: operators
-// whose work decomposes per-packet or per-group run their map phase through
-// parallel_for. On a single-core host this degrades gracefully to a serial
-// loop (we never spawn more threads than hardware_concurrency).
+// whose work decomposes per-packet, per-row, or per-(algorithm, dataset) pair
+// run their map phase through parallel_for. On a single-core host this
+// degrades gracefully to a serial loop (we never spawn more threads than
+// hardware_concurrency unless LUMEN_THREADS says otherwise).
+//
+// Composition rules:
+//  * Each parallel_for tracks completion through its own TaskGroup, so
+//    concurrent parallel_for calls from different threads never wait on each
+//    other's work.
+//  * A parallel_for issued from inside a pool worker runs on the caller
+//    (serial). This keeps nesting deadlock-free: outer parallelism wins, and
+//    the inner loop produces exactly the same result it would in a thread of
+//    its own because every parallel loop is deterministic per index.
+//  * The first exception thrown by a task is captured and rethrown on the
+//    waiting caller after all tasks of the group have drained, so references
+//    captured by the chunk lambdas (`body` in particular) never dangle.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdlib>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace lumen {
 
+/// Completion tracking for one batch of tasks. Waiters block until every
+/// task of the group has finished; the first captured exception is rethrown
+/// from wait() once the group has fully drained.
+class TaskGroup {
+ public:
+  void add_pending(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ += n;
+  }
+
+  void finish_one(std::exception_ptr err) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (err && !error_) error_ = std::move(err);
+    if (--pending_ == 0) cv_.notify_all();
+  }
+
+  /// Block until every task added to the group has completed, then rethrow
+  /// the first captured exception (if any).
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+    if (error_) {
+      std::exception_ptr err = std::exchange(error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+  std::exception_ptr error_;
+};
+
 class ThreadPool {
  public:
   explicit ThreadPool(size_t n_threads = 0) {
-    if (n_threads == 0) {
-      n_threads = std::thread::hardware_concurrency();
-      if (n_threads == 0) n_threads = 1;
-    }
+    if (n_threads == 0) n_threads = default_thread_count();
     workers_.reserve(n_threads);
     for (size_t i = 0; i < n_threads; ++i) {
       workers_.emplace_back([this] { worker_loop(); });
@@ -44,31 +92,59 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
-  void submit(std::function<void()> task) {
+  /// Enqueue a task. With a group, completion and exceptions are reported
+  /// there; without one, the first exception is rethrown by wait_idle().
+  void submit(std::function<void()> task, TaskGroup* group = nullptr) {
+    if (group != nullptr) group->add_pending(1);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      tasks_.push(std::move(task));
+      tasks_.emplace(std::move(task), group);
       ++pending_;
     }
     cv_.notify_one();
   }
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished; rethrows the first
+  /// exception captured from a group-less task.
   void wait_idle() {
     std::unique_lock<std::mutex> lock(mu_);
     idle_cv_.wait(lock, [this] { return pending_ == 0; });
+    if (error_) {
+      std::exception_ptr err = std::exchange(error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
   }
 
-  /// Process-wide pool, created on first use.
+  /// True when the calling thread is one of this process's pool workers.
+  static bool on_worker_thread() { return tl_on_worker(); }
+
+  /// Process-wide pool, created on first use. LUMEN_THREADS overrides the
+  /// worker count (useful for tests and for oversubscribing small hosts).
   static ThreadPool& global() {
     static ThreadPool pool;
     return pool;
   }
 
  private:
+  static size_t default_thread_count() {
+    if (const char* env = std::getenv("LUMEN_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) return static_cast<size_t>(n);
+    }
+    const size_t hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  static bool& tl_on_worker() {
+    thread_local bool on_worker = false;
+    return on_worker;
+  }
+
   void worker_loop() {
+    tl_on_worker() = true;
     for (;;) {
-      std::function<void()> task;
+      std::pair<std::function<void()>, TaskGroup*> task;
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -76,44 +152,80 @@ class ThreadPool {
         task = std::move(tasks_.front());
         tasks_.pop();
       }
-      task();
+      std::exception_ptr err;
+      try {
+        task.first();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      if (task.second != nullptr) task.second->finish_one(std::move(err));
       {
         std::lock_guard<std::mutex> lock(mu_);
+        if (err && task.second == nullptr && !error_) error_ = std::move(err);
         if (--pending_ == 0) idle_cv_.notify_all();
       }
     }
   }
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<std::pair<std::function<void()>, TaskGroup*>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
+  std::exception_ptr error_;
   size_t pending_ = 0;
   bool stop_ = false;
 };
 
+namespace detail {
+inline int& tl_serial_depth() {
+  thread_local int depth = 0;
+  return depth;
+}
+}  // namespace detail
+
+/// RAII switch forcing parallel_for to run inline on this thread. Used by
+/// benchmarks to measure a true serial baseline and by determinism tests to
+/// compare serial vs parallel outputs within one process.
+class SerialGuard {
+ public:
+  SerialGuard() { ++detail::tl_serial_depth(); }
+  ~SerialGuard() { --detail::tl_serial_depth(); }
+  SerialGuard(const SerialGuard&) = delete;
+  SerialGuard& operator=(const SerialGuard&) = delete;
+};
+
+inline bool serial_forced() { return detail::tl_serial_depth() > 0; }
+
 /// Run body(i) for i in [begin, end), chunked across the global pool.
-/// Falls back to a serial loop when the range is small or the pool has a
-/// single worker (no point paying synchronization costs).
+/// Runs inline when the range is small, the pool has a single worker, a
+/// SerialGuard is active, or the caller is itself a pool worker (nested
+/// parallel_for). Deterministic as long as body(i) only depends on i; the
+/// first exception thrown by body is rethrown here after all chunks drain.
 inline void parallel_for(size_t begin, size_t end,
                          const std::function<void(size_t)>& body,
                          size_t min_parallel = 1024) {
   const size_t n = end > begin ? end - begin : 0;
+  if (n == 0) return;
+  if (min_parallel == 0) min_parallel = 1;
   ThreadPool& pool = ThreadPool::global();
-  if (n < min_parallel || pool.size() <= 1) {
+  if (n < min_parallel || pool.size() <= 1 || serial_forced() ||
+      ThreadPool::on_worker_thread()) {
     for (size_t i = begin; i < end; ++i) body(i);
     return;
   }
-  const size_t chunks = pool.size() * 4;
+  TaskGroup group;
+  const size_t chunks = std::min(n, pool.size() * 4);
   const size_t step = (n + chunks - 1) / chunks;
   for (size_t c = begin; c < end; c += step) {
     const size_t hi = std::min(end, c + step);
+    // `body` is captured by reference: safe because group.wait() only
+    // returns after every chunk has finished, exception or not.
     pool.submit([c, hi, &body] {
       for (size_t i = c; i < hi; ++i) body(i);
-    });
+    }, &group);
   }
-  pool.wait_idle();
+  group.wait();
 }
 
 }  // namespace lumen

@@ -8,34 +8,42 @@
 namespace lumen::eval {
 
 const trace::Dataset& Benchmark::dataset(const std::string& id) {
-  auto it = datasets_.find(id);
-  if (it == datasets_.end()) {
-    it = datasets_.emplace(id, trace::make_dataset(id, opts_.dataset_scale))
-             .first;
-  }
-  return it->second;
+  Result<const trace::Dataset*> ds = datasets_.get_or_compute(
+      id, [&]() -> Result<trace::Dataset> {
+        return trace::make_dataset(id, opts_.dataset_scale);
+      });
+  return *ds.value();  // dataset generation cannot fail
 }
 
 Result<const FeatureTable*> Benchmark::features(const std::string& algo_id,
                                                 const std::string& ds_id) {
-  const auto key = std::make_pair(algo_id, ds_id);
-  auto it = feature_cache_.find(key);
-  if (it != feature_cache_.end()) return &it->second;
+  return feature_cache_.get_or_compute(
+      std::make_pair(algo_id, ds_id), [&]() -> Result<FeatureTable> {
+        const AlgorithmDef* algo = core::find_algorithm(algo_id);
+        if (algo == nullptr) {
+          return Error::make("benchmark", "unknown algorithm " + algo_id);
+        }
+        const trace::Dataset& ds = dataset(ds_id);
+        if (!core::compatible(*algo, ds)) {
+          return Error::make("benchmark",
+                             algo_id + " cannot faithfully run on " + ds_id +
+                                 " (granularity/requirements)");
+        }
+        Result<FeatureTable> t = core::compute_features(*algo, ds);
+        if (!t.ok()) return t.error();
+        features::impute_non_finite(t.value());
+        return std::move(t).value();
+      });
+}
 
-  const AlgorithmDef* algo = core::find_algorithm(algo_id);
-  if (algo == nullptr) {
-    return Error::make("benchmark", "unknown algorithm " + algo_id);
-  }
-  const trace::Dataset& ds = dataset(ds_id);
-  if (!core::compatible(*algo, ds)) {
-    return Error::make("benchmark", algo_id + " cannot faithfully run on " +
-                                        ds_id + " (granularity/requirements)");
-  }
-  Result<FeatureTable> t = core::compute_features(*algo, ds);
-  if (!t.ok()) return t.error();
-  features::impute_non_finite(t.value());
-  it = feature_cache_.emplace(key, std::move(t).value()).first;
-  return &it->second;
+Result<const Benchmark::Split*> Benchmark::split(const std::string& algo_id,
+                                                 const std::string& ds_id) {
+  return split_cache_.get_or_compute(
+      std::make_pair(algo_id, ds_id), [&]() -> Result<Split> {
+        Result<const FeatureTable*> feats = features(algo_id, ds_id);
+        if (!feats.ok()) return feats.error();
+        return split_by_time(*feats.value(), opts_.train_fraction);
+      });
 }
 
 std::pair<FeatureTable, FeatureTable> Benchmark::split_by_time(
@@ -80,39 +88,36 @@ FeatureTable Benchmark::cap_rows(const FeatureTable& t, size_t max_rows,
 
 Result<const core::ModelValue*> Benchmark::trained_model(
     const std::string& algo_id, const std::string& train_ds) {
-  const auto key = std::make_pair(algo_id, train_ds);
-  auto it = model_cache_.find(key);
-  if (it != model_cache_.end()) return &it->second;
+  return model_cache_.get_or_compute(
+      std::make_pair(algo_id, train_ds), [&]() -> Result<core::ModelValue> {
+        const AlgorithmDef* algo = core::find_algorithm(algo_id);
+        if (algo == nullptr) {
+          return Error::make("benchmark", "unknown algorithm " + algo_id);
+        }
+        Result<const Split*> sp = split(algo_id, train_ds);
+        if (!sp.ok()) return sp.error();
+        const FeatureTable capped =
+            cap_rows(sp.value()->first, opts_.max_train_rows,
+                     Rng::seed_from(algo_id + train_ds));
 
-  const AlgorithmDef* algo = core::find_algorithm(algo_id);
-  if (algo == nullptr) {
-    return Error::make("benchmark", "unknown algorithm " + algo_id);
-  }
-  Result<const FeatureTable*> feats = features(algo_id, train_ds);
-  if (!feats.ok()) return feats.error();
-  auto [train, test] = split_by_time(*feats.value(), opts_.train_fraction);
-  (void)test;
-  const FeatureTable capped =
-      cap_rows(train, opts_.max_train_rows, Rng::seed_from(key.first + key.second));
+        Result<core::ModelValue> mv = core::make_algorithm_model(*algo);
+        if (!mv.ok()) return mv.error();
+        core::ModelValue model = std::move(mv).value();
 
-  Result<core::ModelValue> mv = core::make_algorithm_model(*algo);
-  if (!mv.ok()) return mv.error();
-  core::ModelValue model = std::move(mv).value();
-
-  FeatureTable X = capped;
-  if (model.decorrelate) {
-    model.corr_filter = std::make_shared<features::CorrelationFilter>();
-    model.corr_filter->fit(X);
-    X = model.corr_filter->apply(X);
-  }
-  if (model.normalize) {
-    model.normalizer = std::make_shared<features::Normalizer>();
-    model.normalizer->fit(X);
-    model.normalizer->apply(X);
-  }
-  model.model->fit(X);
-  it = model_cache_.emplace(key, std::move(model)).first;
-  return &it->second;
+        FeatureTable X = capped;
+        if (model.decorrelate) {
+          model.corr_filter = std::make_shared<features::CorrelationFilter>();
+          model.corr_filter->fit(X);
+          X = model.corr_filter->apply(X);
+        }
+        if (model.normalize) {
+          model.normalizer = std::make_shared<features::Normalizer>();
+          model.normalizer->fit(X);
+          model.normalizer->apply(X);
+        }
+        model.model->fit(X);
+        return model;
+      });
 }
 
 Result<Benchmark::RunOutput> Benchmark::evaluate_table(
@@ -149,12 +154,11 @@ Result<Benchmark::RunOutput> Benchmark::same_dataset(
     const std::string& algo_id, const std::string& ds_id) {
   Result<const core::ModelValue*> model = trained_model(algo_id, ds_id);
   if (!model.ok()) return model.error();
-  Result<const FeatureTable*> feats = features(algo_id, ds_id);
-  if (!feats.ok()) return feats.error();
-  auto [train, test] = split_by_time(*feats.value(), opts_.train_fraction);
+  Result<const Split*> sp = split(algo_id, ds_id);
+  if (!sp.ok()) return sp.error();
   Result<RunOutput> out =
-      evaluate_table(algo_id, *model.value(), test, ds_id, ds_id);
-  if (out.ok()) out.value().record.n_train = train.rows;
+      evaluate_table(algo_id, *model.value(), sp.value()->second, ds_id, ds_id);
+  if (out.ok()) out.value().record.n_train = sp.value()->first.rows;
   return out;
 }
 
@@ -163,11 +167,10 @@ Result<Benchmark::RunOutput> Benchmark::cross_dataset(
     const std::string& test_ds) {
   Result<const core::ModelValue*> model = trained_model(algo_id, train_ds);
   if (!model.ok()) return model.error();
-  Result<const FeatureTable*> feats = features(algo_id, test_ds);
-  if (!feats.ok()) return feats.error();
-  auto [train, test] = split_by_time(*feats.value(), opts_.train_fraction);
-  (void)train;
-  return evaluate_table(algo_id, *model.value(), test, train_ds, test_ds);
+  Result<const Split*> sp = split(algo_id, test_ds);
+  if (!sp.ok()) return sp.error();
+  return evaluate_table(algo_id, *model.value(), sp.value()->second, train_ds,
+                        test_ds);
 }
 
 Result<Benchmark::RunOutput> Benchmark::merged_training(
@@ -183,9 +186,9 @@ Result<Benchmark::RunOutput> Benchmark::merged_training(
   for (const std::string& ds_id : trace::all_dataset_ids()) {
     const trace::Dataset& ds = dataset(ds_id);
     if (!core::strict_faithful(*algo, ds)) continue;
-    Result<const FeatureTable*> feats = features(algo_id, ds_id);
-    if (!feats.ok()) continue;  // incompatible pairs are simply skipped
-    auto [train, test] = split_by_time(*feats.value(), opts_.train_fraction);
+    Result<const Split*> sp = split(algo_id, ds_id);
+    if (!sp.ok()) continue;  // incompatible pairs are simply skipped
+    const auto& [train, test] = *sp.value();
     const size_t tr_rows = std::max<size_t>(
         1, static_cast<size_t>(fraction * static_cast<double>(train.rows) /
                                opts_.train_fraction));

@@ -7,7 +7,9 @@
 
 #include <map>
 #include <optional>
+#include <utility>
 
+#include "common/memo.h"
 #include "core/algorithms.h"
 #include "trace/registry.h"
 
@@ -88,9 +90,16 @@ class Benchmark {
       const FeatureTable& t, double train_fraction);
 
  private:
+  using PairKey = std::pair<std::string, std::string>;
+  using Split = std::pair<FeatureTable, FeatureTable>;
+
   /// Model trained on `train_ds` for `algo`, cached.
   Result<const core::ModelValue*> trained_model(const std::string& algo_id,
                                                 const std::string& train_ds);
+
+  /// Cached time-ordered train/test split of features(algo, ds).
+  Result<const Split*> split(const std::string& algo_id,
+                             const std::string& ds_id);
 
   FeatureTable cap_rows(const FeatureTable& t, size_t max_rows,
                         uint64_t salt) const;
@@ -101,9 +110,12 @@ class Benchmark {
                                    const std::string& test_ds);
 
   Options opts_;
-  std::map<std::string, trace::Dataset> datasets_;
-  std::map<std::pair<std::string, std::string>, FeatureTable> feature_cache_;
-  std::map<std::pair<std::string, std::string>, core::ModelValue> model_cache_;
+  // Concurrency-safe per-key memoization: sweep workers computing the same
+  // (algo, dataset) pair block on one computation instead of racing it.
+  MemoCache<std::string, trace::Dataset> datasets_;
+  MemoCache<PairKey, FeatureTable> feature_cache_;
+  MemoCache<PairKey, core::ModelValue> model_cache_;
+  MemoCache<PairKey, Split> split_cache_;
 };
 
 }  // namespace lumen::eval

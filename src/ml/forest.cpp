@@ -1,36 +1,53 @@
 #include "ml/forest.h"
 
+#include "common/parallel.h"
+
 namespace lumen::ml {
 
 void RandomForest::fit(const FeatureTable& X) {
-  trees_.clear();
-  trees_.reserve(cfg_.n_trees);
+  // Hoist per-tree seed derivation out of the loop so every tree's config
+  // seed and bootstrap stream depend only on its index — trees can then fit
+  // in parallel with results identical to the serial loop.
   Rng rng(cfg_.seed);
-  for (size_t t = 0; t < cfg_.n_trees; ++t) {
-    TreeConfig tc;
-    tc.max_depth = cfg_.max_depth;
-    tc.min_samples_leaf = cfg_.min_samples_leaf;
-    tc.use_sqrt_features = true;
-    tc.seed = rng.next();
-    DecisionTree tree(tc);
-    // Bootstrap sample (with replacement).
-    std::vector<size_t> rows(X.rows);
-    for (size_t i = 0; i < X.rows; ++i) {
-      rows[i] = static_cast<size_t>(rng.below(X.rows == 0 ? 1 : X.rows));
-    }
-    tree.fit_rows(X, rows);
-    trees_.push_back(std::move(tree));
+  std::vector<std::pair<uint64_t, uint64_t>> seeds(cfg_.n_trees);
+  for (auto& [tree_seed, boot_seed] : seeds) {
+    tree_seed = rng.next();
+    boot_seed = rng.next();
   }
+  trees_.assign(cfg_.n_trees, DecisionTree(TreeConfig{}));
+  parallel_for(
+      0, cfg_.n_trees,
+      [&](size_t t) {
+        TreeConfig tc;
+        tc.max_depth = cfg_.max_depth;
+        tc.min_samples_leaf = cfg_.min_samples_leaf;
+        tc.use_sqrt_features = true;
+        tc.seed = seeds[t].first;
+        DecisionTree tree(tc);
+        // Bootstrap sample (with replacement) from a per-tree stream.
+        Rng boot(seeds[t].second);
+        std::vector<size_t> rows(X.rows);
+        for (size_t i = 0; i < X.rows; ++i) {
+          rows[i] = static_cast<size_t>(boot.below(X.rows == 0 ? 1 : X.rows));
+        }
+        tree.fit_rows(X, rows);
+        trees_[t] = std::move(tree);
+      },
+      /*min_parallel=*/2);
 }
 
 std::vector<double> RandomForest::score(const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
   if (trees_.empty()) return out;
-  for (const DecisionTree& t : trees_) {
-    for (size_t r = 0; r < X.rows; ++r) out[r] += t.predict_row(X.row(r));
-  }
   const double inv = 1.0 / static_cast<double>(trees_.size());
-  for (double& v : out) v *= inv;
+  parallel_for(
+      0, X.rows,
+      [&](size_t r) {
+        double acc = 0.0;
+        for (const DecisionTree& t : trees_) acc += t.predict_row(X.row(r));
+        out[r] = acc * inv;
+      },
+      /*min_parallel=*/64);
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
+
 namespace lumen::ml {
 
 namespace {
@@ -139,57 +141,68 @@ void Gmm::fit(const FeatureTable& X) {
   // EM with responsibilities in log space.
   const size_t n = rows.size();
   std::vector<double> resp(n * k_, 0.0);
+  std::vector<double> row_ll(n, 0.0);
   double prev_ll = -std::numeric_limits<double>::max();
   for (size_t it = 0; it < cfg_.iters; ++it) {
-    // E-step.
+    // E-step: rows are independent; per-row log-likelihoods land in an
+    // index-addressed buffer and are reduced serially so the sum is
+    // byte-identical to the serial loop.
+    parallel_for(
+        0, n,
+        [&](size_t i) {
+          const auto x = X.row(rows[i]);
+          double maxl = -std::numeric_limits<double>::max();
+          thread_local std::vector<double> logp;
+          logp.resize(k_);
+          for (size_t c = 0; c < k_; ++c) {
+            double l = std::log(std::max(weight_[c], 1e-12));
+            for (size_t d = 0; d < dim_; ++d) {
+              const double v = var_[c * dim_ + d];
+              const double diff = x[d] - mean_[c * dim_ + d];
+              l += -0.5 * (std::log(2.0 * M_PI * v) + diff * diff / v);
+            }
+            logp[c] = l;
+            maxl = std::max(maxl, l);
+          }
+          double denom = 0.0;
+          for (size_t c = 0; c < k_; ++c) denom += std::exp(logp[c] - maxl);
+          row_ll[i] = maxl + std::log(denom);
+          for (size_t c = 0; c < k_; ++c) {
+            resp[i * k_ + c] = std::exp(logp[c] - maxl) / denom;
+          }
+        },
+        /*min_parallel=*/64);
     double total_ll = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const auto x = X.row(rows[i]);
-      double maxl = -std::numeric_limits<double>::max();
-      std::vector<double> logp(k_);
-      for (size_t c = 0; c < k_; ++c) {
-        double l = std::log(std::max(weight_[c], 1e-12));
-        for (size_t d = 0; d < dim_; ++d) {
-          const double v = var_[c * dim_ + d];
-          const double diff = x[d] - mean_[c * dim_ + d];
-          l += -0.5 * (std::log(2.0 * M_PI * v) + diff * diff / v);
-        }
-        logp[c] = l;
-        maxl = std::max(maxl, l);
-      }
-      double denom = 0.0;
-      for (size_t c = 0; c < k_; ++c) denom += std::exp(logp[c] - maxl);
-      total_ll += maxl + std::log(denom);
-      for (size_t c = 0; c < k_; ++c) {
-        resp[i * k_ + c] = std::exp(logp[c] - maxl) / denom;
-      }
-    }
+    for (size_t i = 0; i < n; ++i) total_ll += row_ll[i];
     final_ll_ = total_ll / static_cast<double>(n);
     if (std::fabs(final_ll_ - prev_ll) < 1e-8) break;
     prev_ll = final_ll_;
 
-    // M-step.
-    for (size_t c = 0; c < k_; ++c) {
-      double nk = 0.0;
-      for (size_t i = 0; i < n; ++i) nk += resp[i * k_ + c];
-      weight_[c] = std::max(nk / static_cast<double>(n), 1e-8);
-      if (nk < 1e-10) continue;
-      for (size_t d = 0; d < dim_; ++d) {
-        double m = 0.0;
-        for (size_t i = 0; i < n; ++i) {
-          m += resp[i * k_ + c] * X.at(rows[i], d);
-        }
-        mean_[c * dim_ + d] = m / nk;
-      }
-      for (size_t d = 0; d < dim_; ++d) {
-        double v = 0.0;
-        for (size_t i = 0; i < n; ++i) {
-          const double diff = X.at(rows[i], d) - mean_[c * dim_ + d];
-          v += resp[i * k_ + c] * diff * diff;
-        }
-        var_[c * dim_ + d] = std::max(v / nk, kVarFloor);
-      }
-    }
+    // M-step: components touch disjoint weight/mean/var slices.
+    parallel_for(
+        0, k_,
+        [&](size_t c) {
+          double nk = 0.0;
+          for (size_t i = 0; i < n; ++i) nk += resp[i * k_ + c];
+          weight_[c] = std::max(nk / static_cast<double>(n), 1e-8);
+          if (nk < 1e-10) return;
+          for (size_t d = 0; d < dim_; ++d) {
+            double m = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+              m += resp[i * k_ + c] * X.at(rows[i], d);
+            }
+            mean_[c * dim_ + d] = m / nk;
+          }
+          for (size_t d = 0; d < dim_; ++d) {
+            double v = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+              const double diff = X.at(rows[i], d) - mean_[c * dim_ + d];
+              v += resp[i * k_ + c] * diff * diff;
+            }
+            var_[c * dim_ + d] = std::max(v / nk, kVarFloor);
+          }
+        },
+        /*min_parallel=*/2);
   }
 
   // Threshold from benign scores.
@@ -219,7 +232,9 @@ double Gmm::log_density(std::span<const double> x) const {
 
 std::vector<double> Gmm::score(const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
-  for (size_t r = 0; r < X.rows; ++r) out[r] = -log_density(X.row(r));
+  parallel_for(
+      0, X.rows, [&](size_t r) { out[r] = -log_density(X.row(r)); },
+      /*min_parallel=*/64);
   return out;
 }
 

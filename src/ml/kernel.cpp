@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "features/stats.h"
 
 namespace lumen::ml {
@@ -70,15 +71,20 @@ void NystromMap::fit(const FeatureTable& X) {
   // K_mm and its inverse square root via eigendecomposition.
   const size_t m = n_landmarks_;
   std::vector<double> kmm(m * m, 0.0);
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t j = i; j < m; ++j) {
-      const double k = rbf_kernel(
-          {landmarks_.data() + i * n_features_, n_features_},
-          {landmarks_.data() + j * n_features_, n_features_}, gamma_);
-      kmm[i * m + j] = k;
-      kmm[j * m + i] = k;
-    }
-  }
+  // Each (i, j >= i) pair is written exactly once (both mirror cells), so
+  // rows of the upper triangle can be filled concurrently.
+  parallel_for(
+      0, m,
+      [&](size_t i) {
+        for (size_t j = i; j < m; ++j) {
+          const double k = rbf_kernel(
+              {landmarks_.data() + i * n_features_, n_features_},
+              {landmarks_.data() + j * n_features_, n_features_}, gamma_);
+          kmm[i * m + j] = k;
+          kmm[j * m + i] = k;
+        }
+      },
+      /*min_parallel=*/16);
   const SymEigen eig = jacobi_eigen(kmm, m);
   // Keep components with eigenvalue above a floor; projection = V L^{-1/2}.
   rank_ = 0;
@@ -104,21 +110,25 @@ FeatureTable NystromMap::transform(const FeatureTable& X) const {
   out.attack = X.attack;
   out.unit_time = X.unit_time;
 
-  std::vector<double> kvec(n_landmarks_);
-  for (size_t r = 0; r < X.rows; ++r) {
-    const auto x = X.row(r);
-    for (size_t i = 0; i < n_landmarks_; ++i) {
-      kvec[i] = rbf_kernel(
-          x, {landmarks_.data() + i * n_features_, n_features_}, gamma_);
-    }
-    for (size_t c = 0; c < rank_; ++c) {
-      double acc = 0.0;
-      for (size_t i = 0; i < n_landmarks_; ++i) {
-        acc += kvec[i] * projection_[i * rank_ + c];
-      }
-      out.at(r, c) = acc;
-    }
-  }
+  parallel_for(
+      0, X.rows,
+      [&](size_t r) {
+        thread_local std::vector<double> kvec;
+        kvec.resize(n_landmarks_);
+        const auto x = X.row(r);
+        for (size_t i = 0; i < n_landmarks_; ++i) {
+          kvec[i] = rbf_kernel(
+              x, {landmarks_.data() + i * n_features_, n_features_}, gamma_);
+        }
+        for (size_t c = 0; c < rank_; ++c) {
+          double acc = 0.0;
+          for (size_t i = 0; i < n_landmarks_; ++i) {
+            acc += kvec[i] * projection_[i * rank_ + c];
+          }
+          out.at(r, c) = acc;
+        }
+      },
+      /*min_parallel=*/32);
   return out;
 }
 
@@ -168,26 +178,35 @@ void OneClassSvm::fit(const FeatureTable& X) {
 
   gamma_ = cfg_.gamma > 0.0 ? cfg_.gamma : median_heuristic_gamma(support_);
 
-  // Dense kernel matrix over the (capped) training set.
+  // Dense kernel matrix over the (capped) training set; upper-triangle rows
+  // fill concurrently (each (i, j >= i) pair written exactly once).
   std::vector<double> K(n * n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i; j < n; ++j) {
-      const double k = rbf_kernel(support_.row(i), support_.row(j), gamma_);
-      K[i * n + j] = k;
-      K[j * n + i] = k;
-    }
-  }
+  parallel_for(
+      0, n,
+      [&](size_t i) {
+        for (size_t j = i; j < n; ++j) {
+          const double k = rbf_kernel(support_.row(i), support_.row(j), gamma_);
+          K[i * n + j] = k;
+          K[j * n + i] = k;
+        }
+      },
+      /*min_parallel=*/16);
 
   const double cap =
       std::max(1.0 / (cfg_.nu * static_cast<double>(n)), 1.0 / static_cast<double>(n));
   std::vector<double> grad(n);
   double step = 1.0;
   for (size_t it = 0; it < cfg_.iters; ++it) {
-    for (size_t i = 0; i < n; ++i) {
-      double g = 0.0;
-      for (size_t j = 0; j < n; ++j) g += K[i * n + j] * alpha_[j];
-      grad[i] = g;
-    }
+    // K alpha: each gradient entry is an independent dot product over the
+    // frozen alpha from the previous step.
+    parallel_for(
+        0, n,
+        [&](size_t i) {
+          double g = 0.0;
+          for (size_t j = 0; j < n; ++j) g += K[i * n + j] * alpha_[j];
+          grad[i] = g;
+        },
+        /*min_parallel=*/64);
     const double lr = step / (1.0 + 0.05 * static_cast<double>(it));
     for (size_t i = 0; i < n; ++i) alpha_[i] -= lr * grad[i];
     project_capped_simplex(alpha_, cap);
@@ -227,7 +246,9 @@ double OneClassSvm::decision(std::span<const double> x) const {
 
 std::vector<double> OneClassSvm::score(const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
-  for (size_t r = 0; r < X.rows; ++r) out[r] = decision(X.row(r));
+  parallel_for(
+      0, X.rows, [&](size_t r) { out[r] = decision(X.row(r)); },
+      /*min_parallel=*/16);
   return out;
 }
 

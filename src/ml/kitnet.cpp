@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "features/stats.h"
 
 namespace lumen::ml {
@@ -126,7 +127,9 @@ double KitNet::score_row(std::span<const double> x) const {
 std::vector<double> KitNet::score(const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
   if (!output_) return out;
-  for (size_t r = 0; r < X.rows; ++r) out[r] = score_row(X.row(r));
+  parallel_for(
+      0, X.rows, [&](size_t r) { out[r] = score_row(X.row(r)); },
+      /*min_parallel=*/32);
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/parallel.h"
+
 namespace lumen::ml {
 
 void Knn::fit(const FeatureTable& X) {
@@ -26,25 +28,31 @@ std::vector<double> Knn::score(const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
   if (train_.rows == 0) return out;
   const size_t k = std::min(cfg_.k, train_.rows);
-  std::vector<std::pair<double, int>> dist(train_.rows);
-  for (size_t r = 0; r < X.rows; ++r) {
-    const auto x = X.row(r);
-    for (size_t t = 0; t < train_.rows; ++t) {
-      const auto y = train_.row(t);
-      double d = 0.0;
-      for (size_t j = 0; j < train_.cols; ++j) {
-        const double diff = x[j] - y[j];
-        d += diff * diff;
-      }
-      dist[t] = {d, train_.labels[t]};
-    }
-    std::partial_sort(dist.begin(),
-                      dist.begin() + static_cast<std::ptrdiff_t>(k),
-                      dist.end());
-    double pos = 0.0;
-    for (size_t i = 0; i < k; ++i) pos += dist[i].second;
-    out[r] = pos / static_cast<double>(k);
-  }
+  // Each query row's distance scan is independent; the per-thread scratch
+  // buffer avoids reallocating the distance array per row.
+  parallel_for(
+      0, X.rows,
+      [&](size_t r) {
+        thread_local std::vector<std::pair<double, int>> dist;
+        dist.resize(train_.rows);
+        const auto x = X.row(r);
+        for (size_t t = 0; t < train_.rows; ++t) {
+          const auto y = train_.row(t);
+          double d = 0.0;
+          for (size_t j = 0; j < train_.cols; ++j) {
+            const double diff = x[j] - y[j];
+            d += diff * diff;
+          }
+          dist[t] = {d, train_.labels[t]};
+        }
+        std::partial_sort(dist.begin(),
+                          dist.begin() + static_cast<std::ptrdiff_t>(k),
+                          dist.end());
+        double pos = 0.0;
+        for (size_t i = 0; i < k; ++i) pos += dist[i].second;
+        out[r] = pos / static_cast<double>(k);
+      },
+      /*min_parallel=*/16);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "features/stats.h"
 
 namespace lumen::ml {
@@ -114,9 +115,10 @@ void Mlp::fit(const FeatureTable& X) {
 
 std::vector<double> Mlp::score(const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
-  for (size_t r = 0; r < X.rows; ++r) {
-    out[r] = forward(standardized(X.row(r)), nullptr);
-  }
+  parallel_for(
+      0, X.rows,
+      [&](size_t r) { out[r] = forward(standardized(X.row(r)), nullptr); },
+      /*min_parallel=*/64);
   return out;
 }
 
@@ -256,7 +258,9 @@ void AutoEncoderDetector::fit(const FeatureTable& X) {
 std::vector<double> AutoEncoderDetector::score(const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
   if (!ae_) return out;
-  for (size_t r = 0; r < X.rows; ++r) out[r] = ae_->score_sample(X.row(r));
+  parallel_for(
+      0, X.rows, [&](size_t r) { out[r] = ae_->score_sample(X.row(r)); },
+      /*min_parallel=*/64);
   return out;
 }
 

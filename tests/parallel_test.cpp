@@ -2,12 +2,22 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <stdexcept>
 
 #include "common/parallel.h"
 
 namespace lumen {
 namespace {
+
+// The CI container may expose a single core; force a multi-worker global
+// pool so the concurrency paths are actually exercised. Must run before the
+// first ThreadPool::global() call, hence a namespace-scope initializer.
+[[maybe_unused]] const bool kForceThreads = [] {
+  setenv("LUMEN_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
 
 TEST(ThreadPool, RunsAllTasks) {
   ThreadPool pool(3);
@@ -56,6 +66,105 @@ TEST(ParallelFor, SumMatchesSerial) {
   parallel_for(1, 10001, [&](size_t i) { sum.fetch_add(static_cast<long long>(i)); },
                /*min_parallel=*/16);
   EXPECT_EQ(sum.load(), 10000LL * 10001 / 2);
+}
+
+TEST(ParallelFor, NestedCallCompletesWithExactCoverage) {
+  // A pool worker issuing parallel_for must not deadlock on the shared pool
+  // (the old global-pending design did); the inner loop runs on the caller.
+  ASSERT_GT(ThreadPool::global().size(), 1u);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  parallel_for(
+      0, kOuter,
+      [&](size_t o) {
+        parallel_for(
+            0, kInner,
+            [&](size_t i) { hits[o * kInner + i].fetch_add(1); },
+            /*min_parallel=*/1);
+      },
+      /*min_parallel=*/1);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelFor, DeeplyNestedRunsSerialOnWorker) {
+  std::atomic<int> count{0};
+  parallel_for(
+      0, 8,
+      [&](size_t) {
+        parallel_for(
+            0, 8,
+            [&](size_t) {
+              parallel_for(0, 8, [&](size_t) { count.fetch_add(1); },
+                           /*min_parallel=*/1);
+            },
+            /*min_parallel=*/1);
+      },
+      /*min_parallel=*/1);
+  EXPECT_EQ(count.load(), 8 * 8 * 8);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(
+        0, 512,
+        [&](size_t i) {
+          ran.fetch_add(1);
+          if (i == 100) throw std::runtime_error("task failed");
+        },
+        /*min_parallel=*/1);
+    FAIL() << "expected parallel_for to rethrow the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+  // The pool must stay usable after an exception.
+  std::atomic<int> after{0};
+  parallel_for(0, 256, [&](size_t) { after.fetch_add(1); },
+               /*min_parallel=*/1);
+  EXPECT_EQ(after.load(), 256);
+}
+
+TEST(ParallelFor, SerialGuardForcesInlineExecution) {
+  SerialGuard guard;
+  std::vector<size_t> order;
+  parallel_for(0, 2000, [&](size_t i) { order.push_back(i); },
+               /*min_parallel=*/1);  // no atomics needed: must run inline
+  ASSERT_EQ(order.size(), 2000u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("submit failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // Error is consumed; the pool keeps working.
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(TaskGroup, TracksOnlyItsOwnTasks) {
+  ThreadPool pool(2);
+  TaskGroup slow, fast;
+  std::atomic<bool> slow_done{false};
+  pool.submit(
+      [&] {
+        for (int i = 0; i < 200; ++i) std::this_thread::yield();
+        slow_done.store(true);
+      },
+      &slow);
+  std::atomic<int> fast_count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&fast_count] { fast_count.fetch_add(1); }, &fast);
+  }
+  fast.wait();  // must not wait on the slow group's task
+  EXPECT_EQ(fast_count.load(), 8);
+  slow.wait();
+  EXPECT_TRUE(slow_done.load());
 }
 
 }  // namespace

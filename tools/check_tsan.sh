@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Race-check the threading layer: build the pool/sweep tests with
+# ThreadSanitizer and run them on an oversubscribed pool. Usage:
+#   tools/check_tsan.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-tsan}"
+
+cmake -B "$BUILD" -S . -DLUMEN_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j --target parallel_test sweep_test
+
+export LUMEN_THREADS="${LUMEN_THREADS:-4}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+"$BUILD/tests/parallel_test"
+"$BUILD/tests/sweep_test"
+
+echo "TSan: parallel_test + sweep_test clean"
