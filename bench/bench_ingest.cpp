@@ -1,0 +1,179 @@
+// Gateway ingestion throughput benchmark: drives the IngestRuntime over the
+// P1 (Mirai) capture with a trained OnlineKitsune per consumer, sweeping the
+// consumer count; checks that paced and unpaced replay of the same capture
+// alert identically; and stresses a multi-consumer run over a
+// fault-injecting source. Emits BENCH_ingest.json.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/ingest.h"
+#include "core/stream.h"
+#include "netio/source.h"
+#include "trace/registry.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ConfigResult {
+  size_t consumers = 0;
+  double seconds = 0.0;
+  double pkts_per_sec = 0.0;
+  lumen::core::IngestStats stats;
+};
+
+}  // namespace
+
+int main() {
+  using namespace lumen;
+  std::printf("bench_ingest: gateway ingestion runtime throughput\n\n");
+
+  const trace::Dataset ds = trace::make_dataset("P1", 0.4);
+  const size_t grace = ds.trace.view.size() * 45 / 100;
+  const size_t streamed = ds.trace.view.size() - grace;
+  std::printf("capture: P1 x0.4, %zu packets (%zu grace / %zu streamed)\n",
+              ds.trace.view.size(), grace, streamed);
+
+  core::OnlineKitsune proto;
+  proto.train({ds.trace.view.data(), grace});
+  std::printf("trained OnlineKitsune prototype (threshold %.4f)\n\n",
+              proto.threshold());
+
+  auto kitsune_factory = [&proto](size_t) {
+    return std::make_unique<core::KitsuneScorer>(proto);
+  };
+  netio::ReplayOptions rest;
+  rest.begin = grace;
+
+  // Throughput sweep: scored packets per second at 1/2/4 consumers.
+  std::vector<ConfigResult> configs;
+  std::printf("%-10s %-10s %-12s %-8s %s\n", "consumers", "seconds",
+              "pkts/sec", "alerts", "queue_high_water");
+  for (size_t consumers : {1u, 2u, 4u}) {
+    netio::TraceReplaySource src(ds.trace, rest);
+    core::IngestRuntime::Options opts;
+    opts.consumers = consumers;
+    core::IngestRuntime rt(opts, kitsune_factory, nullptr);
+    const Clock::time_point t0 = Clock::now();
+    auto stats = rt.run(src);
+    const double secs = seconds_since(t0);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", stats.error().message.c_str());
+      return 1;
+    }
+    ConfigResult r;
+    r.consumers = consumers;
+    r.seconds = secs;
+    r.pkts_per_sec = secs > 0.0 ? static_cast<double>(stats.value().scored) / secs
+                                : 0.0;
+    r.stats = stats.value();
+    configs.push_back(r);
+    std::printf("%-10zu %-10.3f %-12.0f %-8llu %zu\n", consumers, secs,
+                r.pkts_per_sec,
+                static_cast<unsigned long long>(r.stats.alerted),
+                r.stats.queue_high_water);
+  }
+
+  // Determinism: paced replay (sped up, sleeps clamped) must produce the
+  // same alert count as unpaced replay — pacing only changes arrival
+  // timing, never what gets scored. One consumer keeps capture order.
+  auto alert_count = [&](bool pace) -> long long {
+    netio::ReplayOptions opts = rest;
+    opts.pace = pace;
+    opts.speed = 2000.0;
+    opts.max_sleep = 0.0005;
+    netio::TraceReplaySource src(ds.trace, opts);
+    core::CollectingSink sink;
+    core::IngestRuntime rt(core::IngestRuntime::Options{}, kitsune_factory,
+                           &sink);
+    auto stats = rt.run(src);
+    if (!stats.ok()) return -1;
+    return static_cast<long long>(stats.value().alerted);
+  };
+  const long long unpaced_alerts = alert_count(false);
+  const long long paced_alerts = alert_count(true);
+  const bool deterministic =
+      unpaced_alerts >= 0 && unpaced_alerts == paced_alerts;
+  std::printf("\npaced vs unpaced alerts: %lld vs %lld (%s)\n", paced_alerts,
+              unpaced_alerts, deterministic ? "identical" : "MISMATCH (BUG)");
+
+  // Fault stress: multi-consumer run over a truncating/corrupting/
+  // reordering source with a lossy queue. Parse skips are expected; the
+  // runtime must account for every packet.
+  netio::TraceReplaySource inner(ds.trace, rest);
+  netio::FaultOptions faults;
+  faults.truncate_p = 0.05;
+  faults.corrupt_p = 0.05;
+  faults.reorder_p = 0.05;
+  faults.seed = 7;
+  netio::FaultInjectingSource faulty(inner, faults);
+  core::IngestRuntime::Options fopts;
+  fopts.consumers = 2;
+  fopts.queue_capacity = 512;
+  fopts.overflow = core::OverflowPolicy::kDropOldest;
+  core::IngestRuntime frt(fopts, kitsune_factory, nullptr);
+  auto fstats_r = frt.run(faulty);
+  if (!fstats_r.ok()) {
+    std::fprintf(stderr, "fault ingest: %s\n", fstats_r.error().message.c_str());
+    return 1;
+  }
+  const core::IngestStats fstats = fstats_r.value();
+  const bool fault_accounted =
+      fstats.scored + fstats.parse_skipped == fstats.enqueued - fstats.dropped;
+  std::printf(
+      "fault run (2 consumers, drop-oldest): enqueued=%llu dropped=%llu "
+      "parse_skipped=%llu scored=%llu alerted=%llu (%s)\n",
+      static_cast<unsigned long long>(fstats.enqueued),
+      static_cast<unsigned long long>(fstats.dropped),
+      static_cast<unsigned long long>(fstats.parse_skipped),
+      static_cast<unsigned long long>(fstats.scored),
+      static_cast<unsigned long long>(fstats.alerted),
+      fault_accounted ? "accounted" : "LEAK (BUG)");
+
+  if (std::FILE* f = std::fopen("BENCH_ingest.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"ingest_runtime\",\n"
+                 "  \"capture\": \"P1\",\n"
+                 "  \"streamed_packets\": %zu,\n"
+                 "  \"configs\": [\n",
+                 streamed);
+    for (size_t i = 0; i < configs.size(); ++i) {
+      const ConfigResult& r = configs[i];
+      std::fprintf(f,
+                   "    {\"consumers\": %zu, \"seconds\": %.4f, "
+                   "\"pkts_per_sec\": %.1f, \"scored\": %llu, "
+                   "\"alerted\": %llu}%s\n",
+                   r.consumers, r.seconds, r.pkts_per_sec,
+                   static_cast<unsigned long long>(r.stats.scored),
+                   static_cast<unsigned long long>(r.stats.alerted),
+                   i + 1 < configs.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"paced_alerts\": %lld,\n"
+                 "  \"unpaced_alerts\": %lld,\n"
+                 "  \"paced_deterministic\": %s,\n"
+                 "  \"fault_run\": {\"enqueued\": %llu, \"dropped\": %llu, "
+                 "\"parse_skipped\": %llu, \"scored\": %llu, "
+                 "\"alerted\": %llu, \"accounted\": %s}\n"
+                 "}\n",
+                 paced_alerts, unpaced_alerts,
+                 deterministic ? "true" : "false",
+                 static_cast<unsigned long long>(fstats.enqueued),
+                 static_cast<unsigned long long>(fstats.dropped),
+                 static_cast<unsigned long long>(fstats.parse_skipped),
+                 static_cast<unsigned long long>(fstats.scored),
+                 static_cast<unsigned long long>(fstats.alerted),
+                 fault_accounted ? "true" : "false");
+    std::fclose(f);
+    std::printf("[artifact] BENCH_ingest.json\n");
+  }
+  return (deterministic && fault_accounted) ? 0 : 1;
+}

@@ -1,17 +1,65 @@
-// Online gateway detection over a pcap file, using the streaming API:
-// write a capture with Lumen's own pcap writer, read it back (as a gateway
-// replaying a capture would), train OnlineKitsune on the benign head of the
-// stream, and then process the rest packet by packet, printing an alert
-// timeline. Nothing here looks at the future: statistics, the feature map,
-// the autoencoders, and the threshold all come from the stream prefix.
+// Online gateway detection through the ingestion runtime: write a capture
+// with Lumen's own pcap writer, replay it from disk through a PacketSource
+// (as a gateway replaying a capture would), and let the IngestRuntime's
+// consumer thread parse, score with OnlineKitsune, and emit alerts into a
+// timeline sink. Nothing here looks at the future: statistics, the feature
+// map, the autoencoders, and the threshold all come from the stream prefix.
 //
 //   ./live_detection [output.pcap]
 #include <cstdio>
 #include <filesystem>
 
+#include "core/ingest.h"
 #include "core/stream.h"
 #include "netio/pcap.h"
+#include "netio/source.h"
 #include "trace/registry.h"
+
+namespace {
+
+// Coalesces scored packets into a 5-second alert timeline. Ground truth
+// comes from the generator labels, addressed by original capture index (a
+// real gateway would not have it). The runtime serializes sink calls.
+class TimelineSink : public lumen::core::AlertSink {
+ public:
+  explicit TimelineSink(const std::vector<uint8_t>& truth) : truth_(truth) {}
+
+  void on_alert(const lumen::core::Alert&) override {}
+
+  void on_packet(const lumen::netio::PacketView& v, double score,
+                 bool alerted) override {
+    if (!started_) {
+      window_start_ = v.ts;
+      started_ = true;
+      std::printf("%-10s %-8s %-8s %s\n", "window", "packets", "alerts",
+                  "truth:malicious");
+    }
+    ++window_pkts_;
+    window_alerts_ += alerted;
+    total_alerts_ += alerted;
+    const bool truly_bad = v.index < truth_.size() && truth_[v.index] != 0;
+    window_true_ += truly_bad;
+    total_true_ += truly_bad;
+    if (v.ts - window_start_ >= 5.0) {
+      std::printf("t+%-8.0f %-8zu %-8zu %zu\n", window_start_, window_pkts_,
+                  window_alerts_, window_true_);
+      window_start_ = v.ts;
+      window_pkts_ = window_alerts_ = window_true_ = 0;
+    }
+  }
+
+  size_t total_alerts() const { return total_alerts_; }
+  size_t total_true() const { return total_true_; }
+
+ private:
+  const std::vector<uint8_t>& truth_;
+  bool started_ = false;
+  double window_start_ = 0.0;
+  size_t window_pkts_ = 0, window_alerts_ = 0, window_true_ = 0;
+  size_t total_alerts_ = 0, total_true_ = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace lumen;
@@ -30,12 +78,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pcap write: %s\n", w.error().message.c_str());
     return 1;
   }
-  auto reloaded = netio::read_pcap(pcap_path);
-  if (!reloaded.ok()) {
-    std::fprintf(stderr, "pcap read: %s\n", reloaded.error().message.c_str());
+  auto source_r = netio::PcapReplaySource::open(pcap_path);
+  if (!source_r.ok()) {
+    std::fprintf(stderr, "pcap read: %s\n", source_r.error().message.c_str());
     return 1;
   }
-  const netio::Trace& live = reloaded.value();
+  netio::PcapReplaySource& full = *source_r.value();
+  const netio::Trace& live = full.trace();
   std::printf("Wrote and reloaded %zu packets via %s\n\n", live.size(),
               pcap_path.c_str());
 
@@ -48,30 +97,40 @@ int main(int argc, char** argv) {
       "(threshold %.4f)\n\n",
       grace, detector.threshold());
 
-  // Stream the rest live; coalesce a 5-second alert timeline. Ground truth
-  // comes from the generator (a real gateway would not have it).
-  std::printf("%-10s %-8s %-8s %s\n", "window", "packets", "alerts",
-              "truth:malicious");
-  size_t window_pkts = 0, window_alerts = 0, window_true = 0;
-  double window_start = live.view[grace].ts;
-  size_t total_alerts = 0, total_true = 0;
-  for (size_t i = grace; i < live.view.size(); ++i) {
-    const bool alert = detector.process(live.view[i]);
-    ++window_pkts;
-    window_alerts += alert;
-    total_alerts += alert;
-    window_true += ds.pkt_label[i];
-    total_true += ds.pkt_label[i];
-    if (live.view[i].ts - window_start >= 5.0) {
-      std::printf("t+%-8.0f %-8zu %-8zu %zu\n", window_start, window_pkts,
-                  window_alerts, window_true);
-      window_start = live.view[i].ts;
-      window_pkts = window_alerts = window_true = 0;
-    }
+  // Stream the rest through the ingestion runtime: a replay source feeding
+  // the bounded queue, one consumer scoring with the trained detector.
+  netio::ReplayOptions replay;
+  replay.begin = grace;
+  netio::TraceReplaySource rest(live, replay);
+
+  TimelineSink sink(ds.pkt_label);
+  core::IngestRuntime::Options opts;
+  opts.consumers = 1;  // one consumer keeps the timeline in capture order
+  core::IngestRuntime runtime(
+      opts,
+      [&detector](size_t) {
+        return std::make_unique<core::KitsuneScorer>(detector);
+      },
+      &sink);
+  auto stats_r = runtime.run(rest);
+  if (!stats_r.ok()) {
+    std::fprintf(stderr, "ingest: %s\n", stats_r.error().message.c_str());
+    return 1;
   }
+  const core::IngestStats& st = stats_r.value();
+
   std::printf(
-      "\n%zu alerts over %zu streamed packets (%zu truly malicious).\n",
-      total_alerts, live.view.size() - grace, total_true);
+      "\n%zu alerts over %llu streamed packets (%zu truly malicious).\n",
+      sink.total_alerts(), static_cast<unsigned long long>(st.scored),
+      sink.total_true());
+  std::printf(
+      "ingest stats: enqueued=%llu dropped=%llu parse_skipped=%llu "
+      "scored=%llu alerted=%llu queue_high_water=%zu\n",
+      static_cast<unsigned long long>(st.enqueued),
+      static_cast<unsigned long long>(st.dropped),
+      static_cast<unsigned long long>(st.parse_skipped),
+      static_cast<unsigned long long>(st.scored),
+      static_cast<unsigned long long>(st.alerted), st.queue_high_water);
   std::filesystem::remove(pcap_path);
   return 0;
 }

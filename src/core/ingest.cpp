@@ -1,0 +1,161 @@
+#include "core/ingest.h"
+
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "netio/parse.h"
+
+namespace lumen::core {
+
+BoundedPacketQueue::BoundedPacketQueue(size_t capacity, OverflowPolicy policy)
+    : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+bool BoundedPacketQueue::push(netio::SourcePacket p) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (policy_ == OverflowPolicy::kBlock) {
+    not_full_.wait(lock,
+                   [this] { return q_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+  } else if (q_.size() >= capacity_) {
+    if (closed_) return false;
+    q_.pop_front();
+    ++dropped_;
+  } else if (closed_) {
+    return false;
+  }
+  q_.push_back(std::move(p));
+  high_water_ = std::max(high_water_, q_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool BoundedPacketQueue::pop(netio::SourcePacket& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return !q_.empty() || closed_; });
+  if (q_.empty()) return false;  // closed and drained
+  out = std::move(q_.front());
+  q_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void BoundedPacketQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+uint64_t BoundedPacketQueue::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t BoundedPacketQueue::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+IngestRuntime::IngestRuntime(Options opts, ScorerFactory factory,
+                             AlertSink* sink)
+    : opts_(opts), factory_(std::move(factory)), sink_(sink) {
+  if (opts_.consumers == 0) opts_.consumers = 1;
+}
+
+void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
+                            PacketScorer& scorer, netio::LinkType link) {
+  netio::SourcePacket sp;
+  while (queue.pop(sp)) {
+    auto parsed = netio::parse_packet(sp.pkt, link, sp.capture_index);
+    if (!parsed.ok()) {
+      parse_skipped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const netio::PacketView& view = parsed.value();
+    const double score = scorer.score(view);
+    const double threshold = scorer.threshold();
+    const bool alerted = score > threshold;
+    scored_.fetch_add(1, std::memory_order_relaxed);
+    if (alerted) alerted_.fetch_add(1, std::memory_order_relaxed);
+    if (sink_ != nullptr) {
+      std::lock_guard<std::mutex> lock(sink_mu_);
+      sink_->on_packet(view, score, alerted);
+      if (alerted) {
+        sink_->on_alert(Alert{view.ts, view.index, score, threshold, id});
+      }
+    }
+  }
+}
+
+Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
+  enqueued_.store(0);
+  parse_skipped_.store(0);
+  scored_.store(0);
+  alerted_.store(0);
+  dropped_snapshot_ = 0;
+  high_water_snapshot_ = 0;
+  stop_.store(false);
+
+  std::vector<std::unique_ptr<PacketScorer>> scorers;
+  scorers.reserve(opts_.consumers);
+  for (size_t c = 0; c < opts_.consumers; ++c) {
+    scorers.push_back(factory_(c));
+    if (!scorers.back()) {
+      return Error::make("ingest", "scorer factory returned null for consumer " +
+                                       std::to_string(c));
+    }
+  }
+
+  BoundedPacketQueue queue(opts_.queue_capacity, opts_.overflow);
+  const netio::LinkType link = source.link();
+
+  // Consumers follow the parallel.h exception convention: the first failure
+  // is captured and rethrown on the caller once every thread has joined.
+  std::vector<std::exception_ptr> errors(opts_.consumers);
+  std::vector<std::thread> threads;
+  threads.reserve(opts_.consumers);
+  for (size_t c = 0; c < opts_.consumers; ++c) {
+    threads.emplace_back([this, c, &queue, &scorers, &errors, link] {
+      try {
+        consume(c, queue, *scorers[c], link);
+      } catch (...) {
+        errors[c] = std::current_exception();
+        queue.close();  // don't leave the producer blocked on a dead run
+      }
+    });
+  }
+
+  // Producer loop on the calling thread.
+  netio::SourcePacket sp;
+  while (!stop_.load(std::memory_order_relaxed) && source.next(sp)) {
+    if (!queue.push(std::move(sp))) break;  // closed: consumer died or stop
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue.close();
+  for (auto& t : threads) t.join();
+
+  dropped_snapshot_ = queue.dropped();
+  high_water_snapshot_ = queue.high_water();
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  return stats();
+}
+
+IngestStats IngestRuntime::stats() const {
+  IngestStats s;
+  s.enqueued = enqueued_.load(std::memory_order_relaxed);
+  s.dropped = dropped_snapshot_;
+  s.parse_skipped = parse_skipped_.load(std::memory_order_relaxed);
+  s.scored = scored_.load(std::memory_order_relaxed);
+  s.alerted = alerted_.load(std::memory_order_relaxed);
+  s.queue_high_water = high_water_snapshot_;
+  return s;
+}
+
+}  // namespace lumen::core

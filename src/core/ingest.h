@@ -1,0 +1,216 @@
+// Gateway ingestion runtime: decouples packet capture from detection.
+//
+//   PacketSource -> BoundedPacketQueue -> N consumer threads -> AlertSink
+//
+// One producer (the calling thread) pulls packets from a netio::PacketSource
+// into a bounded ring queue with an explicit overflow policy; each consumer
+// thread parses, scores with its own PacketScorer (OnlineKitsune or any
+// callable — e.g. a scorer assembled from core::Op pipelines), and emits
+// alerts through a pluggable sink. Shutdown is graceful: the producer closes
+// the queue at end of stream, consumers drain what is left and join. The
+// runtime exports ingest statistics (enqueued, dropped, parse-skipped,
+// scored, alerted, queue high-water mark).
+//
+// Threading follows common/parallel.h conventions: consumers are dedicated
+// threads (they are long-running, so they must not occupy the shared
+// ThreadPool's workers), completion is join-based, and the first exception
+// thrown by any consumer is captured and rethrown on the caller after every
+// thread has drained.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/stream.h"
+#include "netio/source.h"
+
+namespace lumen::core {
+
+/// What to do when a producer pushes into a full queue.
+enum class OverflowPolicy : uint8_t {
+  kBlock,       // wait for a consumer to free a slot (lossless, backpressure)
+  kDropOldest,  // evict the oldest queued packet (bounded latency, lossy)
+};
+
+/// Bounded MPSC-style ring queue of packets. push() honors the overflow
+/// policy; pop() blocks until a packet arrives or the queue is closed and
+/// empty. Thread-safe for any number of producers and consumers.
+class BoundedPacketQueue {
+ public:
+  BoundedPacketQueue(size_t capacity, OverflowPolicy policy);
+
+  /// Enqueue one packet. Returns false only when the queue was closed
+  /// before a slot became available.
+  bool push(netio::SourcePacket p);
+
+  /// Dequeue one packet, blocking while the queue is open and empty.
+  /// Returns false when the queue is closed and fully drained.
+  bool pop(netio::SourcePacket& out);
+
+  /// Close the queue: pending packets remain poppable, further push()es
+  /// fail, and blocked producers/consumers wake up.
+  void close();
+
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const;
+  size_t high_water() const;
+
+ private:
+  const size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<netio::SourcePacket> q_;
+  uint64_t dropped_ = 0;
+  size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+/// Counters exported by a runtime run. `enqueued` counts packets accepted
+/// from the source; `dropped` those evicted by kDropOldest; `parse_skipped`
+/// malformed frames consumers could not parse; `scored` packets that went
+/// through a scorer; `alerted` scores above threshold.
+struct IngestStats {
+  uint64_t enqueued = 0;
+  uint64_t dropped = 0;
+  uint64_t parse_skipped = 0;
+  uint64_t scored = 0;
+  uint64_t alerted = 0;
+  size_t queue_high_water = 0;
+};
+
+/// One alert emitted by a consumer.
+struct Alert {
+  double ts = 0.0;             // capture timestamp of the packet
+  uint32_t capture_index = 0;  // index in the original capture
+  double score = 0.0;
+  double threshold = 0.0;
+  size_t consumer = 0;  // which consumer thread scored it
+};
+
+/// Receives scored packets and alerts. The runtime serializes all calls
+/// with an internal mutex, so implementations need no locking of their own.
+class AlertSink {
+ public:
+  virtual ~AlertSink() = default;
+
+  /// Called for every packet above threshold.
+  virtual void on_alert(const Alert& alert) = 0;
+
+  /// Called for every successfully scored packet (including alerts), in
+  /// consumption order per consumer. Default: ignore.
+  virtual void on_packet(const netio::PacketView& view, double score,
+                         bool alerted) {}
+};
+
+/// Sink that just accumulates alerts (tests, benchmarks).
+class CollectingSink : public AlertSink {
+ public:
+  void on_alert(const Alert& alert) override { alerts_.push_back(alert); }
+  const std::vector<Alert>& alerts() const { return alerts_; }
+
+ private:
+  std::vector<Alert> alerts_;
+};
+
+/// Per-consumer scoring state. Each consumer owns one scorer, so
+/// implementations may keep mutable streaming state without locking.
+class PacketScorer {
+ public:
+  virtual ~PacketScorer() = default;
+  virtual double score(const netio::PacketView& view) = 0;
+  virtual double threshold() const = 0;
+};
+
+/// OnlineKitsune as a PacketScorer. Copies the (typically pre-trained)
+/// detector so every consumer scores with identical initial state.
+class KitsuneScorer : public PacketScorer {
+ public:
+  explicit KitsuneScorer(OnlineKitsune detector)
+      : detector_(std::move(detector)) {}
+
+  double score(const netio::PacketView& view) override {
+    return detector_.score_packet(view);
+  }
+  double threshold() const override { return detector_.threshold(); }
+
+ private:
+  OnlineKitsune detector_;
+};
+
+/// Adapts any callable to a PacketScorer — the hook for scorers assembled
+/// from core::Op pipelines or ad-hoc heuristics.
+class FnScorer : public PacketScorer {
+ public:
+  FnScorer(std::function<double(const netio::PacketView&)> fn,
+           double threshold)
+      : fn_(std::move(fn)), threshold_(threshold) {}
+
+  double score(const netio::PacketView& view) override { return fn_(view); }
+  double threshold() const override { return threshold_; }
+
+ private:
+  std::function<double(const netio::PacketView&)> fn_;
+  double threshold_;
+};
+
+/// Builds one scorer per consumer thread; called with the consumer id
+/// before the stream starts.
+using ScorerFactory =
+    std::function<std::unique_ptr<PacketScorer>(size_t consumer_id)>;
+
+/// The ingestion runtime. One run() drives a source to exhaustion:
+///
+///   IngestRuntime::Options opt;
+///   opt.consumers = 2;
+///   IngestRuntime rt(opt, factory, &sink);
+///   auto stats = rt.run(source);
+class IngestRuntime {
+ public:
+  struct Options {
+    size_t queue_capacity = 4096;
+    OverflowPolicy overflow = OverflowPolicy::kBlock;
+    size_t consumers = 1;
+  };
+
+  IngestRuntime(Options opts, ScorerFactory factory, AlertSink* sink);
+
+  /// Drain `source` through the queue and the consumer threads. Blocks
+  /// until the stream ends (or request_stop()) and every consumer has
+  /// joined. Returns the run's statistics; an Error if a scorer could not
+  /// be built. The first exception thrown by a consumer is rethrown here.
+  Result<IngestStats> run(netio::PacketSource& source);
+
+  /// Ask a running run() to wind down early (callable from any thread).
+  /// The queue is closed; consumers drain what is already buffered.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Statistics of the current (or last finished) run.
+  IngestStats stats() const;
+
+ private:
+  void consume(size_t id, BoundedPacketQueue& queue, PacketScorer& scorer,
+               netio::LinkType link);
+
+  Options opts_;
+  ScorerFactory factory_;
+  AlertSink* sink_;
+  std::atomic<bool> stop_{false};
+  std::mutex sink_mu_;
+
+  std::atomic<uint64_t> enqueued_{0};
+  std::atomic<uint64_t> parse_skipped_{0};
+  std::atomic<uint64_t> scored_{0};
+  std::atomic<uint64_t> alerted_{0};
+  uint64_t dropped_snapshot_ = 0;
+  size_t high_water_snapshot_ = 0;
+};
+
+}  // namespace lumen::core

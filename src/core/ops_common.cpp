@@ -117,9 +117,15 @@ double compute_agg(const trace::Dataset& ds, const std::vector<uint32_t>& idx,
 void fill_unit_metadata(const trace::Dataset& ds,
                         const std::vector<std::vector<uint32_t>>& units,
                         features::FeatureTable& t) {
+  std::vector<uint32_t> capture_idx;
   for (size_t r = 0; r < units.size() && r < t.rows; ++r) {
     uint8_t attack = 0;
-    t.labels[r] = flow::unit_label(units[r], ds.pkt_label, ds.pkt_attack,
+    // Unit members are view positions; the label arrays are aligned with
+    // the original capture, so translate through PacketView::index.
+    capture_idx.clear();
+    capture_idx.reserve(units[r].size());
+    for (uint32_t p : units[r]) capture_idx.push_back(ds.trace.view[p].index);
+    t.labels[r] = flow::unit_label(capture_idx, ds.pkt_label, ds.pkt_attack,
                                    &attack);
     t.attack[r] = attack;
     t.unit_id[r] = static_cast<int64_t>(r);

@@ -210,8 +210,8 @@ Result<Value> run_window_stats(const OpSpec& spec,
     for (size_t c = 0; c < aggs.size(); ++c) {
       t.at(r, c) = compute_agg(ds, unit, aggs[c]);
     }
-    t.labels[r] = ds.pkt_label[i];
-    t.attack[r] = ds.pkt_attack[i];
+    t.labels[r] = ds.label_at(i);
+    t.attack[r] = ds.attack_at(i);
     t.unit_id[r] = i;
     t.unit_time[r] = v.ts;
   }
@@ -254,8 +254,8 @@ Result<Value> run_packet_features(const OpSpec& spec,
     if (one_hot_app) {
       t.at(r, fields.size() + static_cast<size_t>(v.app)) = 1.0;
     }
-    t.labels[r] = ds.pkt_label[i];
-    t.attack[r] = ds.pkt_attack[i];
+    t.labels[r] = ds.label_at(i);
+    t.attack[r] = ds.attack_at(i);
     t.unit_id[r] = i;
     t.unit_time[r] = v.ts;
   }
@@ -284,8 +284,8 @@ Result<Value> run_damped_stats(const OpSpec& spec,
     extractor.process(v, row);
     std::copy(row.begin(), row.end(),
               t.data.begin() + static_cast<std::ptrdiff_t>(r * t.cols));
-    t.labels[r] = ds.pkt_label[i];
-    t.attack[r] = ds.pkt_attack[i];
+    t.labels[r] = ds.label_at(i);
+    t.attack[r] = ds.attack_at(i);
     t.unit_id[r] = i;
     t.unit_time[r] = v.ts;
   }
@@ -353,8 +353,8 @@ Result<Value> run_nprint(const OpSpec& spec,
         }
       }
     }
-    t.labels[r] = ds.pkt_label[i];
-    t.attack[r] = ds.pkt_attack[i];
+    t.labels[r] = ds.label_at(i);
+    t.attack[r] = ds.attack_at(i);
     t.unit_id[r] = i;
     t.unit_time[r] = v.ts;
   });

@@ -29,7 +29,8 @@ const char* conn_state_name(ConnState s) {
 std::vector<Flow> assemble_uniflows(const Trace& trace, double timeout) {
   std::vector<Flow> flows;
   std::unordered_map<FlowKey, size_t, FlowKeyHash> active;
-  for (const PacketView& v : trace.view) {
+  for (uint32_t pos = 0; pos < trace.view.size(); ++pos) {
+    const PacketView& v = trace.view[pos];
     if (!v.has_ip) continue;
     const FlowKey k = key_of(v);
     auto it = active.find(k);
@@ -47,7 +48,7 @@ std::vector<Flow> assemble_uniflows(const Trace& trace, double timeout) {
       it = active.emplace(k, flows.size() - 1).first;
     }
     Flow& f = flows[it->second];
-    f.pkts.push_back(v.index);
+    f.pkts.push_back(pos);
     f.last_ts = v.ts;
     f.bytes += v.wire_len;
   }
@@ -59,7 +60,8 @@ std::vector<Connection> assemble_connections(const Trace& trace,
   std::vector<Connection> conns;
   // Map both directions to the same connection slot.
   std::unordered_map<FlowKey, size_t, FlowKeyHash> active;
-  for (const PacketView& v : trace.view) {
+  for (uint32_t pos = 0; pos < trace.view.size(); ++pos) {
+    const PacketView& v = trace.view[pos];
     if (!v.has_ip) continue;
     const FlowKey k = key_of(v);
     const FlowKey rk = k.reversed();
@@ -86,7 +88,7 @@ std::vector<Connection> assemble_connections(const Trace& trace,
     }
     Connection& c = conns[it->second];
     const bool orig_dir = k == c.orig_key;
-    c.pkts.push_back(v.index);
+    c.pkts.push_back(pos);
     c.dir.push_back(orig_dir ? 0 : 1);
     c.last_ts = v.ts;
     if (orig_dir) {

@@ -112,7 +112,10 @@ std::vector<Connection> assemble_connections(const Trace& trace,
 ConnRecord summarize(const Connection& conn, const Trace& trace);
 
 /// Majority label over the member packets (ties break malicious). Also
-/// returns the dominant non-benign attack tag via `attack_out`.
+/// returns the dominant non-benign attack tag via `attack_out`. `pkts` must
+/// be indices into the label arrays themselves — when labels are aligned
+/// with the original capture (the Dataset convention), translate view
+/// positions through `trace.view[pos].index` first.
 int unit_label(const std::vector<uint32_t>& pkts,
                const std::vector<uint8_t>& pkt_label,
                const std::vector<uint8_t>& pkt_attack, uint8_t* attack_out);

@@ -9,6 +9,29 @@
 
 namespace lumen::ml {
 
+namespace {
+std::unique_ptr<AutoEncoderCore> clone_core(
+    const std::unique_ptr<AutoEncoderCore>& p) {
+  return p ? std::make_unique<AutoEncoderCore>(*p) : nullptr;
+}
+}  // namespace
+
+KitNet::KitNet(const KitNet& other)
+    : cfg_(other.cfg_),
+      clusters_(other.clusters_),
+      threshold_(other.threshold_) {
+  ensemble_.reserve(other.ensemble_.size());
+  for (const auto& ae : other.ensemble_) ensemble_.push_back(clone_core(ae));
+  output_ = clone_core(other.output_);
+}
+
+KitNet& KitNet::operator=(const KitNet& other) {
+  if (this == &other) return *this;
+  KitNet copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
 void KitNet::build_feature_map(const FeatureTable& X,
                                const std::vector<size_t>& rows) {
   const size_t d = X.cols;

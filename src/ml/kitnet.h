@@ -24,6 +24,13 @@ class KitNet : public Model {
   KitNet() : KitNet(Config{}) {}
   explicit KitNet(Config cfg) : cfg_(cfg) {}
 
+  // Deep copies: a trained KitNet can be cloned, e.g. one detector per
+  // ingest consumer thread scoring a disjoint slice of the stream.
+  KitNet(const KitNet& other);
+  KitNet& operator=(const KitNet& other);
+  KitNet(KitNet&&) noexcept = default;
+  KitNet& operator=(KitNet&&) noexcept = default;
+
   void fit(const FeatureTable& X) override;
   std::vector<double> score(const FeatureTable& X) const override;
   std::vector<int> predict(const FeatureTable& X) const override;

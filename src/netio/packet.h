@@ -58,8 +58,14 @@ enum class Dot11Type : uint8_t { kManagement = 0, kControl = 1, kData = 2 };
 
 /// A captured packet exactly as it would sit in a pcap record.
 struct RawPacket {
-  double ts = 0.0;  // seconds since epoch (fractional)
-  Bytes data;       // full frame bytes starting at the link layer
+  double ts = 0.0;        // seconds since epoch (fractional)
+  Bytes data;             // frame bytes starting at the link layer
+  uint32_t orig_len = 0;  // wire length before snaplen truncation; 0 means
+                          // the frame was captured whole (== data.size())
+
+  uint32_t wire_len() const {
+    return orig_len != 0 ? orig_len : static_cast<uint32_t>(data.size());
+  }
 };
 
 /// Parsed single-pass summary of a RawPacket. Field-extraction operations
@@ -67,8 +73,10 @@ struct RawPacket {
 /// the recorded offsets.
 struct PacketView {
   double ts = 0.0;
-  uint32_t index = 0;  // position within the owning trace
-  uint16_t wire_len = 0;
+  uint32_t index = 0;  // position within the ORIGINAL capture, before any
+                       // malformed frames were skipped; Dataset labels are
+                       // aligned with this, not with the view position
+  uint32_t wire_len = 0;  // on-the-wire length (orig_len for truncated frames)
   LinkType link = LinkType::kEthernet;
 
   // Link layer
@@ -112,8 +120,10 @@ struct PacketView {
   bool tcp_flag(TcpFlag f) const { return (tcp_flags & f) != 0; }
 };
 
-/// An ordered packet capture: raw bytes plus parsed views (same length,
-/// aligned by index).
+/// An ordered packet capture. After parse_trace, `raw` and `view` have the
+/// same length and are aligned position-by-position (malformed frames are
+/// compacted out of both); `view[k].index` keeps each packet's index in the
+/// original capture so per-packet labels stay addressable after skips.
 struct Trace {
   LinkType link = LinkType::kEthernet;
   std::vector<RawPacket> raw;

@@ -169,7 +169,7 @@ Result<PacketView> parse_packet(const RawPacket& pkt, LinkType link,
   v.ts = pkt.ts;
   v.index = index;
   v.link = link;
-  v.wire_len = static_cast<uint16_t>(pkt.data.size());
+  v.wire_len = pkt.wire_len();
   ByteReader r(pkt.data);
   Result<void> st = (link == LinkType::kIeee80211) ? parse_dot11(r, v)
                                                    : parse_ethernet(r, v, pkt);
@@ -180,28 +180,21 @@ Result<PacketView> parse_packet(const RawPacket& pkt, LinkType link,
 size_t parse_trace(Trace& trace) {
   trace.view.clear();
   trace.view.reserve(trace.raw.size());
-  size_t skipped = 0;
-  for (uint32_t i = 0; i < trace.raw.size(); ++i) {
+  const size_t total = trace.raw.size();
+  // Single pass: parse each frame once, compacting the kept raws in place so
+  // raw and view stay position-aligned. Each PacketView keeps its index in
+  // the ORIGINAL capture (view[k].index >= k), which is what per-packet
+  // label arrays are aligned with.
+  size_t kept = 0;
+  for (uint32_t i = 0; i < total; ++i) {
     auto res = parse_packet(trace.raw[i], trace.link, i);
-    if (res.ok()) {
-      trace.view.push_back(std::move(res).value());
-      trace.view.back().index = static_cast<uint32_t>(trace.view.size() - 1);
-    } else {
-      ++skipped;
-    }
+    if (!res.ok()) continue;
+    trace.view.push_back(std::move(res).value());
+    if (kept != i) trace.raw[kept] = std::move(trace.raw[i]);
+    ++kept;
   }
-  // If anything was skipped, re-align raw with view by dropping the bad raws.
-  if (skipped > 0) {
-    std::vector<RawPacket> kept;
-    kept.reserve(trace.view.size());
-    uint32_t vi = 0;
-    for (uint32_t i = 0; i < trace.raw.size() && vi < trace.view.size(); ++i) {
-      auto res = parse_packet(trace.raw[i], trace.link, i);
-      if (res.ok()) kept.push_back(std::move(trace.raw[i])), ++vi;
-    }
-    trace.raw = std::move(kept);
-  }
-  return skipped;
+  trace.raw.resize(kept);
+  return total - kept;
 }
 
 }  // namespace lumen::netio

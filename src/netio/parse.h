@@ -7,12 +7,15 @@
 namespace lumen::netio {
 
 /// Parse one frame. Returns an Error for truncated/malformed frames.
-/// `index` is the packet's position in its trace.
+/// `index` is the packet's position in the original capture; it is stored
+/// verbatim in the resulting view.
 Result<PacketView> parse_packet(const RawPacket& pkt, LinkType link,
                                 uint32_t index);
 
-/// Parse every frame of `trace.raw` into `trace.view`, skipping (and
-/// counting) malformed frames. Returns the number of skipped frames.
+/// Parse every frame of `trace.raw` into `trace.view` in one pass, skipping
+/// (and counting) malformed frames. Kept raws are compacted so raw and view
+/// stay position-aligned; each view keeps its original capture index in
+/// `PacketView::index`. Returns the number of skipped frames.
 size_t parse_trace(Trace& trace);
 
 /// Infer the application protocol from ports and a peek at the payload.

@@ -60,17 +60,25 @@ Result<void> write_pcap(const std::string& path, const Trace& trace) {
   }
 
   for (const RawPacket& pkt : trace.raw) {
-    const auto ts_sec = static_cast<uint32_t>(pkt.ts);
-    const auto ts_usec = static_cast<uint32_t>(
-        std::llround((pkt.ts - std::floor(pkt.ts)) * 1e6) % 1000000);
+    auto ts_sec = static_cast<uint32_t>(pkt.ts);
+    // Rounding the fractional part can produce exactly 1e6 microseconds
+    // (e.g. ts = X.9999996); carry into the seconds field instead of
+    // wrapping to 0 and losing a whole second.
+    auto usec = std::llround((pkt.ts - std::floor(pkt.ts)) * 1e6);
+    if (usec >= 1000000) {
+      usec -= 1000000;
+      ++ts_sec;
+    }
+    // Honor the advertised snaplen: store at most kSnapLen bytes but keep
+    // the true on-the-wire length in orig_len, as libpcap does.
+    const size_t incl = std::min<size_t>(pkt.data.size(), kSnapLen);
     uint8_t rec[16];
     put_u32le(rec, ts_sec);
-    put_u32le(rec + 4, ts_usec);
-    put_u32le(rec + 8, static_cast<uint32_t>(pkt.data.size()));
-    put_u32le(rec + 12, static_cast<uint32_t>(pkt.data.size()));
+    put_u32le(rec + 4, static_cast<uint32_t>(usec));
+    put_u32le(rec + 8, static_cast<uint32_t>(incl));
+    put_u32le(rec + 12, pkt.wire_len());
     if (std::fwrite(rec, 1, sizeof(rec), f.get()) != sizeof(rec) ||
-        std::fwrite(pkt.data.data(), 1, pkt.data.size(), f.get()) !=
-            pkt.data.size()) {
+        std::fwrite(pkt.data.data(), 1, incl, f.get()) != incl) {
       return Error::make("pcap", "short write on record");
     }
   }
@@ -96,7 +104,13 @@ Result<Trace> read_pcap(const std::string& path) {
   }
 
   Trace trace;
-  trace.link = static_cast<LinkType>(get_u32(hdr + 20, swap));
+  const uint32_t link_raw = get_u32(hdr + 20, swap);
+  if (link_raw != static_cast<uint32_t>(LinkType::kEthernet) &&
+      link_raw != static_cast<uint32_t>(LinkType::kIeee80211)) {
+    return Error::make("pcap",
+                       "unsupported link type " + std::to_string(link_raw));
+  }
+  trace.link = static_cast<LinkType>(link_raw);
 
   for (;;) {
     uint8_t rec[16];
@@ -106,9 +120,15 @@ Result<Trace> read_pcap(const std::string& path) {
     const uint32_t ts_sec = get_u32(rec, swap);
     const uint32_t ts_usec = get_u32(rec + 4, swap);
     const uint32_t incl = get_u32(rec + 8, swap);
+    const uint32_t orig = get_u32(rec + 12, swap);
+    if (ts_usec >= 1000000) return Error::make("pcap", "bad record timestamp");
     if (incl > kSnapLen) return Error::make("pcap", "record exceeds snaplen");
+    if (orig < incl) return Error::make("pcap", "orig_len below incl_len");
     RawPacket pkt;
     pkt.ts = static_cast<double>(ts_sec) + static_cast<double>(ts_usec) * 1e-6;
+    // Keep the true wire length for truncated records so byte-volume
+    // features survive a roundtrip of a snaplen-limited capture.
+    if (orig > incl) pkt.orig_len = orig;
     pkt.data.resize(incl);
     if (std::fread(pkt.data.data(), 1, incl, f.get()) != incl) {
       return Error::make("pcap", "truncated packet data");

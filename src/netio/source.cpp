@@ -1,0 +1,104 @@
+#include "netio/source.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "netio/pcap.h"
+
+namespace lumen::netio {
+
+TraceReplaySource::TraceReplaySource(const Trace& trace, ReplayOptions opts)
+    : trace_(&trace), opts_(opts) {
+  opts_.end = std::min(opts_.end, trace.raw.size());
+  opts_.begin = std::min(opts_.begin, opts_.end);
+  if (opts_.speed <= 0.0) opts_.speed = 1.0;
+  pos_ = opts_.begin;
+}
+
+bool TraceReplaySource::next(SourcePacket& out) {
+  if (pos_ >= opts_.end) return false;
+  const RawPacket& raw = trace_->raw[pos_];
+  if (opts_.pace && started_) {
+    const double gap = (raw.ts - prev_ts_) / opts_.speed;
+    const double sleep_s = std::clamp(gap, 0.0, opts_.max_sleep);
+    if (sleep_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    }
+  }
+  prev_ts_ = raw.ts;
+  started_ = true;
+  out.pkt = raw;
+  // A parsed trace may have skipped malformed frames; the view keeps each
+  // packet's original capture index, which is what label arrays use.
+  out.capture_index = pos_ < trace_->view.size()
+                          ? trace_->view[pos_].index
+                          : static_cast<uint32_t>(pos_);
+  ++pos_;
+  return true;
+}
+
+bool TraceReplaySource::reset() {
+  pos_ = opts_.begin;
+  started_ = false;
+  return true;
+}
+
+PcapReplaySource::PcapReplaySource(Trace trace, ReplayOptions opts)
+    : trace_(std::move(trace)), replay_(trace_, opts) {}
+
+Result<std::unique_ptr<PcapReplaySource>> PcapReplaySource::open(
+    const std::string& path, ReplayOptions opts) {
+  Result<Trace> trace = read_pcap(path);
+  if (!trace.ok()) return trace.error();
+  return std::unique_ptr<PcapReplaySource>(
+      new PcapReplaySource(std::move(trace).value(), opts));
+}
+
+FaultInjectingSource::FaultInjectingSource(PacketSource& inner,
+                                           FaultOptions opts)
+    : inner_(&inner), opts_(opts), rng_(opts.seed) {}
+
+void FaultInjectingSource::inject(SourcePacket& sp) {
+  Bytes& data = sp.pkt.data;
+  if (opts_.truncate_p > 0.0 && rng_.bernoulli(opts_.truncate_p) &&
+      data.size() > 1) {
+    data.resize(1 + static_cast<size_t>(rng_.below(data.size() - 1)));
+  }
+  if (opts_.corrupt_p > 0.0 && rng_.bernoulli(opts_.corrupt_p) &&
+      !data.empty()) {
+    const size_t flips = 1 + static_cast<size_t>(rng_.below(4));
+    for (size_t i = 0; i < flips; ++i) {
+      data[rng_.below(data.size())] ^=
+          static_cast<uint8_t>(1 + rng_.below(255));
+    }
+  }
+}
+
+bool FaultInjectingSource::next(SourcePacket& out) {
+  if (held_.has_value()) {
+    out = std::move(*held_);
+    held_.reset();
+    return true;
+  }
+  if (!inner_->next(out)) return false;
+  inject(out);
+  if (opts_.reorder_p > 0.0 && rng_.bernoulli(opts_.reorder_p)) {
+    SourcePacket following;
+    if (inner_->next(following)) {
+      inject(following);
+      held_ = std::move(out);
+      out = std::move(following);
+    }
+  }
+  return true;
+}
+
+bool FaultInjectingSource::reset() {
+  if (!inner_->reset()) return false;
+  rng_.reseed(opts_.seed);
+  held_.reset();
+  return true;
+}
+
+}  // namespace lumen::netio

@@ -57,8 +57,13 @@ struct Dataset {
   std::string standin;  // the real-world dataset this one stands in for
   Granularity label_granularity = Granularity::kConnection;
   netio::Trace trace;
-  std::vector<uint8_t> pkt_label;   // aligned with trace.view; 0/1
-  std::vector<uint8_t> pkt_attack;  // aligned; AttackType per packet
+  // Labels are aligned with the ORIGINAL capture order (the order packets
+  // were generated/captured in, before parse_trace skipped any malformed
+  // frames). Look them up through trace.view[pos].index — label_at /
+  // attack_at below — never by view position directly. When nothing was
+  // skipped the two coincide.
+  std::vector<uint8_t> pkt_label;   // 0/1 per original packet
+  std::vector<uint8_t> pkt_attack;  // AttackType per original packet
 
   /// True when packets carry application metadata rich enough for
   /// PDML-style extraction (only the IEEE-IoT stand-in in our suite).
@@ -66,16 +71,29 @@ struct Dataset {
 
   bool is_dot11() const { return trace.link == netio::LinkType::kIeee80211; }
 
+  /// Ground-truth label/attack for the packet at view position `pos`,
+  /// routed through the original capture index so skipped frames never
+  /// shift the alignment. Unlabeled packets read as benign.
+  uint8_t label_at(size_t pos) const {
+    const uint32_t ci = trace.view[pos].index;
+    return ci < pkt_label.size() ? pkt_label[ci] : 0;
+  }
+  uint8_t attack_at(size_t pos) const {
+    const uint32_t ci = trace.view[pos].index;
+    return ci < pkt_attack.size() ? pkt_attack[ci] : 0;
+  }
+
   size_t packets() const { return trace.view.size(); }
   size_t malicious_packets() const {
     size_t n = 0;
-    for (uint8_t l : pkt_label) n += l;
+    for (size_t i = 0; i < trace.view.size(); ++i) n += label_at(i);
     return n;
   }
 
   std::set<AttackType> attack_types() const {
     std::set<AttackType> out;
-    for (uint8_t a : pkt_attack) {
+    for (size_t i = 0; i < trace.view.size(); ++i) {
+      const uint8_t a = attack_at(i);
       if (a != 0) out.insert(static_cast<AttackType>(a));
     }
     return out;

@@ -315,16 +315,12 @@ Dataset Sim::finish(std::string id, std::string standin, Granularity g,
     attacks.push_back(e.attack);
   }
   events_.clear();
-  const size_t skipped = parse_trace(ds.trace);
-  // Our generators emit only parseable frames; if anything was skipped the
-  // label arrays would desynchronize, so keep them aligned defensively.
-  if (skipped == 0) {
-    ds.pkt_label = std::move(labels);
-    ds.pkt_attack = std::move(attacks);
-  } else {
-    ds.pkt_label.assign(ds.trace.view.size(), 0);
-    ds.pkt_attack.assign(ds.trace.view.size(), 0);
-  }
+  parse_trace(ds.trace);
+  // Labels are aligned with the original capture order; views keep their
+  // original index (PacketView::index), so a skipped frame cannot shift the
+  // alignment — consumers go through Dataset::label_at.
+  ds.pkt_label = std::move(labels);
+  ds.pkt_attack = std::move(attacks);
   return ds;
 }
 

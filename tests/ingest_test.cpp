@@ -1,0 +1,369 @@
+// Ingestion runtime tests: bounded queue overflow policies, packet sources
+// (replay, pacing, fault injection), end-to-end runtime runs, and the
+// paced-vs-unpaced determinism the gateway story depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/ingest.h"
+#include "netio/builder.h"
+#include "netio/parse.h"
+#include "netio/source.h"
+#include "trace/registry.h"
+
+namespace lumen {
+namespace {
+
+using core::BoundedPacketQueue;
+using core::CollectingSink;
+using core::FnScorer;
+using core::IngestRuntime;
+using core::IngestStats;
+using core::OverflowPolicy;
+using netio::Bytes;
+using netio::FaultInjectingSource;
+using netio::FaultOptions;
+using netio::MacAddr;
+using netio::RawPacket;
+using netio::ReplayOptions;
+using netio::SourcePacket;
+using netio::Trace;
+using netio::TraceReplaySource;
+
+const MacAddr kMacA{2, 0, 0, 0, 0, 1};
+const MacAddr kMacB{2, 0, 0, 0, 0, 2};
+
+// n valid TCP packets, 10 ms apart, payload size cycling 0..6.
+Trace make_trace(size_t n) {
+  Trace t;
+  for (size_t i = 0; i < n; ++i) {
+    netio::TcpOpts tcp;
+    tcp.seq = static_cast<uint32_t>(i);
+    t.raw.push_back(RawPacket{
+        100.0 + 0.01 * static_cast<double>(i),
+        netio::build_tcp(kMacA, kMacB, 0x0a000001, 0x0a000002, 1234, 80, tcp,
+                         Bytes(i % 7, 0x61))});
+  }
+  netio::parse_trace(t);
+  return t;
+}
+
+SourcePacket sp(uint32_t i) {
+  SourcePacket p;
+  p.capture_index = i;
+  p.pkt.ts = i;
+  return p;
+}
+
+TEST(BoundedQueue, BlocksUntilConsumerFrees) {
+  BoundedPacketQueue q(2, OverflowPolicy::kBlock);
+  ASSERT_TRUE(q.push(sp(0)));
+  ASSERT_TRUE(q.push(sp(1)));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(sp(2)));  // blocks until a pop frees a slot
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+
+  SourcePacket out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.capture_index, 0u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.dropped(), 0u);
+  EXPECT_EQ(q.high_water(), 2u);
+}
+
+TEST(BoundedQueue, DropOldestEvictsAndCounts) {
+  BoundedPacketQueue q(2, OverflowPolicy::kDropOldest);
+  ASSERT_TRUE(q.push(sp(0)));
+  ASSERT_TRUE(q.push(sp(1)));
+  ASSERT_TRUE(q.push(sp(2)));  // evicts 0
+  ASSERT_TRUE(q.push(sp(3)));  // evicts 1
+  EXPECT_EQ(q.dropped(), 2u);
+
+  SourcePacket out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.capture_index, 2u);
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.capture_index, 3u);
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops) {
+  BoundedPacketQueue q(4, OverflowPolicy::kBlock);
+  ASSERT_TRUE(q.push(sp(0)));
+  q.close();
+  EXPECT_FALSE(q.push(sp(1)));  // closed: no new packets
+  SourcePacket out;
+  ASSERT_TRUE(q.pop(out));  // buffered packet still poppable
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(Source, TraceReplayYieldsAllPacketsInOrder) {
+  Trace t = make_trace(10);
+  TraceReplaySource src(t);
+  SourcePacket p;
+  for (uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(src.next(p));
+    EXPECT_EQ(p.capture_index, i);
+    EXPECT_EQ(p.pkt.data, t.raw[i].data);
+  }
+  EXPECT_FALSE(src.next(p));
+  ASSERT_TRUE(src.reset());
+  ASSERT_TRUE(src.next(p));
+  EXPECT_EQ(p.capture_index, 0u);
+}
+
+TEST(Source, TraceReplayHonorsRange) {
+  Trace t = make_trace(10);
+  ReplayOptions opts;
+  opts.begin = 4;
+  opts.end = 7;
+  TraceReplaySource src(t, opts);
+  SourcePacket p;
+  size_t n = 0;
+  uint32_t first = 0;
+  while (src.next(p)) {
+    if (n == 0) first = p.capture_index;
+    ++n;
+  }
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(first, 4u);
+}
+
+TEST(Source, ReplayKeepsOriginalCaptureIndexAfterSkips) {
+  Trace t = make_trace(5);
+  // Wreck packet 2 so parse_trace drops it, then replay the compacted trace.
+  t.raw[2].data.resize(6);
+  ASSERT_EQ(netio::parse_trace(t), 1u);
+  ASSERT_EQ(t.raw.size(), 4u);
+  TraceReplaySource src(t);
+  SourcePacket p;
+  std::vector<uint32_t> seen;
+  while (src.next(p)) seen.push_back(p.capture_index);
+  EXPECT_EQ(seen, (std::vector<uint32_t>{0, 1, 3, 4}));
+}
+
+TEST(Source, FaultInjectionIsDeterministicPerSeed) {
+  Trace t = make_trace(200);
+  FaultOptions faults;
+  faults.truncate_p = 0.2;
+  faults.corrupt_p = 0.2;
+  faults.reorder_p = 0.1;
+  faults.seed = 42;
+
+  auto collect = [&] {
+    TraceReplaySource inner(t);
+    FaultInjectingSource src(inner, faults);
+    std::vector<SourcePacket> out;
+    SourcePacket p;
+    while (src.next(p)) out.push_back(p);
+    return out;
+  };
+  const auto a = collect();
+  const auto b = collect();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.size(), t.raw.size());  // reorder never loses packets
+  size_t mutated = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].capture_index, b[i].capture_index);
+    EXPECT_EQ(a[i].pkt.data, b[i].pkt.data);
+    if (a[i].pkt.data != t.raw[a[i].capture_index].data) ++mutated;
+  }
+  EXPECT_GT(mutated, 0u);
+}
+
+TEST(Source, FaultSourceResetReplaysIdentically) {
+  Trace t = make_trace(50);
+  TraceReplaySource inner(t);
+  FaultOptions faults;
+  faults.truncate_p = 0.3;
+  faults.seed = 7;
+  FaultInjectingSource src(inner, faults);
+  std::vector<Bytes> first;
+  SourcePacket p;
+  while (src.next(p)) first.push_back(p.pkt.data);
+  ASSERT_TRUE(src.reset());
+  size_t i = 0;
+  while (src.next(p)) {
+    ASSERT_LT(i, first.size());
+    EXPECT_EQ(p.pkt.data, first[i++]);
+  }
+  EXPECT_EQ(i, first.size());
+}
+
+// A trivial deterministic scorer: alert on any payload-carrying packet.
+IngestRuntime::Options one_consumer() {
+  IngestRuntime::Options o;
+  o.consumers = 1;
+  return o;
+}
+
+core::ScorerFactory payload_scorer() {
+  return [](size_t) {
+    return std::make_unique<FnScorer>(
+        [](const netio::PacketView& v) {
+          return static_cast<double>(v.payload_len);
+        },
+        0.5);
+  };
+}
+
+TEST(Runtime, ScoresEveryPacketAndCountsAlerts) {
+  Trace t = make_trace(21);  // payload sizes cycle 0..6: 18 of 21 non-empty
+  TraceReplaySource src(t);
+  CollectingSink sink;
+  IngestRuntime rt(one_consumer(), payload_scorer(), &sink);
+  auto stats = rt.run(src);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().enqueued, 21u);
+  EXPECT_EQ(stats.value().scored, 21u);
+  EXPECT_EQ(stats.value().parse_skipped, 0u);
+  EXPECT_EQ(stats.value().dropped, 0u);
+  EXPECT_EQ(stats.value().alerted, 18u);
+  EXPECT_EQ(sink.alerts().size(), 18u);
+  EXPECT_GE(stats.value().queue_high_water, 1u);
+}
+
+TEST(Runtime, MultiConsumerConservesPackets) {
+  Trace t = make_trace(400);
+  for (size_t consumers : {2u, 4u}) {
+    TraceReplaySource src(t);
+    IngestRuntime::Options opts;
+    opts.consumers = consumers;
+    CollectingSink sink;
+    IngestRuntime rt(opts, payload_scorer(), &sink);
+    auto stats = rt.run(src);
+    ASSERT_TRUE(stats.ok());
+    const IngestStats& s = stats.value();
+    EXPECT_EQ(s.enqueued, 400u);
+    EXPECT_EQ(s.scored + s.parse_skipped, s.enqueued - s.dropped);
+    // The scorer is stateless, so alerts are partition-independent.
+    EXPECT_EQ(s.alerted, 400u * 6 / 7);
+  }
+}
+
+TEST(Runtime, FaultySourceSkipsUnparseableKeepsRest) {
+  Trace t = make_trace(300);
+  TraceReplaySource inner(t);
+  FaultOptions faults;
+  faults.truncate_p = 0.3;
+  faults.seed = 11;
+  FaultInjectingSource src(inner, faults);
+  CollectingSink sink;
+  IngestRuntime rt(one_consumer(), payload_scorer(), &sink);
+  auto stats = rt.run(src);
+  ASSERT_TRUE(stats.ok());
+  const IngestStats& s = stats.value();
+  EXPECT_EQ(s.enqueued, 300u);
+  EXPECT_GT(s.parse_skipped, 0u);
+  EXPECT_EQ(s.scored + s.parse_skipped, 300u);
+}
+
+TEST(Runtime, DropOldestUnderSlowConsumerCountsDrops) {
+  Trace t = make_trace(200);
+  TraceReplaySource src(t);
+  IngestRuntime::Options opts;
+  opts.consumers = 1;
+  opts.queue_capacity = 4;
+  opts.overflow = OverflowPolicy::kDropOldest;
+  // A slow scorer guarantees the tiny queue overflows.
+  auto slow = [](size_t) {
+    return std::make_unique<FnScorer>(
+        [](const netio::PacketView&) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          return 0.0;
+        },
+        1.0);
+  };
+  IngestRuntime rt(opts, slow, nullptr);
+  auto stats = rt.run(src);
+  ASSERT_TRUE(stats.ok());
+  const IngestStats& s = stats.value();
+  EXPECT_GT(s.dropped, 0u);
+  EXPECT_EQ(s.scored, s.enqueued - s.dropped);
+  EXPECT_LE(s.queue_high_water, 4u);
+}
+
+TEST(Runtime, PacedAndUnpacedReplayAlertIdentically) {
+  Trace t = make_trace(150);
+  auto run_with = [&](bool pace) {
+    ReplayOptions opts;
+    opts.pace = pace;
+    opts.speed = 200.0;  // 10 ms gaps replay as 50 µs
+    opts.max_sleep = 0.001;
+    TraceReplaySource src(t, opts);
+    CollectingSink sink;
+    IngestRuntime rt(one_consumer(), payload_scorer(), &sink);
+    auto stats = rt.run(src);
+    EXPECT_TRUE(stats.ok());
+    return sink.alerts().size();
+  };
+  EXPECT_EQ(run_with(false), run_with(true));
+}
+
+TEST(Runtime, KitsuneScorerDetectsOnTheStream) {
+  const trace::Dataset ds = trace::make_dataset("P1", 0.1);
+  const size_t grace = ds.trace.view.size() * 45 / 100;
+  core::OnlineKitsune proto;
+  proto.train({ds.trace.view.data(), grace});
+
+  ReplayOptions replay;
+  replay.begin = grace;
+  TraceReplaySource src(ds.trace, replay);
+  CollectingSink sink;
+  IngestRuntime rt(
+      one_consumer(),
+      [&proto](size_t) { return std::make_unique<core::KitsuneScorer>(proto); },
+      &sink);
+  auto stats = rt.run(src);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().scored, ds.trace.view.size() - grace);
+  // The detector must fire on the Mirai segment of the capture.
+  EXPECT_GT(stats.value().alerted, 0u);
+  for (const core::Alert& a : sink.alerts()) {
+    EXPECT_GT(a.score, a.threshold);
+    EXPECT_GE(a.capture_index, grace);
+    EXPECT_LT(a.capture_index, ds.trace.view.size());
+  }
+}
+
+TEST(Runtime, RequestStopWindsDownGracefully) {
+  Trace t = make_trace(5000);
+  TraceReplaySource src(t);
+  IngestRuntime::Options opts;
+  opts.consumers = 2;
+  opts.queue_capacity = 8;
+  IngestRuntime rt(opts, payload_scorer(), nullptr);
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    rt.request_stop();
+  });
+  auto stats = rt.run(src);
+  stopper.join();
+  ASSERT_TRUE(stats.ok());
+  // Everything accepted was accounted for, even though we stopped early.
+  const IngestStats& s = stats.value();
+  EXPECT_EQ(s.scored + s.parse_skipped, s.enqueued - s.dropped);
+}
+
+TEST(Runtime, ConsumerExceptionPropagatesToCaller) {
+  Trace t = make_trace(50);
+  TraceReplaySource src(t);
+  auto throwing = [](size_t) {
+    return std::make_unique<FnScorer>(
+        [](const netio::PacketView&) -> double {
+          throw std::runtime_error("scorer blew up");
+        },
+        1.0);
+  };
+  IngestRuntime rt(one_consumer(), throwing, nullptr);
+  EXPECT_THROW((void)rt.run(src), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lumen

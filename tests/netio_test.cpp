@@ -184,6 +184,130 @@ TEST(Parse, MalformedTcpFlagsStillParse) {
   EXPECT_TRUE(res.value().tcp_flag(kFin));
 }
 
+// ---- Malformed-input corpus: every entry must come back as a parse error
+// ---- (never an out-of-bounds read; tools/check_asan.sh runs this file
+// ---- under AddressSanitizer).
+
+struct MalformedCase {
+  const char* name;
+  LinkType link;
+  Bytes frame;
+};
+
+Bytes valid_tcp_frame() {
+  return build_tcp(kMacA, kMacB, kIpA, kIpB, 1234, 80, TcpOpts{},
+                   Bytes(4, 0x61));
+}
+
+Bytes valid_udp_frame() {
+  return build_udp(kMacA, kMacB, kIpA, kIpB, 5353, 53, Bytes(8, 0x62));
+}
+
+std::vector<MalformedCase> malformed_corpus() {
+  std::vector<MalformedCase> cases;
+  cases.push_back({"zero_length_record", LinkType::kEthernet, {}});
+  cases.push_back({"truncated_ethernet", LinkType::kEthernet, Bytes(13, 0xaa)});
+
+  Bytes ip_trunc = valid_tcp_frame();
+  ip_trunc.resize(14 + 10);  // half an IPv4 header
+  cases.push_back({"truncated_ipv4", LinkType::kEthernet, ip_trunc});
+
+  Bytes bad_ihl = valid_tcp_frame();
+  bad_ihl[14] = 0x41;  // version 4, IHL 1 (4 bytes < minimum 20)
+  cases.push_back({"ihl_below_minimum", LinkType::kEthernet, bad_ihl});
+
+  Bytes huge_ihl = valid_tcp_frame();
+  huge_ihl[14] = 0x4f;  // IHL 15 (60 bytes) on a 20-byte header
+  huge_ihl.resize(14 + 40);  // and a capture too short to hold it
+  cases.push_back({"ihl_past_capture", LinkType::kEthernet, huge_ihl});
+
+  Bytes tcp_trunc = valid_tcp_frame();
+  tcp_trunc.resize(14 + 20 + 12);  // 12 of the 20 mandatory TCP bytes
+  cases.push_back({"truncated_tcp", LinkType::kEthernet, tcp_trunc});
+
+  Bytes bad_doff = valid_tcp_frame();
+  bad_doff[14 + 20 + 12] = 0x10;  // data offset 1 (4 bytes < minimum 20)
+  cases.push_back({"tcp_data_offset_below_minimum", LinkType::kEthernet,
+                   bad_doff});
+
+  Bytes doff_past = valid_tcp_frame();
+  doff_past[14 + 20 + 12] = 0xf0;  // data offset 15 (60 bytes)
+  doff_past.resize(14 + 20 + 24);  // capture ends inside the options
+  cases.push_back({"tcp_data_offset_past_capture", LinkType::kEthernet,
+                   doff_past});
+
+  Bytes udp_trunc = valid_udp_frame();
+  udp_trunc.resize(14 + 20 + 4);  // half a UDP header
+  cases.push_back({"truncated_udp", LinkType::kEthernet, udp_trunc});
+
+  cases.push_back({"truncated_dot11", LinkType::kIeee80211, Bytes(16, 0x55)});
+  return cases;
+}
+
+TEST(Parser, MalformedCorpusReturnsErrors) {
+  for (const MalformedCase& c : malformed_corpus()) {
+    RawPacket pkt{0.0, c.frame};
+    auto res = parse_packet(pkt, c.link, 0);
+    EXPECT_FALSE(res.ok()) << c.name;
+  }
+}
+
+TEST(Parser, BogusIpTotalLengthIsToleratedWithoutOverread) {
+  // A lying IP total-length field (larger than the capture) must not crash
+  // or read past the buffer; the parser trusts min(capture, total length).
+  Bytes frame = valid_tcp_frame();
+  frame[14 + 2] = 0xff;  // total length 0xffff
+  frame[14 + 3] = 0xff;
+  RawPacket pkt{0.0, frame};
+  auto res = parse_packet(pkt, LinkType::kEthernet, 0);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().ip_len, 0xffff);
+  EXPECT_LE(static_cast<size_t>(res.value().payload_off) +
+                res.value().payload_len,
+            frame.size());
+}
+
+TEST(Parser, ParseTraceSkipsMalformedAndKeepsCaptureIndex) {
+  Trace t;
+  for (uint32_t i = 0; i < 5; ++i) {
+    t.raw.push_back(RawPacket{static_cast<double>(i), valid_tcp_frame()});
+  }
+  t.raw[2].data.resize(9);  // wreck the middle packet
+  const size_t skipped = parse_trace(t);
+  EXPECT_EQ(skipped, 1u);
+  ASSERT_EQ(t.view.size(), 4u);
+  ASSERT_EQ(t.raw.size(), 4u);  // raw compacted in lockstep with view
+  // Views keep their ORIGINAL capture index so label arrays built against
+  // the unparsed capture stay addressable.
+  const std::vector<uint32_t> want{0, 1, 3, 4};
+  for (size_t k = 0; k < t.view.size(); ++k) {
+    EXPECT_EQ(t.view[k].index, want[k]) << "position " << k;
+    EXPECT_EQ(t.raw[k].ts, static_cast<double>(want[k]));
+  }
+}
+
+TEST(Parser, ParseTraceNoSkipsKeepsIdentityIndex) {
+  Trace t;
+  for (uint32_t i = 0; i < 8; ++i) {
+    t.raw.push_back(RawPacket{static_cast<double>(i), valid_udp_frame()});
+  }
+  EXPECT_EQ(parse_trace(t), 0u);
+  ASSERT_EQ(t.view.size(), 8u);
+  for (uint32_t k = 0; k < 8; ++k) EXPECT_EQ(t.view[k].index, k);
+}
+
+TEST(Parser, TruncatedCaptureKeepsWireLen) {
+  // A frame recorded with orig_len (snaplen-truncated capture) reports the
+  // true on-the-wire length through the view.
+  Bytes frame = valid_tcp_frame();
+  RawPacket pkt{1.5, frame};
+  pkt.orig_len = 90000;
+  auto res = parse_packet(pkt, LinkType::kEthernet, 3);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().wire_len, 90000u);
+  EXPECT_EQ(res.value().index, 3u);
+}
+
 TEST(Rng, DeterministicAcrossInstances) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());

@@ -1,9 +1,11 @@
 // pcap reader/writer tests: roundtrips, foreign byte order, corrupt files.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
+#include "common/rng.h"
 #include "netio/builder.h"
 #include "netio/pcap.h"
 
@@ -102,6 +104,109 @@ TEST_F(PcapTest, EmptyTraceRoundtrips) {
   auto rt = read_pcap(path("e.pcap"));
   ASSERT_TRUE(rt.ok());
   EXPECT_TRUE(rt.value().empty());
+}
+
+TEST_F(PcapTest, MicrosecondRoundingCarriesIntoSeconds) {
+  // ts = X.9999996 rounds to 1,000,000 µs; the writer must carry into the
+  // seconds field instead of wrapping to 0 (a ~1 s error before the fix).
+  Trace t;
+  t.raw.push_back(RawPacket{1000.9999996, build_udp(MacAddr{2, 0, 0, 0, 0, 1},
+                                                    MacAddr{2, 0, 0, 0, 0, 2},
+                                                    0x0a000001, 0x0a000002,
+                                                    1111, 53, Bytes(4, 1))});
+  ASSERT_TRUE(write_pcap(path("carry.pcap"), t).ok());
+  auto rt = read_pcap(path("carry.pcap"));
+  ASSERT_TRUE(rt.ok()) << rt.error().message;
+  ASSERT_EQ(rt.value().size(), 1u);
+  EXPECT_NEAR(rt.value().raw[0].ts, 1000.9999996, 1e-6);
+}
+
+TEST_F(PcapTest, OversizedPacketTruncatesButKeepsWireLen) {
+  // Writer truncates to the advertised snaplen; reader restores the true
+  // wire length so flow byte counts survive the roundtrip.
+  constexpr size_t kBig = 70000;  // > 65535-byte snaplen
+  Trace t = make_trace(2);
+  t.raw[1].data.resize(kBig, 0x5a);
+  ASSERT_TRUE(write_pcap(path("big.pcap"), t).ok());
+  auto rt = read_pcap(path("big.pcap"));
+  ASSERT_TRUE(rt.ok()) << rt.error().message;
+  const Trace& r = rt.value();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.raw[0].orig_len, 0u);  // small packet captured whole
+  EXPECT_EQ(r.raw[1].data.size(), 65535u);
+  EXPECT_EQ(r.raw[1].orig_len, kBig);
+  ASSERT_EQ(r.view.size(), 2u);
+  EXPECT_EQ(r.view[1].wire_len, kBig);
+}
+
+TEST_F(PcapTest, RejectsBadMicrosecondField) {
+  Trace t = make_trace(1);
+  ASSERT_TRUE(write_pcap(path("usec.pcap"), t).ok());
+  // Overwrite the record's ts_usec (header 24 + offset 4) with 2,000,000.
+  std::FILE* f = std::fopen(path("usec.pcap").c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 24 + 4, SEEK_SET);
+  const uint8_t bad[4] = {0x80, 0x84, 0x1e, 0x00};  // 2e6 little-endian
+  std::fwrite(bad, 1, 4, f);
+  std::fclose(f);
+  auto rt = read_pcap(path("usec.pcap"));
+  ASSERT_FALSE(rt.ok());
+  EXPECT_NE(rt.error().message.find("timestamp"), std::string::npos);
+}
+
+TEST_F(PcapTest, RejectsUnknownLinkType) {
+  Trace t = make_trace(1);
+  ASSERT_TRUE(write_pcap(path("link.pcap"), t).ok());
+  // Overwrite the global header's link-type field (offset 20) with 228.
+  std::FILE* f = std::fopen(path("link.pcap").c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 20, SEEK_SET);
+  const uint8_t bad[4] = {228, 0, 0, 0};
+  std::fwrite(bad, 1, 4, f);
+  std::fclose(f);
+  auto rt = read_pcap(path("link.pcap"));
+  ASSERT_FALSE(rt.ok());
+  EXPECT_NE(rt.error().message.find("link type"), std::string::npos);
+}
+
+TEST_F(PcapTest, RoundtripPropertyRandomTimestampsAndLengths) {
+  // Property test over random captures: timestamps (including the
+  // microsecond-carry edge) roundtrip to within 1 µs, payload bytes
+  // roundtrip exactly up to snaplen, and wire lengths always survive.
+  Rng rng(20260806);
+  const MacAddr a{2, 0, 0, 0, 0, 1};
+  const MacAddr b{2, 0, 0, 0, 0, 2};
+  for (int iter = 0; iter < 8; ++iter) {
+    Trace t;
+    const size_t n = 1 + rng.below(20);
+    double ts = 1e9 * rng.uniform();
+    for (size_t i = 0; i < n; ++i) {
+      // One in four packets sits on the carry edge; one in eight exceeds
+      // the snaplen.
+      ts += rng.bernoulli(0.25) ? (0.9999994 + 1e-7 * rng.below(6))
+                                : rng.uniform(0.0, 2.0);
+      const size_t payload = rng.bernoulli(0.125)
+                                 ? 66000 + rng.below(4000)
+                                 : rng.below(1200);
+      t.raw.push_back(RawPacket{
+          ts, build_udp(a, b, 0x0a000001, 0x0a000002, 1024, 53,
+                        Bytes(payload, static_cast<uint8_t>(i)))});
+    }
+    ASSERT_TRUE(write_pcap(path("prop.pcap"), t).ok());
+    auto rt = read_pcap(path("prop.pcap"));
+    ASSERT_TRUE(rt.ok()) << rt.error().message;
+    const Trace& r = rt.value();
+    ASSERT_EQ(r.size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+      EXPECT_NEAR(r.raw[i].ts, t.raw[i].ts, 1e-6) << "iter " << iter
+                                                  << " packet " << i;
+      const size_t want = std::min<size_t>(t.raw[i].data.size(), 65535);
+      ASSERT_EQ(r.raw[i].data.size(), want);
+      EXPECT_TRUE(std::equal(r.raw[i].data.begin(), r.raw[i].data.end(),
+                             t.raw[i].data.begin()));
+      EXPECT_EQ(r.raw[i].wire_len(), t.raw[i].data.size());
+    }
+  }
 }
 
 }  // namespace

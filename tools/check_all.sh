@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Single entry point for the verify recipe: the tier-1 build-and-test pass,
+# then the ThreadSanitizer and AddressSanitizer checks. Usage:
+#   tools/check_all.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j
+(cd "$BUILD" && ctest --output-on-failure -j)
+
+tools/check_tsan.sh
+tools/check_asan.sh
+
+echo "check_all: tier-1 tests + TSan + ASan clean"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Memory-check the capture and ingestion path: build the netio/pcap/ingest
+# tests with AddressSanitizer and run them (the malformed-packet corpus and
+# the fault-injecting source are designed to catch out-of-bounds parser
+# reads here). Usage:
+#   tools/check_asan.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-asan}"
+
+cmake -B "$BUILD" -S . -DLUMEN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j --target netio_test pcap_test ingest_test
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+
+"$BUILD/tests/netio_test"
+"$BUILD/tests/pcap_test"
+"$BUILD/tests/ingest_test"
+
+echo "ASan: netio_test + pcap_test + ingest_test clean"

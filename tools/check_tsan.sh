@@ -8,12 +8,13 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build-tsan}"
 
 cmake -B "$BUILD" -S . -DLUMEN_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD" -j --target parallel_test sweep_test
+cmake --build "$BUILD" -j --target parallel_test sweep_test ingest_test
 
 export LUMEN_THREADS="${LUMEN_THREADS:-4}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 "$BUILD/tests/parallel_test"
 "$BUILD/tests/sweep_test"
+"$BUILD/tests/ingest_test"
 
-echo "TSan: parallel_test + sweep_test clean"
+echo "TSan: parallel_test + sweep_test + ingest_test clean"

@@ -114,9 +114,9 @@ int cmd_generate(const Args& args) {
     }
     std::fprintf(f, "packet,label,attack\n");
     for (size_t i = 0; i < ds.packets(); ++i) {
-      std::fprintf(f, "%zu,%d,%s\n", i, ds.pkt_label[i],
+      std::fprintf(f, "%zu,%d,%s\n", i, ds.label_at(i),
                    trace::attack_name(
-                       static_cast<trace::AttackType>(ds.pkt_attack[i])));
+                       static_cast<trace::AttackType>(ds.attack_at(i))));
     }
     std::fclose(f);
     std::printf("wrote per-packet labels to %s\n", labels.c_str());
