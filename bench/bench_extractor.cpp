@@ -1,0 +1,114 @@
+// Extractor hot-path benchmark: packed-key KitsuneExtractor vs the retired
+// string-keyed reference implementation on the same capture, plus a
+// capped-eviction run showing the bounded-memory mode. Emits
+// BENCH_extractor.json with per-implementation throughput and tracked
+// context counts.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/kitsune_extractor.h"
+#include "core/kitsune_extractor_ref.h"
+#include "trace/registry.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kReps = 7;  // best-of repetitions per timed configuration
+
+struct RunResult {
+  double seconds = 0.0;
+  double pkts_per_sec = 0.0;
+  size_t tracked = 0;
+};
+
+template <typename Extractor, typename Make>
+RunResult time_extractor(const lumen::netio::Trace& trace, Make make) {
+  RunResult r;
+  r.seconds = 1e30;
+  std::vector<double> row;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Extractor ex = make();
+    const Clock::time_point t0 = Clock::now();
+    for (const auto& view : trace.view) ex.process(view, row);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (secs < r.seconds) {
+      r.seconds = secs;
+      r.tracked = ex.tracked_contexts();
+    }
+  }
+  r.pkts_per_sec = r.seconds > 0.0
+                       ? static_cast<double>(trace.view.size()) / r.seconds
+                       : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lumen;
+  std::printf("bench_extractor: per-packet feature extraction hot path\n\n");
+
+  const trace::Dataset ds = trace::make_dataset("P1", 0.6);
+  std::printf("capture: P1 x0.6, %zu packets\n", ds.trace.view.size());
+  std::printf("threads: %zu (pool), %zu (hardware)\n\n",
+              ThreadPool::global().size(), ThreadPool::hardware_threads());
+
+  const RunResult ref = time_extractor<core::ReferenceKitsuneExtractor>(
+      ds.trace, [] { return core::ReferenceKitsuneExtractor(); });
+  const RunResult packed = time_extractor<core::KitsuneExtractor>(
+      ds.trace, [] { return core::KitsuneExtractor(); });
+  constexpr size_t kCap = 256;
+  const RunResult capped = time_extractor<core::KitsuneExtractor>(
+      ds.trace, [] { return core::KitsuneExtractor({}, kCap); });
+
+  const double speedup =
+      ref.pkts_per_sec > 0.0 ? packed.pkts_per_sec / ref.pkts_per_sec : 0.0;
+  std::printf("%-22s %-10s %-12s %s\n", "implementation", "seconds",
+              "pkts/sec", "tracked_contexts");
+  std::printf("%-22s %-10.3f %-12.0f %zu\n", "string-keyed (ref)", ref.seconds,
+              ref.pkts_per_sec, ref.tracked);
+  std::printf("%-22s %-10.3f %-12.0f %zu\n", "packed-key", packed.seconds,
+              packed.pkts_per_sec, packed.tracked);
+  std::printf("%-22s %-10.3f %-12.0f %zu\n", "packed-key (cap 256)",
+              capped.seconds, capped.pkts_per_sec, capped.tracked);
+  std::printf("\nspeedup (packed vs ref): %.2fx\n", speedup);
+
+  if (packed.tracked != ref.tracked) {
+    std::fprintf(stderr,
+                 "tracked_contexts mismatch: packed %zu vs ref %zu\n",
+                 packed.tracked, ref.tracked);
+    return 1;
+  }
+
+  if (std::FILE* f = std::fopen("BENCH_extractor.json", "w")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"benchmark\": \"kitsune_extractor\",\n"
+        "  \"capture\": \"P1\",\n"
+        "  \"packets\": %zu,\n"
+        "  \"threads\": %zu,\n"
+        "  \"hardware_threads\": %zu,\n"
+        "  \"reps\": %d,\n"
+        "  \"string_keyed\": {\"seconds\": %.4f, \"pkts_per_sec\": %.1f, "
+        "\"tracked_contexts\": %zu},\n"
+        "  \"packed_key\": {\"seconds\": %.4f, \"pkts_per_sec\": %.1f, "
+        "\"tracked_contexts\": %zu},\n"
+        "  \"packed_key_capped\": {\"max_contexts\": %zu, \"seconds\": %.4f, "
+        "\"pkts_per_sec\": %.1f, \"tracked_contexts\": %zu},\n"
+        "  \"speedup\": %.3f\n"
+        "}\n",
+        ds.trace.view.size(), ThreadPool::global().size(),
+        ThreadPool::hardware_threads(), kReps, ref.seconds, ref.pkts_per_sec,
+        ref.tracked, packed.seconds, packed.pkts_per_sec, packed.tracked,
+        kCap, capped.seconds, capped.pkts_per_sec, capped.tracked, speedup);
+    std::fclose(f);
+    std::printf("[artifact] BENCH_extractor.json\n");
+  }
+  return 0;
+}

@@ -20,6 +20,7 @@
 //    captured by the chunk lambdas (`body` in particular) never dangle.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdlib>
@@ -120,20 +121,35 @@ class ThreadPool {
   static bool on_worker_thread() { return tl_on_worker(); }
 
   /// Process-wide pool, created on first use. LUMEN_THREADS overrides the
-  /// worker count (useful for tests and for oversubscribing small hosts).
+  /// worker count, clamped to hardware_concurrency(); set
+  /// LUMEN_THREADS_FORCE=1 to oversubscribe deliberately (sanitizer runs
+  /// and concurrency tests on single-core hosts).
   static ThreadPool& global() {
     static ThreadPool pool;
     return pool;
   }
 
- private:
-  static size_t default_thread_count() {
-    if (const char* env = std::getenv("LUMEN_THREADS")) {
-      const long n = std::strtol(env, nullptr, 10);
-      if (n > 0) return static_cast<size_t>(n);
-    }
+  static size_t hardware_threads() {
     const size_t hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
+  }
+
+ private:
+  static size_t default_thread_count() {
+    const size_t hw = hardware_threads();
+    if (const char* env = std::getenv("LUMEN_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) {
+        const size_t want = static_cast<size_t>(n);
+        if (const char* force = std::getenv("LUMEN_THREADS_FORCE")) {
+          if (force[0] != '\0' && force[0] != '0') return want;
+        }
+        // A worker count above the core count only adds contention on the
+        // hot path; honor the request up to what the hardware can run.
+        return std::min(want, hw);
+      }
+    }
+    return hw;
   }
 
   static bool& tl_on_worker() {

@@ -24,10 +24,13 @@ bool BoundedPacketQueue::push(netio::SourcePacket p) {
   } else if (closed_) {
     return false;
   }
+  const bool was_empty = q_.empty();
   q_.push_back(std::move(p));
   high_water_ = std::max(high_water_, q_.size());
   lock.unlock();
-  not_empty_.notify_one();
+  // Consumers only sleep on an empty queue, so only the empty->non-empty
+  // transition needs a wakeup; steady-state pushes skip the notify.
+  if (was_empty) not_empty_.notify_one();
   return true;
 }
 
@@ -35,11 +38,37 @@ bool BoundedPacketQueue::pop(netio::SourcePacket& out) {
   std::unique_lock<std::mutex> lock(mu_);
   not_empty_.wait(lock, [this] { return !q_.empty() || closed_; });
   if (q_.empty()) return false;  // closed and drained
+  const bool was_full = q_.size() >= capacity_;
   out = std::move(q_.front());
   q_.pop_front();
+  const bool still_nonempty = !q_.empty();
   lock.unlock();
-  not_full_.notify_one();
+  if (was_full) not_full_.notify_one();
+  if (still_nonempty) not_empty_.notify_one();
   return true;
+}
+
+size_t BoundedPacketQueue::pop_batch(std::vector<netio::SourcePacket>& out,
+                                     size_t max) {
+  out.clear();
+  if (max == 0) max = 1;
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return !q_.empty() || closed_; });
+  if (q_.empty()) return 0;  // closed and drained
+  const bool was_full = q_.size() >= capacity_;
+  const size_t n = std::min(max, q_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  const bool still_nonempty = !q_.empty();
+  lock.unlock();
+  // A blocked producer only waits while the queue is at capacity.
+  if (was_full) not_full_.notify_one();
+  // If packets remain, another consumer can run concurrently; hand the
+  // wakeup on since push() only notifies on the empty->non-empty edge.
+  if (still_nonempty) not_empty_.notify_one();
+  return n;
 }
 
 void BoundedPacketQueue::close() {
@@ -65,30 +94,58 @@ IngestRuntime::IngestRuntime(Options opts, ScorerFactory factory,
                              AlertSink* sink)
     : opts_(opts), factory_(std::move(factory)), sink_(sink) {
   if (opts_.consumers == 0) opts_.consumers = 1;
+  if (opts_.consumer_batch == 0) opts_.consumer_batch = 1;
 }
 
 void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
                             PacketScorer& scorer, netio::LinkType link) {
-  netio::SourcePacket sp;
-  while (queue.pop(sp)) {
-    auto parsed = netio::parse_packet(sp.pkt, link, sp.capture_index);
-    if (!parsed.ok()) {
-      parse_skipped_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    const netio::PacketView& view = parsed.value();
-    const double score = scorer.score(view);
-    const double threshold = scorer.threshold();
-    const bool alerted = score > threshold;
-    scored_.fetch_add(1, std::memory_order_relaxed);
-    if (alerted) alerted_.fetch_add(1, std::memory_order_relaxed);
-    if (sink_ != nullptr) {
-      std::lock_guard<std::mutex> lock(sink_mu_);
-      sink_->on_packet(view, score, alerted);
-      if (alerted) {
-        sink_->on_alert(Alert{view.ts, view.index, score, threshold, id});
+  // Everything below is consumer-local until the per-batch flush: packets
+  // are claimed in batches (one queue lock per batch), scored without any
+  // shared state, and sink records plus stats counters are published once
+  // per batch. Buffers are reused across batches, so the steady-state loop
+  // performs no allocation.
+  struct Scored {
+    netio::PacketView view;
+    double score = 0.0;
+    double threshold = 0.0;
+    bool alerted = false;
+  };
+  std::vector<netio::SourcePacket> batch;
+  std::vector<Scored> pending;
+  batch.reserve(opts_.consumer_batch);
+  pending.reserve(opts_.consumer_batch);
+  while (queue.pop_batch(batch, opts_.consumer_batch) > 0) {
+    uint64_t skipped = 0, scored = 0, alerted = 0;
+    for (netio::SourcePacket& sp : batch) {
+      auto parsed = netio::parse_packet(sp.pkt, link, sp.capture_index);
+      if (!parsed.ok()) {
+        ++skipped;
+        continue;
+      }
+      const netio::PacketView& view = parsed.value();
+      const double score = scorer.score(view);
+      const double threshold = scorer.threshold();
+      const bool is_alert = score > threshold;
+      ++scored;
+      if (is_alert) ++alerted;
+      if (sink_ != nullptr) {
+        pending.push_back(Scored{view, score, threshold, is_alert});
       }
     }
+    if (skipped != 0) parse_skipped_.fetch_add(skipped, std::memory_order_relaxed);
+    if (scored != 0) scored_.fetch_add(scored, std::memory_order_relaxed);
+    if (alerted != 0) alerted_.fetch_add(alerted, std::memory_order_relaxed);
+    if (!pending.empty()) {
+      std::lock_guard<std::mutex> lock(sink_mu_);
+      for (const Scored& p : pending) {
+        sink_->on_packet(p.view, p.score, p.alerted);
+        if (p.alerted) {
+          sink_->on_alert(Alert{p.view.ts, p.view.index, p.score,
+                                p.threshold, id});
+        }
+      }
+    }
+    pending.clear();
   }
 }
 

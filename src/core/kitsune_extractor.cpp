@@ -1,27 +1,30 @@
 #include "core/kitsune_extractor.h"
 
-#include <cstdio>
-
-#include "netio/bytes.h"
-
 namespace lumen::core {
 
 namespace {
 
-std::string mac_key(const netio::PacketView& v) {
-  char buf[13];
-  std::snprintf(buf, sizeof(buf), "%02x%02x%02x%02x%02x%02x", v.src_mac[0],
-                v.src_mac[1], v.src_mac[2], v.src_mac[3], v.src_mac[4],
-                v.src_mac[5]);
-  return buf;
+/// 48-bit MAC packed into the low bytes of a uint64 (big-endian order, so
+/// distinct MACs map to distinct keys).
+uint64_t pack_mac(const netio::MacAddr& m) {
+  uint64_t k = 0;
+  for (uint8_t b : m) k = (k << 8) | b;
+  return k;
 }
 
 }  // namespace
 
-KitsuneExtractor::KitsuneExtractor(std::vector<double> lambdas)
-    : lambdas_(std::move(lambdas)) {
+KitsuneExtractor::KitsuneExtractor(std::vector<double> lambdas,
+                                   size_t max_contexts)
+    : lambdas_(std::move(lambdas)), max_contexts_(max_contexts) {
   if (lambdas_.empty()) lambdas_ = {5.0, 3.0, 1.0, 0.1, 0.01};
-  state_.resize(lambdas_.size());
+  for (size_t li = 1; li < lambdas_.size(); ++li) {
+    if (lambdas_[li] < lambdas_[slow_]) slow_ = li;
+  }
+  mac_.configure(lambdas_.size());
+  src_.configure(lambdas_.size());
+  chan_.configure(lambdas_.size());
+  sock_.configure(lambdas_.size());
   for (double l : lambdas_) {
     const std::string s = "l" + std::to_string(l).substr(0, 4);
     for (const char* ctx_name : {"mac", "src", "chan", "sock"}) {
@@ -43,87 +46,158 @@ KitsuneExtractor::KitsuneExtractor(std::vector<double> lambdas)
 
 void KitsuneExtractor::process(const netio::PacketView& v,
                                std::vector<double>& out) {
-  out.assign(dim(), 0.0);
+  if (out.size() != dim()) out.resize(dim());
+  const size_t levels = lambdas_.size();
   const double size = v.wire_len;
   const double ts = v.ts;
-  size_t c = 0;
-  for (size_t li = 0; li < lambdas_.size(); ++li) {
-    LambdaState& st = state_[li];
-    const double lam = lambdas_[li];
 
-    auto& mac = st.mac.try_emplace(mac_key(v), lam).first->second;
-    mac.insert(size, ts);
-    out[c++] = mac.weight();
-    out[c++] = mac.mean();
-    out[c++] = mac.stddev();
+  const auto make_stat = [this](size_t li) {
+    return features::DampedStat(lambdas_[li]);
+  };
+  features::DampedStat* mac = mac_.find_or_create(pack_mac(v.src_mac),
+                                                  make_stat);
 
-    if (!v.has_ip) {
-      // Non-IP frame (ARP / 802.11): only the MAC context applies.
+  if (!v.has_ip) {
+    // Non-IP frame (ARP / 802.11): only the MAC context applies. Every
+    // other slot must read as zero, and the historic 17-slot skip width of
+    // the reference implementation is preserved (kitsune_extractor_ref.h).
+    std::fill(out.begin(), out.end(), 0.0);
+    size_t c = 0;
+    for (size_t li = 0; li < levels; ++li) {
+      features::DampedStat& m = mac[li];
+      m.insert(size, ts);
+      out[c++] = m.weight();
+      out[c++] = m.mean();
+      out[c++] = m.stddev();
       c += 17;
-      continue;
     }
-    const std::string sk = netio::ipv4_to_string(v.src_ip);
-    auto& src = st.src.try_emplace(sk, lam).first->second;
-    src.insert(size, ts);
-    out[c++] = src.weight();
-    out[c++] = src.mean();
-    out[c++] = src.stddev();
+    maybe_evict(ts);
+    return;
+  }
 
-    // Canonical channel/socket keys; dir 0 when src <= dst.
-    const bool fwd = v.src_ip <= v.dst_ip;
-    const std::string ch = fwd
-                               ? sk + ">" + netio::ipv4_to_string(v.dst_ip)
-                               : netio::ipv4_to_string(v.dst_ip) + ">" + sk;
-    auto& chan = st.chan.try_emplace(ch, lam).first->second;
-    chan.insert(fwd ? 0 : 1, size, ts);
-    const features::DampedStat& cd = fwd ? chan.a() : chan.b();
+  // Canonical channel/socket keys; dir 0 when src <= dst, and the port
+  // pair follows the IP comparison (the smaller endpoint's port first),
+  // exactly as the reference string keys were built.
+  const bool fwd = v.src_ip <= v.dst_ip;
+  const uint32_t ip_a = fwd ? v.src_ip : v.dst_ip;
+  const uint32_t ip_b = fwd ? v.dst_ip : v.src_ip;
+  const uint64_t chan_key = (uint64_t{ip_a} << 32) | ip_b;
+  const uint16_t port_a = fwd ? v.src_port : v.dst_port;
+  const uint16_t port_b = fwd ? v.dst_port : v.src_port;
+  const Key128 sock_key{chan_key, (uint64_t{port_a} << 16) | port_b};
+  const int dir = fwd ? 0 : 1;
+
+  features::DampedStat* src = src_.find_or_create(uint64_t{v.src_ip},
+                                                  make_stat);
+  ChanState* chan = chan_.find_or_create(chan_key, [this](size_t li) {
+    return ChanState{features::DampedStat2D(lambdas_[li]),
+                     features::DampedStat(lambdas_[li])};
+  });
+  features::DampedStat2D* sock =
+      sock_.find_or_create(sock_key, [this](size_t li) {
+        return features::DampedStat2D(lambdas_[li]);
+      });
+
+  size_t c = 0;
+  for (size_t li = 0; li < levels; ++li) {
+    features::DampedStat& m = mac[li];
+    m.insert(size, ts);
+    out[c++] = m.weight();
+    out[c++] = m.mean();
+    out[c++] = m.stddev();
+
+    features::DampedStat& s = src[li];
+    s.insert(size, ts);
+    out[c++] = s.weight();
+    out[c++] = s.mean();
+    out[c++] = s.stddev();
+
+    ChanState& ch = chan[li];
+    ch.chan.insert(dir, size, ts);
+    const features::DampedStat& cd = fwd ? ch.chan.a() : ch.chan.b();
     out[c++] = cd.weight();
     out[c++] = cd.mean();
     out[c++] = cd.stddev();
 
-    const std::string sock =
-        ch + ":" + std::to_string(fwd ? v.src_port : v.dst_port) + "-" +
-        std::to_string(fwd ? v.dst_port : v.src_port);
-    auto& so = st.sock.try_emplace(sock, lam).first->second;
-    so.insert(fwd ? 0 : 1, size, ts);
+    features::DampedStat2D& so = sock[li];
+    so.insert(dir, size, ts);
     const features::DampedStat& sd = fwd ? so.a() : so.b();
     out[c++] = sd.weight();
     out[c++] = sd.mean();
     out[c++] = sd.stddev();
 
-    out[c++] = chan.magnitude();
-    out[c++] = chan.radius();
-    out[c++] = chan.covariance();
-    out[c++] = chan.pcc();
+    out[c++] = ch.chan.magnitude();
+    out[c++] = ch.chan.radius();
+    out[c++] = ch.chan.covariance();
+    out[c++] = ch.chan.pcc();
     out[c++] = so.magnitude();
     out[c++] = so.radius();
     out[c++] = so.covariance();
     out[c++] = so.pcc();
 
-    auto& jit = st.jitter.try_emplace(ch, lam).first->second;
-    auto [lit, fresh] = st.last_seen.try_emplace(ch, ts);
-    if (!fresh) {
-      jit.insert(ts - lit->second, ts);
-      lit->second = ts;
+    if (ch.has_last) {
+      ch.jitter.insert(ts - ch.last_seen, ts);
+      ch.last_seen = ts;
+    } else {
+      ch.last_seen = ts;
+      ch.has_last = true;
     }
-    out[c++] = jit.weight();
-    out[c++] = jit.mean();
-    out[c++] = jit.stddev();
+    out[c++] = ch.jitter.weight();
+    out[c++] = ch.jitter.mean();
+    out[c++] = ch.jitter.stddev();
+  }
+  maybe_evict(ts);
+}
+
+void KitsuneExtractor::maybe_evict(double now) {
+  if (max_contexts_ == 0) return;
+  // Evict down to 3/4 of the cap so GC runs rarely, keeping the contexts
+  // with the highest slowest-lambda weight decayed to `now` (a balance of
+  // recency and activity; brand-new contexts have weight ~1 and survive).
+  const size_t keep = std::max<size_t>(1, max_contexts_ * 3 / 4);
+  const auto stat_score = [this, now](const features::DampedStat* block) {
+    features::DampedStat d = block[slow_];
+    d.decay(now);
+    return d.weight();
+  };
+  if (mac_.size() > max_contexts_) mac_.evict(keep, stat_score);
+  if (src_.size() > max_contexts_) src_.evict(keep, stat_score);
+  if (chan_.size() > max_contexts_) {
+    chan_.evict(keep, [this, now](const ChanState* block) {
+      features::DampedStat a = block[slow_].chan.a();
+      features::DampedStat b = block[slow_].chan.b();
+      a.decay(now);
+      b.decay(now);
+      return a.weight() + b.weight();
+    });
+  }
+  if (sock_.size() > max_contexts_) {
+    sock_.evict(keep, [this, now](const features::DampedStat2D* block) {
+      features::DampedStat a = block[slow_].a();
+      features::DampedStat b = block[slow_].b();
+      a.decay(now);
+      b.decay(now);
+      return a.weight() + b.weight();
+    });
   }
 }
 
 size_t KitsuneExtractor::tracked_contexts() const {
-  size_t n = 0;
-  for (const LambdaState& st : state_) {
-    n += st.mac.size() + st.src.size() + st.chan.size() + st.sock.size() +
-         st.jitter.size();
-  }
-  return n;
+  // Matches the reference accounting: per lambda, one statistic each for
+  // mac/src/sock plus two per channel (the 2D stat and the jitter stat).
+  return lambdas_.size() *
+         (mac_.size() + src_.size() + 2 * chan_.size() + sock_.size());
+}
+
+KitsuneExtractor::ContextCounts KitsuneExtractor::context_counts() const {
+  return ContextCounts{mac_.size(), src_.size(), chan_.size(), sock_.size()};
 }
 
 void KitsuneExtractor::reset() {
-  state_.clear();
-  state_.resize(lambdas_.size());
+  mac_.clear();
+  src_.clear();
+  chan_.clear();
+  sock_.clear();
 }
 
 }  // namespace lumen::core

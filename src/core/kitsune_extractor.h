@@ -3,12 +3,28 @@
 // computable one packet at a time. Both the batch "damped_stats" operation
 // and the online detector (core/stream.h) are built on this class, so batch
 // and streaming features are identical by construction.
+//
+// This is the gateway's per-packet hot path, so it is allocation-free in
+// steady state: contexts are identified by packed numeric keys (MAC 48-bit,
+// src-IP 32-bit, canonical IP pair, IP pair + canonical ports) probed in
+// open-addressing FlatMaps, and every decay level's state for one context
+// lives in a single contiguous block, so a packet costs at most four map
+// probes and zero heap allocations. The retired string-keyed implementation
+// is preserved in kitsune_extractor_ref.h as the bit-exactness reference
+// (tests/extractor_golden_test.cpp).
+//
+// Long-running gateways can bound memory with `max_contexts`: when any one
+// context table exceeds the cap, the lowest decayed-weight contexts (weight
+// of the slowest-decaying lambda, decayed to the current packet time) are
+// evicted until the table is back at 3/4 of the cap.
 #pragma once
 
-#include <map>
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "features/stats.h"
 #include "netio/packet.h"
 
@@ -16,8 +32,10 @@ namespace lumen::core {
 
 class KitsuneExtractor {
  public:
-  /// Default lambdas are Kitsune's {5, 3, 1, 0.1, 0.01}.
-  explicit KitsuneExtractor(std::vector<double> lambdas = {});
+  /// Default lambdas are Kitsune's {5, 3, 1, 0.1, 0.01}. `max_contexts`
+  /// bounds each context table (0 = unbounded; see class comment).
+  explicit KitsuneExtractor(std::vector<double> lambdas = {},
+                            size_t max_contexts = 0);
 
   /// 23 features per lambda.
   size_t dim() const { return 23 * lambdas_.size(); }
@@ -25,25 +43,114 @@ class KitsuneExtractor {
   const std::vector<double>& lambdas() const { return lambdas_; }
 
   /// Update all context statistics with one packet (in capture order) and
-  /// write its feature vector into `out` (resized to dim()).
+  /// write its feature vector into `out` (resized to dim() once; the caller
+  /// should reuse the same vector across packets).
   void process(const netio::PacketView& v, std::vector<double>& out);
 
-  /// Number of distinct (context, key) statistics currently tracked.
+  /// Number of distinct (lambda, context, key) statistics currently
+  /// tracked. With an eviction cap C this is bounded by 5 * C * lambdas().
   size_t tracked_contexts() const;
+
+  /// Distinct keys per context table (diagnostics / benchmarks).
+  struct ContextCounts {
+    size_t mac = 0, src = 0, chan = 0, sock = 0;
+  };
+  ContextCounts context_counts() const;
+
+  size_t max_contexts() const { return max_contexts_; }
 
   void reset();
 
  private:
-  struct LambdaState {
-    std::map<std::string, features::DampedStat> mac, src;
-    std::map<std::string, features::DampedStat2D> chan, sock;
-    std::map<std::string, features::DampedStat> jitter;  // per channel
-    std::map<std::string, double> last_seen;              // per channel
+  // All per-lambda state of one channel: both directions' joint statistic,
+  // the inter-arrival jitter statistic, and the last time the channel was
+  // seen (per lambda, mirroring the reference implementation's layout).
+  struct ChanState {
+    features::DampedStat2D chan;
+    features::DampedStat jitter;
+    double last_seen = 0.0;
+    bool has_last = false;
   };
+
+  // One context table: a FlatMap from packed key to a slot in a contiguous
+  // arena holding `stride` (= lambda count) State entries per context.
+  template <typename Key, typename State>
+  class ContextTable {
+   public:
+    void configure(size_t stride) { stride_ = stride; }
+    size_t size() const { return index_.size(); }
+
+    void clear() {
+      index_.clear();
+      arena_.clear();
+    }
+
+    /// The stride-long state block for `key`, created with make(level) per
+    /// decay level on first sight. The pointer stays valid until the next
+    /// find_or_create / evict / clear on this table.
+    template <typename Make>
+    State* find_or_create(const Key& key, const Make& make) {
+      auto [slot, inserted] = index_.try_emplace(key, uint32_t{0});
+      if (inserted) {
+        *slot = static_cast<uint32_t>(arena_.size() / stride_);
+        for (size_t i = 0; i < stride_; ++i) arena_.push_back(make(i));
+      }
+      return arena_.data() + size_t{*slot} * stride_;
+    }
+
+    /// Keep the `keep` highest-scoring contexts (score(block) over each
+    /// context's state block); rebuild the index and compact the arena.
+    template <typename ScoreFn>
+    void evict(size_t keep, const ScoreFn& score) {
+      if (index_.size() <= keep) return;
+      struct Entry {
+        Key key;
+        uint32_t slot;
+        double score;
+      };
+      std::vector<Entry> all;
+      all.reserve(index_.size());
+      index_.for_each([&](const Key& k, const uint32_t& s) {
+        all.push_back({k, s, score(arena_.data() + size_t{s} * stride_)});
+      });
+      std::nth_element(all.begin(),
+                       all.begin() + static_cast<std::ptrdiff_t>(keep),
+                       all.end(),
+                       [](const Entry& a, const Entry& b) {
+                         return a.score > b.score;
+                       });
+      all.resize(keep);
+      std::vector<State> arena;
+      arena.reserve(keep * stride_);
+      FlatMap<Key, uint32_t> index;
+      index.reserve(keep);
+      for (size_t i = 0; i < all.size(); ++i) {
+        index.try_emplace(all[i].key, static_cast<uint32_t>(i));
+        State* block = arena_.data() + size_t{all[i].slot} * stride_;
+        for (size_t j = 0; j < stride_; ++j) {
+          arena.push_back(std::move(block[j]));
+        }
+      }
+      arena_ = std::move(arena);
+      index_ = std::move(index);
+    }
+
+   private:
+    FlatMap<Key, uint32_t> index_;
+    std::vector<State> arena_;
+    size_t stride_ = 1;
+  };
+
+  void maybe_evict(double now);
 
   std::vector<double> lambdas_;
   std::vector<std::string> names_;
-  std::vector<LambdaState> state_;
+  size_t max_contexts_ = 0;
+  size_t slow_ = 0;  // index of the slowest-decaying (smallest) lambda
+  ContextTable<uint64_t, features::DampedStat> mac_;
+  ContextTable<uint64_t, features::DampedStat> src_;
+  ContextTable<uint64_t, ChanState> chan_;
+  ContextTable<Key128, features::DampedStat2D> sock_;
 };
 
 }  // namespace lumen::core

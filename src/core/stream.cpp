@@ -3,7 +3,7 @@
 namespace lumen::core {
 
 OnlineKitsune::OnlineKitsune(Options opts)
-    : opts_(std::move(opts)), extractor_(opts_.lambdas) {
+    : opts_(std::move(opts)), extractor_(opts_.lambdas, opts_.max_contexts) {
   ml::KitNet::Config cfg = opts_.kitnet;
   cfg.quantile = opts_.threshold_quantile;
   detector_ = ml::KitNet(cfg);
@@ -30,7 +30,7 @@ void OnlineKitsune::train(std::span<const netio::PacketView> packets) {
 double OnlineKitsune::score_packet(const netio::PacketView& v) {
   extractor_.process(v, row_);
   if (!trained_) return 0.0;
-  return detector_.score_row(row_);
+  return detector_.score_row(row_, scratch_);
 }
 
 }  // namespace lumen::core

@@ -20,6 +20,7 @@ class OnlineKitsune {
     std::vector<double> lambdas;     // empty = Kitsune defaults
     ml::KitNet::Config kitnet;       // ensemble configuration
     double threshold_quantile = 0.97;
+    size_t max_contexts = 0;  // extractor context-eviction cap (0 = off)
   };
 
   OnlineKitsune() : OnlineKitsune(Options{}) {}
@@ -41,6 +42,8 @@ class OnlineKitsune {
     return score_packet(v) > threshold_;
   }
 
+  const KitsuneExtractor& extractor() const { return extractor_; }
+
  private:
   Options opts_;
   KitsuneExtractor extractor_;
@@ -48,6 +51,7 @@ class OnlineKitsune {
   double threshold_ = 0.0;
   bool trained_ = false;
   std::vector<double> row_;
+  ml::KitNet::ScoreScratch scratch_;
 };
 
 }  // namespace lumen::core

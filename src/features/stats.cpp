@@ -17,12 +17,18 @@ double entropy_bits(const std::vector<double>& counts) {
 
 double percentile(std::vector<double>& values, double p) {
   if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
   const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
   const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, values.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  // Two O(n) selections instead of an O(n log n) full sort: nth_element
+  // places the lo-rank value, which partitions the tail so the (lo+1)-rank
+  // value is the tail's minimum.
+  const auto lo_it = values.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(values.begin(), lo_it, values.end());
+  const double v_lo = *lo_it;
+  if (frac <= 0.0 || lo + 1 >= values.size()) return v_lo;
+  const double v_hi = *std::min_element(lo_it + 1, values.end());
+  return v_lo * (1.0 - frac) + v_hi * frac;
 }
 
 double median(std::vector<double>& values) { return percentile(values, 50.0); }

@@ -181,7 +181,9 @@ class DampedStat2D {
 /// Shannon entropy (bits) of a discrete distribution given by counts.
 double entropy_bits(const std::vector<double>& counts);
 
-/// Percentile with linear interpolation; `values` is modified (sorted).
+/// Percentile with linear interpolation; `values` is modified (partially
+/// reordered by nth_element-based selection — contents preserved, order
+/// not).
 double percentile(std::vector<double>& values, double p);
 
 /// Median convenience wrapper over percentile(50).

@@ -132,26 +132,36 @@ void KitNet::fit(const FeatureTable& X) {
 
   std::vector<double> s;
   s.reserve(rows.size());
-  for (size_t r : rows) s.push_back(score_row(X.row(r)));
+  ScoreScratch scratch;
+  for (size_t r : rows) s.push_back(score_row(X.row(r), scratch));
   threshold_ = quantile_threshold(std::move(s), cfg_.quantile);
 }
 
 double KitNet::score_row(std::span<const double> x) const {
-  std::vector<double> sub;
-  std::vector<double> rmses(clusters_.size());
+  ScoreScratch scratch;
+  return score_row(x, scratch);
+}
+
+double KitNet::score_row(std::span<const double> x,
+                         ScoreScratch& scratch) const {
+  scratch.rmses.resize(clusters_.size());
   for (size_t k = 0; k < clusters_.size(); ++k) {
-    sub.clear();
-    for (size_t f : clusters_[k]) sub.push_back(x[f]);
-    rmses[k] = ensemble_[k]->score_sample(sub);
+    scratch.sub.clear();
+    for (size_t f : clusters_[k]) scratch.sub.push_back(x[f]);
+    scratch.rmses[k] = ensemble_[k]->score_sample(scratch.sub, scratch.ae);
   }
-  return output_->score_sample(rmses);
+  return output_->score_sample(scratch.rmses, scratch.ae);
 }
 
 std::vector<double> KitNet::score(const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
   if (!output_) return out;
   parallel_for(
-      0, X.rows, [&](size_t r) { out[r] = score_row(X.row(r)); },
+      0, X.rows,
+      [&](size_t r) {
+        thread_local ScoreScratch scratch;
+        out[r] = score_row(X.row(r), scratch);
+      },
       /*min_parallel=*/32);
   return out;
 }

@@ -40,8 +40,20 @@ class KitNet : public Model {
   const std::vector<std::vector<size_t>>& clusters() const { return clusters_; }
   double threshold() const { return threshold_; }
 
+  /// Reusable buffers for allocation-free single-row scoring. One scratch
+  /// serves the whole ensemble plus the output autoencoder.
+  struct ScoreScratch {
+    std::vector<double> sub;    // per-cluster feature subset
+    std::vector<double> rmses;  // per-cluster reconstruction errors
+    AutoEncoderCore::ScoreScratch ae;
+  };
+
   /// Score a single feature vector (the streaming path: no table needed).
   double score_row(std::span<const double> x) const;
+
+  /// Same, reusing caller-owned scratch — the per-packet hot path does not
+  /// allocate in steady state.
+  double score_row(std::span<const double> x, ScoreScratch& scratch) const;
 
  private:
   /// Agglomerative clustering on correlation distance, clusters capped at

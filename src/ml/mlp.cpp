@@ -166,12 +166,18 @@ void AutoEncoderCore::update_norm(std::span<const double> x) {
 
 std::vector<double> AutoEncoderCore::normalize(std::span<const double> x) const {
   std::vector<double> z(dim_, 0.0);
+  normalize_into(x, z);
+  return z;
+}
+
+void AutoEncoderCore::normalize_into(std::span<const double> x,
+                                     std::vector<double>& z) const {
+  z.resize(dim_);
   for (size_t i = 0; i < dim_; ++i) {
     const double range = norm_max_[i] - norm_min_[i];
     z[i] = range > 1e-12 ? (x[i] - norm_min_[i]) / range : 0.0;
     z[i] = std::clamp(z[i], 0.0, 1.0);
   }
-  return z;
 }
 
 double AutoEncoderCore::train_sample(std::span<const double> x) {
@@ -223,8 +229,16 @@ double AutoEncoderCore::train_sample(std::span<const double> x) {
 }
 
 double AutoEncoderCore::score_sample(std::span<const double> x) const {
-  const std::vector<double> z = normalize(x);
-  std::vector<double> h(hidden_);
+  ScoreScratch scratch;
+  return score_sample(x, scratch);
+}
+
+double AutoEncoderCore::score_sample(std::span<const double> x,
+                                     ScoreScratch& scratch) const {
+  normalize_into(x, scratch.z);
+  const std::vector<double>& z = scratch.z;
+  scratch.h.resize(hidden_);
+  std::vector<double>& h = scratch.h;
   for (size_t o = 0; o < hidden_; ++o) {
     double s = b1_[o];
     for (size_t i = 0; i < dim_; ++i) s += w1_[o * dim_ + i] * z[i];

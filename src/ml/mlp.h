@@ -50,17 +50,28 @@ class AutoEncoderCore {
   /// hidden_ratio: hidden size = max(1, ceil(ratio * dim)).
   AutoEncoderCore(size_t dim, double hidden_ratio, double lr, uint64_t seed);
 
+  /// Reusable buffers for allocation-free scoring; one scratch may be
+  /// shared across cores of different dimensions (buffers are resized).
+  struct ScoreScratch {
+    std::vector<double> z;  // normalized input
+    std::vector<double> h;  // hidden activations
+  };
+
   /// One SGD step on x; returns the reconstruction RMSE *before* the update.
   double train_sample(std::span<const double> x);
 
   /// Reconstruction RMSE without updating weights.
   double score_sample(std::span<const double> x) const;
 
+  /// Same, but reusing caller-owned buffers (the per-packet hot path).
+  double score_sample(std::span<const double> x, ScoreScratch& scratch) const;
+
   size_t dim() const { return dim_; }
   size_t hidden() const { return hidden_; }
 
  private:
   std::vector<double> normalize(std::span<const double> x) const;
+  void normalize_into(std::span<const double> x, std::vector<double>& z) const;
   void update_norm(std::span<const double> x);
 
   size_t dim_;

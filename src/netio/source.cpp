@@ -19,14 +19,36 @@ TraceReplaySource::TraceReplaySource(const Trace& trace, ReplayOptions opts)
 bool TraceReplaySource::next(SourcePacket& out) {
   if (pos_ >= opts_.end) return false;
   const RawPacket& raw = trace_->raw[pos_];
-  if (opts_.pace && started_) {
-    const double gap = (raw.ts - prev_ts_) / opts_.speed;
-    const double sleep_s = std::clamp(gap, 0.0, opts_.max_sleep);
-    if (sleep_s > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+  if (opts_.pace) {
+    // Absolute-timeline pacing: each packet is released when the wall
+    // clock reaches wall0_ + (ts - ts0_) / speed, so downstream
+    // processing time and sleep overshoot are absorbed instead of
+    // accumulating (per-packet relative sleeps drift badly at high rates
+    // because the OS timer granularity is ~50 us). A gap that would
+    // require sleeping longer than max_sleep is truncated by advancing
+    // the baseline — same fast-forward semantics as clamping the gap.
+    using dsec = std::chrono::duration<double>;
+    const auto now = std::chrono::steady_clock::now();
+    if (!started_) {
+      wall0_ = now;
+      ts0_ = raw.ts;
+    } else {
+      const auto target =
+          wall0_ + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       dsec((raw.ts - ts0_) / opts_.speed));
+      double wait = dsec(target - now).count();
+      if (wait > opts_.max_sleep) {
+        wall0_ -= std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            dsec(wait - opts_.max_sleep));
+        wait = opts_.max_sleep;
+      }
+      // Sub-half-millisecond waits are left to accumulate into the next
+      // packet's target rather than paying nanosleep overhead per packet.
+      if (wait >= 0.0005) std::this_thread::sleep_for(dsec(wait));
     }
   }
-  prev_ts_ = raw.ts;
   started_ = true;
   out.pkt = raw;
   // A parsed trace may have skipped malformed frames; the view keeps each

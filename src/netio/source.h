@@ -11,6 +11,7 @@
 //     parse/score path against hostile or damaged captures.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -72,7 +73,10 @@ class TraceReplaySource : public PacketSource {
   const Trace* trace_;
   ReplayOptions opts_;
   size_t pos_ = 0;
-  double prev_ts_ = 0.0;
+  // Pacing baseline: wall clock at the first packet and its capture time.
+  // Each later packet is released at wall0_ + (ts - ts0_) / speed.
+  std::chrono::steady_clock::time_point wall0_;
+  double ts0_ = 0.0;
   bool started_ = false;
 };
 

@@ -1,0 +1,187 @@
+// Golden-equivalence tests for the packed-key KitsuneExtractor: the hot
+// path must emit feature vectors bit-identical to the retired string-keyed
+// implementation (core/kitsune_extractor_ref.h) on every packet of every
+// corpus trace — including non-IP frames — and the context-eviction cap
+// must bound the tracked state.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/kitsune_extractor.h"
+#include "core/kitsune_extractor_ref.h"
+#include "netio/builder.h"
+#include "netio/parse.h"
+#include "trace/registry.h"
+
+namespace lumen::core {
+namespace {
+
+using netio::Bytes;
+using netio::MacAddr;
+using netio::RawPacket;
+using netio::Trace;
+
+void expect_bit_identical(const Trace& trace, std::vector<double> lambdas = {},
+                          const char* what = "") {
+  KitsuneExtractor packed(lambdas);
+  ReferenceKitsuneExtractor ref(lambdas);
+  ASSERT_EQ(packed.dim(), ref.dim());
+  std::vector<double> a, b;
+  for (size_t i = 0; i < trace.view.size(); ++i) {
+    packed.process(trace.view[i], a);
+    ref.process(trace.view[i], b);
+    ASSERT_EQ(a.size(), b.size());
+    // Bit-level comparison: the refactor must not change a single ULP
+    // (memcmp also distinguishes -0.0 from 0.0, which == would not).
+    ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+        << what << ": packet " << i << " of " << trace.view.size();
+  }
+  EXPECT_EQ(packed.tracked_contexts(), ref.tracked_contexts()) << what;
+}
+
+TEST(ExtractorGolden, P1MiraiCapture) {
+  const trace::Dataset ds = trace::make_dataset("P1", 0.15);
+  ASSERT_GT(ds.trace.view.size(), 500u);
+  expect_bit_identical(ds.trace, {}, "P1");
+}
+
+TEST(ExtractorGolden, P2Dot11Capture) {
+  // 802.11 capture: exercises the non-IP (management/control frame) path
+  // on a full synthetic dataset.
+  const trace::Dataset ds = trace::make_dataset("P2", 0.15);
+  ASSERT_GT(ds.trace.view.size(), 100u);
+  size_t non_ip = 0;
+  for (const auto& v : ds.trace.view) non_ip += v.has_ip ? 0 : 1;
+  EXPECT_GT(non_ip, 0u) << "P2 should contain non-IP frames";
+  expect_bit_identical(ds.trace, {}, "P2");
+}
+
+TEST(ExtractorGolden, P3SynDosCapture) {
+  const trace::Dataset ds = trace::make_dataset("P3", 0.15);
+  ASSERT_GT(ds.trace.view.size(), 500u);
+  expect_bit_identical(ds.trace, {}, "P3");
+}
+
+TEST(ExtractorGolden, P4SsdpFuzzingCapture) {
+  const trace::Dataset ds = trace::make_dataset("P4", 0.15);
+  expect_bit_identical(ds.trace, {}, "P4");
+}
+
+// Hand-built Ethernet trace interleaving TCP/UDP with ARP (non-IP) frames,
+// port-sharing across IP pairs, both channel directions, and repeated
+// timestamps — the corners where key packing could diverge from the
+// string keys.
+Trace mixed_trace() {
+  const MacAddr m1{2, 0, 0, 0, 0, 1}, m2{2, 0, 0, 0, 0, 2},
+      m3{2, 0, 0, 0, 0, 3};
+  const uint32_t a = 0x0a000001, b = 0x0a000002, c = 0xc0a80101;
+  Trace t;
+  double ts = 50.0;
+  auto add = [&](Bytes frame, double dt) {
+    ts += dt;
+    t.raw.push_back(RawPacket{ts, std::move(frame)});
+  };
+  netio::TcpOpts tcp;
+  for (int round = 0; round < 40; ++round) {
+    add(netio::build_tcp(m1, m2, a, b, 1234, 80, tcp, Bytes(round % 9, 'x')),
+        0.002);
+    // Reverse direction of the same channel and socket.
+    add(netio::build_tcp(m2, m1, b, a, 80, 1234, tcp, Bytes(round % 5, 'y')),
+        0.0);  // repeated timestamp: zero inter-arrival jitter
+    // ARP probe: non-IP frame between IP packets.
+    add(netio::build_arp(m1, m2, 1, m1, a, MacAddr{}, b), 0.001);
+    // Same IP pair, different ports -> same channel, distinct socket.
+    add(netio::build_udp(m1, m2, a, b, 5353, 5353, Bytes(4, 'z')), 0.003);
+    // Same ports on a different pair; src > dst exercises reverse canon.
+    add(netio::build_tcp(m3, m1, c, a, 1234, 80, tcp, Bytes(2, 'q')), 0.004);
+  }
+  netio::parse_trace(t);
+  return t;
+}
+
+TEST(ExtractorGolden, MixedArpTcpUdpTrace) {
+  const Trace t = mixed_trace();
+  ASSERT_EQ(t.view.size(), 200u);
+  size_t non_ip = 0;
+  for (const auto& v : t.view) non_ip += v.has_ip ? 0 : 1;
+  EXPECT_EQ(non_ip, 40u);
+  expect_bit_identical(t, {}, "mixed");
+}
+
+TEST(ExtractorGolden, NonDefaultLambdas) {
+  const Trace t = mixed_trace();
+  expect_bit_identical(t, {2.0, 0.5}, "lambdas{2,0.5}");
+  expect_bit_identical(t, {1.0}, "lambdas{1}");
+}
+
+TEST(ExtractorEviction, CapBoundsTrackedContexts) {
+  // A scan-like stream: every packet a fresh source IP/MAC/socket, far
+  // more distinct contexts than the cap.
+  const size_t kCap = 64;
+  KitsuneExtractor ex({}, kCap);
+  EXPECT_EQ(ex.max_contexts(), kCap);
+  std::vector<double> row;
+  const MacAddr dst{2, 0, 0, 0, 0, 2};
+  for (uint32_t i = 0; i < 2000; ++i) {
+    MacAddr src{2, 0, 1, 0, 0, 0};
+    src[4] = static_cast<uint8_t>(i >> 8);
+    src[5] = static_cast<uint8_t>(i & 0xff);
+    Bytes frame = netio::build_tcp(src, dst, 0x0a010000 + i, 0x0a000002,
+                                   static_cast<uint16_t>(1024 + i), 80,
+                                   netio::TcpOpts{}, Bytes(8, 'x'));
+    RawPacket raw{100.0 + 0.001 * i, std::move(frame)};
+    auto parsed = netio::parse_packet(raw, netio::LinkType::kEthernet, i);
+    ASSERT_TRUE(parsed.ok());
+    ex.process(parsed.value(), row);
+    const auto counts = ex.context_counts();
+    EXPECT_LE(counts.mac, kCap);
+    EXPECT_LE(counts.src, kCap);
+    EXPECT_LE(counts.chan, kCap);
+    EXPECT_LE(counts.sock, kCap);
+  }
+  // tracked_contexts sums 5 statistics per lambda per context.
+  EXPECT_LE(ex.tracked_contexts(), 5 * kCap * ex.lambdas().size());
+  EXPECT_GT(ex.tracked_contexts(), 0u);
+}
+
+TEST(ExtractorEviction, ActiveContextSurvivesGc) {
+  // One hot channel plus a flood of one-shot scanners: after eviction the
+  // hot channel's statistics must keep their accumulated weight (the GC
+  // keeps the highest decayed-weight contexts).
+  const size_t kCap = 32;
+  KitsuneExtractor ex({}, kCap);
+  const MacAddr hot_src{2, 0, 0, 0, 0, 1}, dst{2, 0, 0, 0, 0, 2};
+  std::vector<double> row;
+  double ts = 100.0;
+  auto feed = [&](const Bytes& frame, uint32_t idx) {
+    RawPacket raw{ts, frame};
+    auto parsed = netio::parse_packet(raw, netio::LinkType::kEthernet, idx);
+    ASSERT_TRUE(parsed.ok());
+    ex.process(parsed.value(), row);
+  };
+  for (uint32_t i = 0; i < 500; ++i) {
+    ts += 0.001;
+    feed(netio::build_tcp(hot_src, dst, 0x0a000001, 0x0a000002, 1234, 80,
+                          netio::TcpOpts{}, Bytes(8, 'x')),
+         i);
+    MacAddr scan{2, 1, 0, 0, 0, 0};
+    scan[4] = static_cast<uint8_t>(i >> 8);
+    scan[5] = static_cast<uint8_t>(i & 0xff);
+    ts += 0.0001;
+    feed(netio::build_udp(scan, dst, 0x0b000000 + i, 0x0a000002,
+                          static_cast<uint16_t>(2000 + (i % 60000)), 53,
+                          Bytes(2, 's')),
+         1000 + i);
+  }
+  // The hot channel's mac weight (first feature, fastest lambda) reflects
+  // hundreds of inserts; a freshly-recreated context would sit near 1.
+  ts += 0.001;
+  feed(netio::build_tcp(hot_src, dst, 0x0a000001, 0x0a000002, 1234, 80,
+                        netio::TcpOpts{}, Bytes(8, 'x')),
+       9999);
+  EXPECT_GT(row[0], 2.0) << "hot context was evicted";
+}
+
+}  // namespace
+}  // namespace lumen::core

@@ -3,8 +3,10 @@
 // paced-vs-unpaced determinism the gateway story depends on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "core/ingest.h"
 #include "netio/builder.h"
@@ -349,6 +351,95 @@ TEST(Runtime, RequestStopWindsDownGracefully) {
   // Everything accepted was accounted for, even though we stopped early.
   const IngestStats& s = stats.value();
   EXPECT_EQ(s.scored + s.parse_skipped, s.enqueued - s.dropped);
+}
+
+TEST(BoundedQueue, PopBatchDrainsUpToMax) {
+  BoundedPacketQueue q(8, OverflowPolicy::kBlock);
+  for (uint32_t i = 0; i < 5; ++i) ASSERT_TRUE(q.push(sp(i)));
+  std::vector<SourcePacket> batch;
+  EXPECT_EQ(q.pop_batch(batch, 3), 3u);
+  ASSERT_EQ(batch.size(), 3u);
+  for (uint32_t i = 0; i < 3; ++i) EXPECT_EQ(batch[i].capture_index, i);
+  EXPECT_EQ(q.pop_batch(batch, 100), 2u);  // capped by queue content
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].capture_index, 3u);
+  EXPECT_EQ(batch[1].capture_index, 4u);
+  q.close();
+  EXPECT_EQ(q.pop_batch(batch, 4), 0u);  // closed and drained
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(BoundedQueue, PopBatchDrainsBufferedAfterClose) {
+  BoundedPacketQueue q(8, OverflowPolicy::kBlock);
+  ASSERT_TRUE(q.push(sp(0)));
+  ASSERT_TRUE(q.push(sp(1)));
+  q.close();
+  std::vector<SourcePacket> batch;
+  EXPECT_EQ(q.pop_batch(batch, 8), 2u);  // buffered packets still poppable
+  EXPECT_EQ(q.pop_batch(batch, 8), 0u);
+}
+
+TEST(BoundedQueue, PopBatchFreesBlockedProducer) {
+  BoundedPacketQueue q(2, OverflowPolicy::kBlock);
+  ASSERT_TRUE(q.push(sp(0)));
+  ASSERT_TRUE(q.push(sp(1)));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(sp(2)));  // blocks until pop_batch frees slots
+    pushed.store(true);
+  });
+  std::vector<SourcePacket> batch;
+  EXPECT_EQ(q.pop_batch(batch, 2), 2u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+// The exact alert set must not depend on the batching knob: batch size
+// only changes lock amortization, never which packets alert.
+TEST(Runtime, BatchedAlertFlushPreservesAlertSet) {
+  Trace t = make_trace(300);
+
+  // Ground truth: score the parsed views directly, packet at a time.
+  std::vector<uint32_t> expected;
+  for (const auto& v : t.view) {
+    if (v.payload_len > 0.5) expected.push_back(v.index);
+  }
+
+  for (size_t batch : {1u, 7u, 64u, 1024u}) {
+    TraceReplaySource src(t);
+    IngestRuntime::Options opts;
+    opts.consumers = 1;
+    opts.consumer_batch = batch;
+    CollectingSink sink;
+    IngestRuntime rt(opts, payload_scorer(), &sink);
+    auto stats = rt.run(src);
+    ASSERT_TRUE(stats.ok());
+    std::vector<uint32_t> got;
+    for (const core::Alert& a : sink.alerts()) got.push_back(a.capture_index);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "consumer_batch=" << batch;
+    EXPECT_EQ(stats.value().alerted, expected.size());
+    EXPECT_EQ(stats.value().scored, 300u);
+  }
+}
+
+TEST(Runtime, MultiConsumerBatchedFlushConservesAlerts) {
+  Trace t = make_trace(500);
+  size_t expected_alerts = 0;
+  for (const auto& v : t.view) expected_alerts += v.payload_len > 0 ? 1 : 0;
+  for (size_t consumers : {2u, 4u}) {
+    TraceReplaySource src(t);
+    IngestRuntime::Options opts;
+    opts.consumers = consumers;
+    opts.consumer_batch = 16;
+    CollectingSink sink;
+    IngestRuntime rt(opts, payload_scorer(), &sink);
+    auto stats = rt.run(src);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().scored, 500u);
+    EXPECT_EQ(sink.alerts().size(), stats.value().alerted);
+    EXPECT_EQ(stats.value().alerted, expected_alerts);
+  }
 }
 
 TEST(Runtime, ConsumerExceptionPropagatesToCaller) {

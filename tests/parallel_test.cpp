@@ -16,6 +16,9 @@ namespace {
 // first ThreadPool::global() call, hence a namespace-scope initializer.
 [[maybe_unused]] const bool kForceThreads = [] {
   setenv("LUMEN_THREADS", "4", /*overwrite=*/0);
+  // LUMEN_THREADS is clamped to the core count unless explicitly forced;
+  // these tests need real oversubscription on single-core CI hosts.
+  setenv("LUMEN_THREADS_FORCE", "1", /*overwrite=*/0);
   return true;
 }();
 

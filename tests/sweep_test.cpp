@@ -21,6 +21,7 @@ namespace {
 // parallel side of the comparison actually runs concurrently.
 [[maybe_unused]] const bool kForceThreads = [] {
   setenv("LUMEN_THREADS", "4", /*overwrite=*/0);
+  setenv("LUMEN_THREADS_FORCE", "1", /*overwrite=*/0);
   return true;
 }();
 

@@ -13,5 +13,6 @@ cmake --build "$BUILD" -j
 
 tools/check_tsan.sh
 tools/check_asan.sh
+tools/check_bench.sh "$BUILD"
 
-echo "check_all: tier-1 tests + TSan + ASan clean"
+echo "check_all: tier-1 tests + TSan + ASan + bench gate clean"

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Throughput regression gate: run bench_ingest and fail if the 4-consumer
+# configuration scores fewer packets per second than the 1-consumer one —
+# the de-serialized ingest path must never make adding consumers a loss.
+# Usage:
+#   tools/check_bench.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j --target bench_ingest
+
+"$BUILD/bench/bench_ingest"
+
+# bench_ingest writes its JSON artifact into the working directory.
+JSON="BENCH_ingest.json"
+[ -f "$JSON" ] || { echo "check_bench: $JSON not produced" >&2; exit 1; }
+
+rate_for() {
+  # Extract pkts_per_sec for a consumer count from the configs array.
+  sed -n "s/.*\"consumers\": $1,.*\"pkts_per_sec\": \([0-9.]*\).*/\1/p" "$JSON"
+}
+
+ONE="$(rate_for 1)"
+FOUR="$(rate_for 4)"
+[ -n "$ONE" ] && [ -n "$FOUR" ] || {
+  echo "check_bench: could not parse consumer rates from $JSON" >&2
+  exit 1
+}
+
+if awk -v a="$FOUR" -v b="$ONE" 'BEGIN { exit !(a < b) }'; then
+  echo "check_bench: FAIL — 4-consumer ($FOUR pkts/s) below 1-consumer ($ONE pkts/s)" >&2
+  exit 1
+fi
+
+if ! grep -q '"paced_deterministic": true' "$JSON"; then
+  echo "check_bench: FAIL — paced replay was not deterministic" >&2
+  exit 1
+fi
+
+echo "check_bench: 4-consumer $FOUR pkts/s >= 1-consumer $ONE pkts/s"
