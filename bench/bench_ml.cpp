@@ -1,22 +1,34 @@
-// google-benchmark microbenchmarks for the model zoo: train and score
-// throughput on a representative IDS-shaped table.
-#include <benchmark/benchmark.h>
+// Model-zoo scoring benchmark: batched (dense-kernel) scoring vs the pre-PR
+// per-row scalar path for every reworked model, plus raw kernel throughput
+// for the dense library itself. Emits BENCH_ml.json with per-model rows/s,
+// the batched-vs-per-row speedup, and kernel GFLOP/s per backend.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
-#include "ml/bayes.h"
-#include "ml/forest.h"
+#include "ml/dense.h"
 #include "ml/gmm.h"
 #include "ml/kernel.h"
 #include "ml/kitnet.h"
 #include "ml/knn.h"
 #include "ml/linear.h"
 #include "ml/mlp.h"
-#include "ml/tree.h"
 
 namespace {
 
 using namespace lumen;
 using ml::FeatureTable;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kReps = 5;          // best-of repetitions per timed config
+constexpr size_t kScoreRows = 4000;
+constexpr size_t kCols = 20;
 
 FeatureTable ids_shaped_table(size_t rows, size_t cols) {
   std::vector<std::string> names;
@@ -33,100 +45,220 @@ FeatureTable ids_shaped_table(size_t rows, size_t cols) {
   return t;
 }
 
-template <typename M>
-void bench_fit(benchmark::State& state, M make) {
-  const FeatureTable t = ids_shaped_table(
-      static_cast<size_t>(state.range(0)), 20);
-  for (auto _ : state) {
-    auto m = make();
-    m->fit(t);
-    benchmark::DoNotOptimize(m);
+/// Best-of-kReps wall time of fn(), in seconds.
+double best_seconds(const std::function<void()>& fn) {
+  double best = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const Clock::time_point t0 = Clock::now();
+    fn();
+    best = std::min(best,
+                    std::chrono::duration<double>(Clock::now() - t0).count());
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          state.range(0));
+  return best;
 }
 
-template <typename M>
-void bench_score(benchmark::State& state, M make) {
-  const FeatureTable t = ids_shaped_table(1000, 20);
-  auto m = make();
-  m->fit(t);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(m->score(t));
+struct ModelResult {
+  std::string name;
+  double perrow_rows_per_sec = 0.0;   // pre-PR path, forced-scalar kernels
+  double batched_rows_per_sec = 0.0;  // blocked path, active backend
+  double speedup = 0.0;
+};
+
+/// Time `perrow` under forced-scalar kernels (the honest pre-PR baseline)
+/// and `batched` under the active backend.
+ModelResult bench_model(const std::string& name, size_t rows,
+                        const std::function<void()>& perrow,
+                        const std::function<void()>& batched) {
+  ModelResult r;
+  r.name = name;
+  {
+    ml::dense::ScopedBackend guard(ml::dense::Backend::kScalar);
+    r.perrow_rows_per_sec = static_cast<double>(rows) / best_seconds(perrow);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+  r.batched_rows_per_sec = static_cast<double>(rows) / best_seconds(batched);
+  r.speedup = r.perrow_rows_per_sec > 0.0
+                  ? r.batched_rows_per_sec / r.perrow_rows_per_sec
+                  : 0.0;
+  std::printf("%-14s %12.0f %14.0f %8.2fx\n", name.c_str(),
+              r.perrow_rows_per_sec, r.batched_rows_per_sec, r.speedup);
+  return r;
 }
 
-void BM_FitDecisionTree(benchmark::State& state) {
-  bench_fit(state, [] { return std::make_shared<ml::DecisionTree>(); });
-}
-BENCHMARK(BM_FitDecisionTree)->Arg(500)->Arg(2000);
+struct KernelResult {
+  std::string name;
+  std::string backend;
+  double gflops = 0.0;
+};
 
-void BM_FitRandomForest(benchmark::State& state) {
-  bench_fit(state, [] { return std::make_shared<ml::RandomForest>(); });
-}
-BENCHMARK(BM_FitRandomForest)->Arg(500)->Arg(2000);
-
-void BM_FitGaussianNB(benchmark::State& state) {
-  bench_fit(state, [] { return std::make_shared<ml::GaussianNB>(); });
-}
-BENCHMARK(BM_FitGaussianNB)->Arg(2000);
-
-void BM_FitLinearSvm(benchmark::State& state) {
-  bench_fit(state, [] { return std::make_shared<ml::LinearSvm>(); });
-}
-BENCHMARK(BM_FitLinearSvm)->Arg(2000);
-
-void BM_FitOcsvm(benchmark::State& state) {
-  bench_fit(state, [] { return std::make_shared<ml::OneClassSvm>(); });
-}
-BENCHMARK(BM_FitOcsvm)->Arg(500);
-
-void BM_FitGmm(benchmark::State& state) {
-  bench_fit(state, [] { return std::make_shared<ml::Gmm>(); });
-}
-BENCHMARK(BM_FitGmm)->Arg(1000);
-
-void BM_FitKitNet(benchmark::State& state) {
-  bench_fit(state, [] { return std::make_shared<ml::KitNet>(); });
-}
-BENCHMARK(BM_FitKitNet)->Arg(1000);
-
-void BM_FitMlp(benchmark::State& state) {
-  bench_fit(state, [] {
-    ml::MlpConfig cfg;
-    cfg.epochs = 10;
-    return std::make_shared<ml::Mlp>(cfg);
+KernelResult bench_gemm(ml::dense::Backend be, const char* backend_name) {
+  constexpr size_t kM = 256, kN = 256, kK = 256;
+  Rng rng(7);
+  std::vector<double> a(kM * kK), b(kN * kK), c(kM * kN);
+  for (double& v : a) v = rng.normal(0.0, 1.0);
+  for (double& v : b) v = rng.normal(0.0, 1.0);
+  ml::dense::ScopedBackend guard(be);
+  const double secs = best_seconds([&] {
+    ml::dense::gemm_nt(kM, kN, kK, a.data(), kK, b.data(), kK, nullptr, 0.0,
+                       c.data(), kN);
   });
+  KernelResult r;
+  r.name = "gemm_nt_256";
+  r.backend = backend_name;
+  r.gflops = 2.0 * kM * kN * kK / secs / 1e9;
+  std::printf("%-14s %-8s %10.2f GFLOP/s\n", r.name.c_str(), backend_name,
+              r.gflops);
+  return r;
 }
-BENCHMARK(BM_FitMlp)->Arg(1000);
 
-void BM_ScoreRandomForest(benchmark::State& state) {
-  bench_score(state, [] { return std::make_shared<ml::RandomForest>(); });
+KernelResult bench_sq_dist(ml::dense::Backend be, const char* backend_name) {
+  constexpr size_t kM = 256, kR = 512, kN = 32;
+  Rng rng(8);
+  std::vector<double> x(kM * kN), y(kR * kN), d(kM * kR);
+  for (double& v : x) v = rng.normal(0.0, 1.0);
+  for (double& v : y) v = rng.normal(0.0, 1.0);
+  ml::dense::ScopedBackend guard(be);
+  const double secs = best_seconds([&] {
+    ml::dense::sq_dist_batch(kM, kR, kN, x.data(), kN, y.data(), kN, nullptr,
+                             nullptr, d.data(), kR);
+  });
+  KernelResult r;
+  r.name = "sq_dist_batch";
+  r.backend = backend_name;
+  r.gflops = 2.0 * kM * kR * kN / secs / 1e9;  // GEMM term dominates
+  std::printf("%-14s %-8s %10.2f GFLOP/s\n", r.name.c_str(), backend_name,
+              r.gflops);
+  return r;
 }
-BENCHMARK(BM_ScoreRandomForest);
 
-void BM_ScoreKitNet(benchmark::State& state) {
-  bench_score(state, [] { return std::make_shared<ml::KitNet>(); });
+KernelResult bench_sigmoid(ml::dense::Backend be, const char* backend_name) {
+  constexpr size_t kN = 1 << 16;
+  Rng rng(9);
+  std::vector<double> base(kN), x(kN);
+  for (double& v : base) v = rng.normal(0.0, 2.0);
+  ml::dense::ScopedBackend guard(be);
+  const double secs = best_seconds([&] {
+    std::copy(base.begin(), base.end(), x.begin());
+    ml::dense::sigmoid_sweep(kN, x.data());
+  });
+  KernelResult r;
+  r.name = "sigmoid_sweep";
+  r.backend = backend_name;
+  r.gflops = static_cast<double>(kN) / secs / 1e9;  // Gelem/s, not flops
+  std::printf("%-14s %-8s %10.2f Gelem/s\n", r.name.c_str(), backend_name,
+              r.gflops);
+  return r;
 }
-BENCHMARK(BM_ScoreKitNet);
-
-void BM_ScoreKnn(benchmark::State& state) {
-  bench_score(state, [] { return std::make_shared<ml::Knn>(); });
-}
-BENCHMARK(BM_ScoreKnn);
-
-void BM_NystromTransform(benchmark::State& state) {
-  const FeatureTable t = ids_shaped_table(1000, 20);
-  ml::NystromMap map;
-  map.fit(t);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(map.transform(t));
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
-}
-BENCHMARK(BM_NystromTransform);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  std::printf("bench_ml: batched model scoring vs the per-row scalar path\n\n");
+  const char* backend =
+      ml::dense::backend_name(ml::dense::active_backend());
+  std::printf("active kernel backend: %s (LUMEN_SIMD to override)\n", backend);
+  std::printf("threads: %zu (pool), %zu (hardware)\n\n",
+              ThreadPool::global().size(), ThreadPool::hardware_threads());
+
+  const FeatureTable t = ids_shaped_table(kScoreRows, kCols);
+  const FeatureTable train = ids_shaped_table(1500, kCols);
+
+  std::printf("%-14s %12s %14s %9s\n", "model", "perrow r/s", "batched r/s",
+              "speedup");
+
+  std::vector<ModelResult> models;
+  {
+    ml::MlpConfig cfg;
+    cfg.epochs = 10;
+    ml::Mlp m(cfg);
+    m.fit(train);
+    models.push_back(bench_model(
+        "MLP", kScoreRows, [&] { m.score_perrow(t); }, [&] { m.score(t); }));
+  }
+  {
+    ml::KitNet m;
+    m.fit(train);
+    models.push_back(bench_model(
+        "KitNET", kScoreRows, [&] { m.score_perrow(t); },
+        [&] { m.score(t); }));
+  }
+  {
+    ml::AutoEncoderDetector m;
+    m.fit(train);
+    models.push_back(bench_model(
+        "AutoEncoder", kScoreRows, [&] { m.score_perrow(t); },
+        [&] { m.score(t); }));
+  }
+  {
+    ml::Knn m;
+    m.fit(train);
+    models.push_back(bench_model(
+        "kNN", kScoreRows, [&] { m.score_perrow(t); }, [&] { m.score(t); }));
+  }
+  {
+    ml::OneClassSvm m;
+    m.fit(train);
+    models.push_back(bench_model(
+        "OCSVM", kScoreRows, [&] { m.score_perrow(t); },
+        [&] { m.score(t); }));
+  }
+  {
+    ml::Gmm m;
+    m.fit(train);
+    models.push_back(bench_model(
+        "GMM", kScoreRows, [&] { m.score_perrow(t); }, [&] { m.score(t); }));
+  }
+  {
+    ml::LinearSvm m;
+    m.fit(train);
+    models.push_back(bench_model(
+        "LinearSVM", kScoreRows, [&] { m.score_perrow(t); },
+        [&] { m.score(t); }));
+  }
+
+  std::printf("\nkernel throughput (best of %d):\n", kReps);
+  std::vector<KernelResult> kernels;
+  kernels.push_back(bench_gemm(ml::dense::Backend::kScalar, "scalar"));
+  kernels.push_back(bench_sq_dist(ml::dense::Backend::kScalar, "scalar"));
+  kernels.push_back(bench_sigmoid(ml::dense::Backend::kScalar, "scalar"));
+  if (ml::dense::avx2_available()) {
+    kernels.push_back(bench_gemm(ml::dense::Backend::kAvx2, "avx2"));
+    kernels.push_back(bench_sq_dist(ml::dense::Backend::kAvx2, "avx2"));
+    kernels.push_back(bench_sigmoid(ml::dense::Backend::kAvx2, "avx2"));
+  }
+
+  if (std::FILE* f = std::fopen("BENCH_ml.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"ml_scoring\",\n"
+                 "  \"backend\": \"%s\",\n"
+                 "  \"rows\": %zu,\n"
+                 "  \"cols\": %zu,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"threads\": %zu,\n"
+                 "  \"models\": [\n",
+                 backend, kScoreRows, kCols, kReps,
+                 ThreadPool::global().size());
+    for (size_t i = 0; i < models.size(); ++i) {
+      const ModelResult& m = models[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"perrow_rows_per_sec\": %.1f, "
+                   "\"batched_rows_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
+                   m.name.c_str(), m.perrow_rows_per_sec,
+                   m.batched_rows_per_sec, m.speedup,
+                   i + 1 < models.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"kernels\": [\n");
+    for (size_t i = 0; i < kernels.size(); ++i) {
+      const KernelResult& k = kernels[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"backend\": \"%s\", "
+                   "\"gflops\": %.3f}%s\n",
+                   k.name.c_str(), k.backend.c_str(), k.gflops,
+                   i + 1 < kernels.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\n[artifact] BENCH_ml.json\n");
+  }
+  return 0;
+}

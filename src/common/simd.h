@@ -1,0 +1,81 @@
+// Runtime SIMD capability detection for the dense-kernel library.
+//
+// The dense kernels (ml/dense.h) ship two implementations: a portable
+// scalar path compiled everywhere, and an AVX2/FMA path compiled into its
+// own translation unit with -mavx2 -mfma (only when the toolchain supports
+// it; see LUMEN_NATIVE_SIMD in CMake). Which one runs is decided once at
+// startup from three inputs:
+//
+//   1. what the toolchain compiled (is the AVX2 TU present at all?),
+//   2. what the CPU reports via cpuid (AVX2 + FMA + OS xsave support),
+//   3. the LUMEN_SIMD environment variable:
+//        LUMEN_SIMD=off|scalar  force the scalar path,
+//        LUMEN_SIMD=avx2|on     request AVX2 (ignored if unavailable),
+//        unset / LUMEN_SIMD=auto  pick the best available path.
+//
+// This header only answers "what can the host run"; the kernel dispatch
+// table lives in ml/dense.{h,cpp}.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define LUMEN_SIMD_X86_64 1
+#endif
+
+namespace lumen::simd {
+
+enum class Request {
+  kAuto,    // use the best path the host supports
+  kScalar,  // force the portable scalar kernels
+  kAvx2,    // request AVX2/FMA (falls back to scalar if unavailable)
+};
+
+/// True when the CPU executes AVX2 + FMA and the OS saves YMM state.
+inline bool cpu_has_avx2_fma() {
+#ifdef LUMEN_SIMD_X86_64
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  const bool fma = (ecx & (1u << 12)) != 0;
+  if (!osxsave || !avx || !fma) return false;
+  // XCR0 bits 1|2: OS preserves XMM and YMM registers across context
+  // switches. Inline asm because __builtin_ia32_xgetbv needs -mxsave, which
+  // this header must not require of every TU.
+  unsigned xlo = 0, xhi = 0;
+  __asm__ volatile("xgetbv" : "=a"(xlo), "=d"(xhi) : "c"(0));
+  const unsigned long long xcr0 =
+      (static_cast<unsigned long long>(xhi) << 32) | xlo;
+  if ((xcr0 & 0x6) != 0x6) return false;
+  if (__get_cpuid_max(0, nullptr) < 7) return false;
+  __cpuid_count(7, 0, eax, ebx, ecx, edx);
+  return (ebx & (1u << 5)) != 0;  // AVX2
+#else
+  return false;
+#endif
+}
+
+/// Parse a LUMEN_SIMD value. Unknown strings mean "auto" (never fail hard
+/// on an env typo; the scalar path is always a safe landing).
+inline Request parse_request(const char* v) {
+  if (v == nullptr || v[0] == '\0') return Request::kAuto;
+  if (std::strcmp(v, "off") == 0 || std::strcmp(v, "scalar") == 0 ||
+      std::strcmp(v, "0") == 0 || std::strcmp(v, "none") == 0) {
+    return Request::kScalar;
+  }
+  if (std::strcmp(v, "avx2") == 0 || std::strcmp(v, "on") == 0) {
+    return Request::kAvx2;
+  }
+  return Request::kAuto;
+}
+
+/// The process-wide request from LUMEN_SIMD (read once).
+inline Request env_request() {
+  static const Request req = parse_request(std::getenv("LUMEN_SIMD"));
+  return req;
+}
+
+}  // namespace lumen::simd

@@ -79,6 +79,7 @@ ml::ModelPtr make_by_type(const std::string& type, const Json& params) {
       for (double d : h) cfg.hidden.push_back(static_cast<size_t>(d));
     }
     cfg.epochs = static_cast<size_t>(params.get_int("epochs", 30));
+    cfg.batch = static_cast<size_t>(params.get_int("batch", 32));
     return std::make_shared<ml::Mlp>(cfg);
   }
   if (type == "AutoML") return std::make_shared<ml::AutoMl>();

@@ -1,0 +1,445 @@
+// AVX2/FMA dense kernels. This is the only translation unit compiled with
+// -mavx2 -mfma (see LUMEN_NATIVE_SIMD in src/ml/CMakeLists.txt); it is
+// selected at runtime only after simd::cpu_has_avx2_fma() confirms the host
+// executes these instructions, so nothing here may leak into a header.
+//
+// Accumulation strategy: 4-wide FMA lanes with a horizontal reduction at
+// the end, so sums are reassociated relative to the scalar path (documented
+// tolerance in dense.h). exp uses the Cephes/netlib polynomial-plus-Pade
+// algorithm, accurate to ~1 ulp over the clamped range.
+#include "ml/dense.h"
+
+#ifdef LUMEN_DENSE_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace lumen::ml::dense {
+
+namespace {
+
+inline double hsum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+// ------------------------------------------------------------- vector exp
+//
+// Cephes exp(double) lifted lane-wise: reduce x = n*ln2 + r, evaluate
+// exp(r) = 1 + 2r / (Q(r^2) - r*P(r^2)), scale by 2^n through the exponent
+// bits. Inputs must be pre-clamped to +-708 (done by the sweeps below).
+
+inline __m256d exp4(__m256d x) {
+  const __m256d log2e = _mm256_set1_pd(1.4426950408889634073599);
+  const __m256d c1 = _mm256_set1_pd(6.93145751953125e-1);
+  const __m256d c2 = _mm256_set1_pd(1.42860682030941723212e-6);
+  const __m256d p0 = _mm256_set1_pd(1.26177193074810590878e-4);
+  const __m256d p1 = _mm256_set1_pd(3.02994407707441961300e-2);
+  const __m256d p2 = _mm256_set1_pd(9.99999999999999999910e-1);
+  const __m256d q0 = _mm256_set1_pd(3.00198505138664455042e-6);
+  const __m256d q1 = _mm256_set1_pd(2.52448340349684104192e-3);
+  const __m256d q2 = _mm256_set1_pd(2.27265548208155028766e-1);
+  const __m256d q3 = _mm256_set1_pd(2.00000000000000000005e0);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d half = _mm256_set1_pd(0.5);
+
+  // n = floor(x * log2(e) + 0.5)
+  const __m256d nf = _mm256_floor_pd(
+      _mm256_add_pd(_mm256_mul_pd(x, log2e), half));
+  // r = x - n*ln2, split into hi/lo parts for accuracy.
+  __m256d r = _mm256_fnmadd_pd(nf, c1, x);
+  r = _mm256_fnmadd_pd(nf, c2, r);
+
+  const __m256d rr = _mm256_mul_pd(r, r);
+  // px = r * P(r^2)
+  __m256d px = _mm256_fmadd_pd(p0, rr, p1);
+  px = _mm256_fmadd_pd(px, rr, p2);
+  px = _mm256_mul_pd(px, r);
+  // qx = Q(r^2)
+  __m256d qx = _mm256_fmadd_pd(q0, rr, q1);
+  qx = _mm256_fmadd_pd(qx, rr, q2);
+  qx = _mm256_fmadd_pd(qx, rr, q3);
+  // exp(r) = 1 + 2*px / (qx - px)
+  const __m256d e =
+      _mm256_add_pd(one, _mm256_div_pd(_mm256_add_pd(px, px),
+                                       _mm256_sub_pd(qx, px)));
+
+  // Scale by 2^n: add n to the exponent field. |x| <= 708 keeps
+  // n in [-1022, 1023], so the biased exponent never wraps.
+  const __m128i n32 = _mm256_cvtpd_epi32(nf);
+  const __m256i n64 = _mm256_cvtepi32_epi64(n32);
+  const __m256i pow2 =
+      _mm256_slli_epi64(_mm256_add_epi64(n64, _mm256_set1_epi64x(1023)), 52);
+  return _mm256_mul_pd(e, _mm256_castsi256_pd(pow2));
+}
+
+inline __m256d clamp4(__m256d x, double lo, double hi) {
+  return _mm256_max_pd(_mm256_set1_pd(lo),
+                       _mm256_min_pd(_mm256_set1_pd(hi), x));
+}
+
+// ----------------------------------------------------------------- BLAS-1
+
+double dot_k(size_t n, const double* x, const double* y) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4),
+                           _mm256_loadu_pd(y + i + 4), acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i),
+                           acc0);
+  }
+  double s = hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void axpy_k(size_t n, double alpha, const double* x, double* y) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void rot_k(size_t n, double* x, size_t incx, double* y, size_t incy, double c,
+           double s) {
+  if (incx == 1 && incy == 1) {
+    const __m256d vc = _mm256_set1_pd(c);
+    const __m256d vs = _mm256_set1_pd(s);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d xv = _mm256_loadu_pd(x + i);
+      const __m256d yv = _mm256_loadu_pd(y + i);
+      _mm256_storeu_pd(x + i,
+                       _mm256_fnmadd_pd(vs, yv, _mm256_mul_pd(vc, xv)));
+      _mm256_storeu_pd(y + i, _mm256_fmadd_pd(vs, xv, _mm256_mul_pd(vc, yv)));
+    }
+    for (; i < n; ++i) {
+      const double xv = x[i];
+      const double yv = y[i];
+      x[i] = c * xv - s * yv;
+      y[i] = s * xv + c * yv;
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double* px = x + i * incx;
+    double* py = y + i * incy;
+    const double xv = *px;
+    const double yv = *py;
+    *px = c * xv - s * yv;
+    *py = s * xv + c * yv;
+  }
+}
+
+// ----------------------------------------------------------------- BLAS-2
+
+void gemv_k(size_t m, size_t n, const double* a, size_t lda, const double* x,
+            const double* bias, double* y) {
+  for (size_t i = 0; i < m; ++i) {
+    y[i] = (bias != nullptr ? bias[i] : 0.0) + dot_k(n, a + i * lda, x);
+  }
+}
+
+void gemv_t_k(size_t m, size_t n, const double* a, size_t lda,
+              const double* x, double* y) {
+  for (size_t j = 0; j < n; ++j) y[j] = 0.0;
+  for (size_t i = 0; i < m; ++i) axpy_k(n, x[i], a + i * lda, y);
+}
+
+void ger_k(size_t m, size_t n, double alpha, const double* x, const double* y,
+           double* a, size_t lda) {
+  for (size_t i = 0; i < m; ++i) axpy_k(n, alpha * x[i], y, a + i * lda);
+}
+
+// ----------------------------------------------------------------- BLAS-3
+
+// Register-blocked dot-product GEMM: C[m x n] = A * B^T. Processes 2 rows
+// of A against 2 rows of B per step (4 concurrent accumulator registers)
+// and blocks k so both operands stay in L1/L2 for the larger shapes.
+constexpr size_t kKc = 512;   // k-panel (two panel rows ~ 8 KiB)
+constexpr size_t kNc = 128;   // B rows kept hot per panel
+
+// B^T panels up to this many doubles (16 KiB) go through the transposed
+// small-matrix path below instead of the dot-product macro kernel.
+constexpr size_t kSmallPanel = 2048;
+
+// Small-matrix gemm_nt: the dot-product kernel pays a horizontal sum per
+// output element, which dominates at the tiny layer sizes KitNET and the
+// autoencoders use (n, k ~ 10). Transpose B once into a stack panel and
+// run broadcast-FMA axpy over full C rows instead — no hsum, and the
+// k-accumulation order matches the scalar reference.
+void gemm_nt_small(size_t m, size_t n, size_t k, const double* a, size_t lda,
+                   const double* b, size_t ldb, const double* bias,
+                   double beta, double* c, size_t ldc) {
+  double bt[kSmallPanel];
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t l = 0; l < k; ++l) bt[l * n + j] = b[j * ldb + l];
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    size_t j = 0;
+    // 8-column chunks of the C row stay in two registers across the whole
+    // k loop (no per-l reload/restore of C).
+    for (; j + 8 <= n; j += 8) {
+      __m256d acc0, acc1;
+      if (beta != 0.0) {
+        acc0 = _mm256_loadu_pd(ci + j);
+        acc1 = _mm256_loadu_pd(ci + j + 4);
+      } else if (bias != nullptr) {
+        acc0 = _mm256_loadu_pd(bias + j);
+        acc1 = _mm256_loadu_pd(bias + j + 4);
+      } else {
+        acc0 = _mm256_setzero_pd();
+        acc1 = _mm256_setzero_pd();
+      }
+      const double* btp = bt + j;
+      for (size_t l = 0; l < k; ++l) {
+        const __m256d av = _mm256_set1_pd(ai[l]);
+        acc0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(btp + l * n), acc0);
+        acc1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(btp + l * n + 4), acc1);
+      }
+      _mm256_storeu_pd(ci + j, acc0);
+      _mm256_storeu_pd(ci + j + 4, acc1);
+    }
+    for (; j + 4 <= n; j += 4) {
+      __m256d acc;
+      if (beta != 0.0) {
+        acc = _mm256_loadu_pd(ci + j);
+      } else if (bias != nullptr) {
+        acc = _mm256_loadu_pd(bias + j);
+      } else {
+        acc = _mm256_setzero_pd();
+      }
+      const double* btp = bt + j;
+      for (size_t l = 0; l < k; ++l) {
+        acc = _mm256_fmadd_pd(_mm256_set1_pd(ai[l]),
+                              _mm256_loadu_pd(btp + l * n), acc);
+      }
+      _mm256_storeu_pd(ci + j, acc);
+    }
+    for (; j < n; ++j) {
+      double s =
+          beta != 0.0 ? ci[j] : (bias != nullptr ? bias[j] : 0.0);
+      for (size_t l = 0; l < k; ++l) s += ai[l] * bt[l * n + j];
+      ci[j] = s;
+    }
+  }
+}
+
+void gemm_nt_k(size_t m, size_t n, size_t k, const double* a, size_t lda,
+               const double* b, size_t ldb, const double* bias, double beta,
+               double* c, size_t ldc) {
+  if (n * k <= kSmallPanel) {
+    gemm_nt_small(m, n, k, a, lda, b, ldb, bias, beta, c, ldc);
+    return;
+  }
+  for (size_t l0 = 0; l0 < k || l0 == 0; l0 += kKc) {
+    const size_t lk = std::min(kKc, k - l0);
+    const bool first = l0 == 0;
+    for (size_t j0 = 0; j0 < n; j0 += kNc) {
+      const size_t jn = std::min(kNc, n - j0);
+      for (size_t i = 0; i < m; ++i) {
+        const double* ai = a + i * lda + l0;
+        const double* ai1 = i + 1 < m ? a + (i + 1) * lda + l0 : nullptr;
+        double* ci = c + i * ldc;
+        double* ci1 = ai1 != nullptr ? c + (i + 1) * ldc : nullptr;
+        for (size_t j = 0; j < jn; ++j) {
+          const double* bj = b + (j0 + j) * ldb + l0;
+          __m256d acc00 = _mm256_setzero_pd();
+          __m256d acc10 = _mm256_setzero_pd();
+          size_t l = 0;
+          if (ai1 != nullptr) {
+            for (; l + 4 <= lk; l += 4) {
+              const __m256d bv = _mm256_loadu_pd(bj + l);
+              acc00 = _mm256_fmadd_pd(_mm256_loadu_pd(ai + l), bv, acc00);
+              acc10 = _mm256_fmadd_pd(_mm256_loadu_pd(ai1 + l), bv, acc10);
+            }
+          } else {
+            for (; l + 4 <= lk; l += 4) {
+              acc00 = _mm256_fmadd_pd(_mm256_loadu_pd(ai + l),
+                                      _mm256_loadu_pd(bj + l), acc00);
+            }
+          }
+          double s0 = hsum(acc00);
+          double s1 = ai1 != nullptr ? hsum(acc10) : 0.0;
+          for (; l < lk; ++l) {
+            s0 += ai[l] * bj[l];
+            if (ai1 != nullptr) s1 += ai1[l] * bj[l];
+          }
+          const size_t jj = j0 + j;
+          if (first) {
+            const double base =
+                beta != 0.0 ? ci[jj] : (bias != nullptr ? bias[jj] : 0.0);
+            ci[jj] = base + s0;
+            if (ci1 != nullptr) {
+              const double base1 =
+                  beta != 0.0 ? ci1[jj] : (bias != nullptr ? bias[jj] : 0.0);
+              ci1[jj] = base1 + s1;
+            }
+          } else {
+            ci[jj] += s0;
+            if (ci1 != nullptr) ci1[jj] += s1;
+          }
+        }
+        if (ai1 != nullptr) ++i;  // consumed two rows of A
+      }
+    }
+    if (k == 0) break;
+  }
+}
+
+void gemm_nn_k(size_t m, size_t n, size_t k, const double* a, size_t lda,
+               const double* b, size_t ldb, double beta, double* c,
+               size_t ldc) {
+  // axpy-based: C_i += A[i][l] * B_l, with k blocked so the active rows of
+  // B stay cached across consecutive rows of A.
+  for (size_t l0 = 0; l0 < k || l0 == 0; l0 += kKc) {
+    const size_t lk = std::min(kKc, k - l0);
+    for (size_t i = 0; i < m; ++i) {
+      const double* ai = a + i * lda;
+      double* ci = c + i * ldc;
+      if (l0 == 0 && beta == 0.0) {
+        for (size_t j = 0; j < n; ++j) ci[j] = 0.0;
+      }
+      for (size_t l = 0; l < lk; ++l) {
+        axpy_k(n, ai[l0 + l], b + (l0 + l) * ldb, ci);
+      }
+    }
+    if (k == 0) break;
+  }
+}
+
+void gemm_tn_k(size_t m, size_t n, size_t k, double alpha, const double* a,
+               size_t lda, const double* b, size_t ldb, double* c,
+               size_t ldc) {
+  for (size_t l = 0; l < k; ++l) {
+    const double* al = a + l * lda;
+    const double* bl = b + l * ldb;
+    for (size_t i = 0; i < m; ++i) {
+      axpy_k(n, alpha * al[i], bl, c + i * ldc);
+    }
+  }
+}
+
+// ------------------------------------------------------------- activations
+
+void exp_sweep_k(size_t n, double* x) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        x + i, exp4(clamp4(_mm256_loadu_pd(x + i), -708.0, 708.0)));
+  }
+  for (; i < n; ++i) x[i] = std::exp(std::clamp(x[i], -708.0, 708.0));
+}
+
+void sigmoid_k(size_t n, double* x) {
+  // sigmoid(v) = 1 / (1 + exp(-v)), with the exp argument clamped to +-40,
+  // past which the result saturates to 0/1 in double anyway. Instead of
+  // calling exp4 (whose Pade step already divides) and dividing again,
+  // fold both into one division: with exp(-v) = 2^n * (q+p)/(q-p) from the
+  // same range reduction, sigmoid(v) = (q-p) / ((q-p) + 2^n*(q+p)).
+  const __m256d log2e = _mm256_set1_pd(1.4426950408889634073599);
+  const __m256d c1 = _mm256_set1_pd(6.93145751953125e-1);
+  const __m256d c2 = _mm256_set1_pd(1.42860682030941723212e-6);
+  const __m256d p0 = _mm256_set1_pd(1.26177193074810590878e-4);
+  const __m256d p1 = _mm256_set1_pd(3.02994407707441961300e-2);
+  const __m256d p2 = _mm256_set1_pd(9.99999999999999999910e-1);
+  const __m256d q0 = _mm256_set1_pd(3.00198505138664455042e-6);
+  const __m256d q1 = _mm256_set1_pd(2.52448340349684104192e-3);
+  const __m256d q2 = _mm256_set1_pd(2.27265548208155028766e-1);
+  const __m256d q3 = _mm256_set1_pd(2.00000000000000000005e0);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = clamp4(_mm256_loadu_pd(x + i), -40.0, 40.0);
+    const __m256d xn = _mm256_sub_pd(zero, v);  // exp(-v)
+    const __m256d nf = _mm256_floor_pd(
+        _mm256_add_pd(_mm256_mul_pd(xn, log2e), half));
+    __m256d r = _mm256_fnmadd_pd(nf, c1, xn);
+    r = _mm256_fnmadd_pd(nf, c2, r);
+    const __m256d rr = _mm256_mul_pd(r, r);
+    __m256d px = _mm256_fmadd_pd(p0, rr, p1);
+    px = _mm256_fmadd_pd(px, rr, p2);
+    px = _mm256_mul_pd(px, r);
+    __m256d qx = _mm256_fmadd_pd(q0, rr, q1);
+    qx = _mm256_fmadd_pd(qx, rr, q2);
+    qx = _mm256_fmadd_pd(qx, rr, q3);
+    const __m256d den = _mm256_sub_pd(qx, px);  // q - p
+    const __m256d num = _mm256_add_pd(qx, px);  // q + p
+    // 2^n via the exponent field; |v| <= 40 keeps n in [-58, 58].
+    const __m128i n32 = _mm256_cvtpd_epi32(nf);
+    const __m256i n64 = _mm256_cvtepi32_epi64(n32);
+    const __m256d pow2 = _mm256_castsi256_pd(
+        _mm256_slli_epi64(_mm256_add_epi64(n64, _mm256_set1_epi64x(1023)),
+                          52));
+    const __m256d scaled = _mm256_mul_pd(num, pow2);  // (q+p)*2^n
+    _mm256_storeu_pd(
+        x + i, _mm256_div_pd(den, _mm256_add_pd(den, scaled)));
+  }
+  for (; i < n; ++i) {
+    x[i] = 1.0 / (1.0 + std::exp(-std::clamp(x[i], -40.0, 40.0)));
+  }
+}
+
+void relu_k(size_t n, double* x) {
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_max_pd(zero, _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) x[i] = std::max(0.0, x[i]);
+}
+
+// --------------------------------------------------------------- distances
+
+void sq_dist_k(size_t rows, size_t n, const double* x, const double* y,
+               size_t ldy, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const double* yr = y + r * ldy;
+    __m256d acc = _mm256_setzero_pd();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(x + i),
+                                      _mm256_loadu_pd(yr + i));
+      acc = _mm256_fmadd_pd(d, d, acc);
+    }
+    double s = hsum(acc);
+    for (; i < n; ++i) {
+      const double diff = x[i] - yr[i];
+      s += diff * diff;
+    }
+    out[r] = s;
+  }
+}
+
+}  // namespace
+
+const Kernels& avx2_kernels_impl() {
+  static const Kernels k = {
+      dot_k,    axpy_k,    rot_k,    gemv_k,      gemv_t_k, ger_k,
+      gemm_nt_k, gemm_nn_k, gemm_tn_k, sigmoid_k, relu_k,   exp_sweep_k,
+      sq_dist_k,
+  };
+  return k;
+}
+
+}  // namespace lumen::ml::dense
+
+#endif  // LUMEN_DENSE_HAVE_AVX2

@@ -4,13 +4,18 @@
 #include <cmath>
 #include <numeric>
 
+#include "ml/dense.h"
+
 namespace lumen::ml {
 
 SymEigen jacobi_eigen(const std::vector<double>& a_in, size_t n,
                       size_t max_sweeps, double tol) {
   std::vector<double> a = a_in;
-  std::vector<double> v(n * n, 0.0);
-  for (size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+  // Eigenvectors accumulate transposed (vt row k = k-th eigenvector), so
+  // each Jacobi rotation updates two contiguous rows instead of two
+  // stride-n columns.
+  std::vector<double> vt(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) vt[i * n + i] = 1.0;
 
   auto off_diag_norm = [&]() {
     double s = 0.0;
@@ -33,26 +38,11 @@ SymEigen jacobi_eigen(const std::vector<double>& a_in, size_t n,
                          (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
         const double c = 1.0 / std::sqrt(t * t + 1.0);
         const double s = t * c;
-        // Rotate rows/columns p and q of A.
-        for (size_t k = 0; k < n; ++k) {
-          const double akp = a[k * n + p];
-          const double akq = a[k * n + q];
-          a[k * n + p] = c * akp - s * akq;
-          a[k * n + q] = s * akp + c * akq;
-        }
-        for (size_t k = 0; k < n; ++k) {
-          const double apk = a[p * n + k];
-          const double aqk = a[q * n + k];
-          a[p * n + k] = c * apk - s * aqk;
-          a[q * n + k] = s * apk + c * aqk;
-        }
-        // Accumulate eigenvectors.
-        for (size_t k = 0; k < n; ++k) {
-          const double vkp = v[k * n + p];
-          const double vkq = v[k * n + q];
-          v[k * n + p] = c * vkp - s * vkq;
-          v[k * n + q] = s * vkp + c * vkq;
-        }
+        // Rotate columns p and q of A (stride n), then rows p and q
+        // (contiguous), then the eigenvector rows.
+        dense::rot(n, a.data() + p, n, a.data() + q, n, c, s);
+        dense::rot(n, a.data() + p * n, 1, a.data() + q * n, 1, c, s);
+        dense::rot(n, vt.data() + p * n, 1, vt.data() + q * n, 1, c, s);
       }
     }
   }
@@ -71,8 +61,9 @@ SymEigen jacobi_eigen(const std::vector<double>& a_in, size_t n,
   out.vectors.assign(n * n, 0.0);
   for (size_t i = 0; i < n; ++i) {
     out.values[i] = diag[order[i]];
+    const double* vrow = vt.data() + order[i] * n;
     for (size_t k = 0; k < n; ++k) {
-      out.vectors[k * n + i] = v[k * n + order[i]];
+      out.vectors[k * n + i] = vrow[k];
     }
   }
   return out;

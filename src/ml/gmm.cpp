@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/parallel.h"
+#include "ml/dense.h"
 
 namespace lumen::ml {
 
@@ -106,7 +107,10 @@ void Gmm::fit(const FeatureTable& X) {
   weight_.assign(k_, 1.0 / static_cast<double>(k_));
   mean_.assign(k_ * dim_, 0.0);
   var_.assign(k_ * dim_, 1.0);
-  if (rows.empty()) return;
+  if (rows.empty()) {
+    prepare_scoring();
+    return;
+  }
 
   // Initialize means with k-means, variances with per-cluster spread.
   KMeans::Config kc;
@@ -205,11 +209,64 @@ void Gmm::fit(const FeatureTable& X) {
         /*min_parallel=*/2);
   }
 
-  // Threshold from benign scores.
-  std::vector<double> s;
-  s.reserve(n);
-  for (size_t r : rows) s.push_back(-log_density(X.row(r)));
+  prepare_scoring();
+
+  // Threshold from benign scores, through the same blocked path score()
+  // uses (the benign rows are gathered contiguously first).
+  std::vector<double> gather;
+  std::vector<double> s(n, 0.0);
+  for (size_t lo = 0; lo < n; lo += dense::kScoreBlock) {
+    const size_t hi = std::min(n, lo + dense::kScoreBlock);
+    const size_t m = hi - lo;
+    gather.resize(m * dim_);
+    for (size_t i = 0; i < m; ++i) {
+      const auto row = X.row(rows[lo + i]);
+      std::copy(row.begin(), row.end(), gather.begin() + i * dim_);
+    }
+    score_block(gather.data(), m, dim_, s.data() + lo);
+  }
   threshold_ = quantile_threshold(std::move(s), cfg_.quantile);
+}
+
+void Gmm::prepare_scoring() {
+  w1_.resize(k_ * dim_);
+  w2_.resize(k_ * dim_);
+  const_.resize(k_);
+  for (size_t c = 0; c < k_; ++c) {
+    double cst = std::log(std::max(weight_[c], 1e-12));
+    for (size_t d = 0; d < dim_; ++d) {
+      const double v = var_[c * dim_ + d];
+      const double m = mean_[c * dim_ + d];
+      w1_[c * dim_ + d] = -0.5 / v;
+      w2_[c * dim_ + d] = m / v;
+      cst += -0.5 * (std::log(2.0 * M_PI * v) + m * m / v);
+    }
+    const_[c] = cst;
+  }
+}
+
+void Gmm::score_block(const double* x, size_t m, size_t ldx,
+                      double* out) const {
+  thread_local std::vector<double> xsq, logp;
+  xsq.resize(m * dim_);
+  for (size_t i = 0; i < m; ++i) {
+    const double* xi = x + i * ldx;
+    double* qi = xsq.data() + i * dim_;
+    for (size_t d = 0; d < dim_; ++d) qi[d] = xi[d] * xi[d];
+  }
+  logp.resize(m * k_);
+  dense::gemm_nt(m, k_, dim_, xsq.data(), dim_, w1_.data(), dim_,
+                 const_.data(), 0.0, logp.data(), k_);
+  dense::gemm_nt(m, k_, dim_, x, ldx, w2_.data(), dim_, nullptr, 1.0,
+                 logp.data(), k_);
+  for (size_t i = 0; i < m; ++i) {
+    const double* li = logp.data() + i * k_;
+    double maxl = -std::numeric_limits<double>::max();
+    for (size_t c = 0; c < k_; ++c) maxl = std::max(maxl, li[c]);
+    double denom = 0.0;
+    for (size_t c = 0; c < k_; ++c) denom += std::exp(li[c] - maxl);
+    out[i] = -(maxl + std::log(denom));
+  }
 }
 
 double Gmm::log_density(std::span<const double> x) const {
@@ -231,6 +288,23 @@ double Gmm::log_density(std::span<const double> x) const {
 }
 
 std::vector<double> Gmm::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  if (w1_.size() != k_ * dim_ || X.cols != dim_) return score_perrow(X);
+  const size_t nblocks =
+      (X.rows + dense::kScoreBlock - 1) / dense::kScoreBlock;
+  parallel_for(
+      0, nblocks,
+      [&](size_t blk) {
+        const size_t lo = blk * dense::kScoreBlock;
+        const size_t hi = std::min(X.rows, lo + dense::kScoreBlock);
+        score_block(X.data.data() + lo * X.cols, hi - lo, X.cols,
+                    out.data() + lo);
+      },
+      /*min_parallel=*/2);
+  return out;
+}
+
+std::vector<double> Gmm::score_perrow(const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
   parallel_for(
       0, X.rows, [&](size_t r) { out[r] = -log_density(X.row(r)); },

@@ -55,8 +55,20 @@ class Gmm : public Model {
   /// Mean train-set log-likelihood after fit (EM should not decrease it).
   double final_log_likelihood() const { return final_ll_; }
 
+  /// Pre-PR reference: per-row log_density loop. Kept for the
+  /// batched-vs-per-row equivalence tests and the BENCH_ml baseline.
+  std::vector<double> score_perrow(const FeatureTable& X) const;
+
  private:
   double log_density(std::span<const double> x) const;
+
+  /// Fold weight/mean/var into the quadratic scoring form
+  ///   logp[c](x) = const_c + sum_d w1[c][d] x_d^2 + w2[c][d] x_d
+  /// so a block of rows scores as two GEMMs plus a per-row logsumexp.
+  void prepare_scoring();
+
+  /// Score rows of the m x dim_ row-major block x (stride ldx) into out.
+  void score_block(const double* x, size_t m, size_t ldx, double* out) const;
 
   Config cfg_;
   size_t k_ = 0;
@@ -64,6 +76,9 @@ class Gmm : public Model {
   std::vector<double> weight_;  // k
   std::vector<double> mean_;    // k x dim
   std::vector<double> var_;     // k x dim
+  std::vector<double> w1_;      // k x dim: -0.5 / var
+  std::vector<double> w2_;      // k x dim: mean / var
+  std::vector<double> const_;   // k: log w - 0.5 sum(log(2 pi v) + mean^2/v)
   double threshold_ = 0.0;
   double final_ll_ = 0.0;
 };

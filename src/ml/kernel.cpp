@@ -6,8 +6,19 @@
 
 #include "common/parallel.h"
 #include "features/stats.h"
+#include "ml/dense.h"
 
 namespace lumen::ml {
+
+namespace {
+
+/// In-place k[i] = exp(-gamma * k[i]) over a buffer of squared distances.
+void rbf_from_sq_dists(size_t n, double gamma, double* k) {
+  for (size_t i = 0; i < n; ++i) k[i] *= -gamma;
+  dense::exp_sweep(n, k);
+}
+
+}  // namespace
 
 double rbf_kernel(std::span<const double> x, std::span<const double> y,
                   double gamma) {
@@ -29,19 +40,19 @@ double median_heuristic_gamma(const FeatureTable& X, size_t sample,
   std::iota(idx.begin(), idx.end(), 0);
   rng.shuffle(idx);
   idx.resize(n);
-  std::vector<double> dists;
-  dists.reserve(n * (n - 1) / 2);
+  // Gather the sample contiguously, then take each row's distances to all
+  // later rows in one sq_dist call.
+  std::vector<double> rows(n * X.cols);
   for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      const auto a = X.row(idx[i]);
-      const auto b = X.row(idx[j]);
-      double d = 0.0;
-      for (size_t c = 0; c < X.cols; ++c) {
-        const double diff = a[c] - b[c];
-        d += diff * diff;
-      }
-      dists.push_back(d);
-    }
+    const auto r = X.row(idx[i]);
+    std::copy(r.begin(), r.end(), rows.begin() + i * X.cols);
+  }
+  std::vector<double> dists(n * (n - 1) / 2);
+  size_t off = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    dense::sq_dist(n - i - 1, X.cols, rows.data() + i * X.cols,
+                   rows.data() + (i + 1) * X.cols, X.cols, dists.data() + off);
+    off += n - i - 1;
   }
   const double med = features::median(dists);
   return med > 1e-12 ? 1.0 / med : 1.0;
@@ -67,24 +78,18 @@ void NystromMap::fit(const FeatureTable& X) {
     std::copy(row.begin(), row.end(),
               landmarks_.begin() + static_cast<std::ptrdiff_t>(i * n_features_));
   }
+  landmark_norms_.resize(n_landmarks_);
+  dense::row_sq_norms(n_landmarks_, n_features_, landmarks_.data(),
+                      n_features_, landmark_norms_.data());
 
-  // K_mm and its inverse square root via eigendecomposition.
+  // K_mm and its inverse square root via eigendecomposition. The whole
+  // kernel matrix comes from one sq_dist_batch (GEMM) plus an exp sweep.
   const size_t m = n_landmarks_;
   std::vector<double> kmm(m * m, 0.0);
-  // Each (i, j >= i) pair is written exactly once (both mirror cells), so
-  // rows of the upper triangle can be filled concurrently.
-  parallel_for(
-      0, m,
-      [&](size_t i) {
-        for (size_t j = i; j < m; ++j) {
-          const double k = rbf_kernel(
-              {landmarks_.data() + i * n_features_, n_features_},
-              {landmarks_.data() + j * n_features_, n_features_}, gamma_);
-          kmm[i * m + j] = k;
-          kmm[j * m + i] = k;
-        }
-      },
-      /*min_parallel=*/16);
+  dense::sq_dist_batch(m, m, n_features_, landmarks_.data(), n_features_,
+                       landmarks_.data(), n_features_, landmark_norms_.data(),
+                       landmark_norms_.data(), kmm.data(), m);
+  rbf_from_sq_dists(m * m, gamma_, kmm.data());
   const SymEigen eig = jacobi_eigen(kmm, m);
   // Keep components with eigenvalue above a floor; projection = V L^{-1/2}.
   rank_ = 0;
@@ -102,6 +107,41 @@ void NystromMap::fit(const FeatureTable& X) {
 }
 
 FeatureTable NystromMap::transform(const FeatureTable& X) const {
+  std::vector<std::string> names(rank_);
+  for (size_t c = 0; c < rank_; ++c) names[c] = "nys_" + std::to_string(c);
+  FeatureTable out = FeatureTable::make(X.rows, std::move(names));
+  out.labels = X.labels;
+  out.unit_id = X.unit_id;
+  out.attack = X.attack;
+  out.unit_time = X.unit_time;
+
+  // Blocked: kernel block K[m x landmarks] from one sq_dist_batch + exp
+  // sweep, then the projection as a GEMM into the output rows.
+  const size_t nblocks =
+      (X.rows + dense::kScoreBlock - 1) / dense::kScoreBlock;
+  parallel_for(
+      0, nblocks,
+      [&](size_t blk) {
+        const size_t lo = blk * dense::kScoreBlock;
+        const size_t hi = std::min(X.rows, lo + dense::kScoreBlock);
+        const size_t m = hi - lo;
+        thread_local std::vector<double> kmat;
+        kmat.resize(m * n_landmarks_);
+        dense::sq_dist_batch(m, n_landmarks_, n_features_,
+                             X.data.data() + lo * X.cols, X.cols,
+                             landmarks_.data(), n_features_, /*xn=*/nullptr,
+                             landmark_norms_.data(), kmat.data(),
+                             n_landmarks_);
+        rbf_from_sq_dists(m * n_landmarks_, gamma_, kmat.data());
+        dense::gemm_nn(m, rank_, n_landmarks_, kmat.data(), n_landmarks_,
+                       projection_.data(), rank_, 0.0,
+                       out.data.data() + lo * rank_, rank_);
+      },
+      /*min_parallel=*/2);
+  return out;
+}
+
+FeatureTable NystromMap::transform_perrow(const FeatureTable& X) const {
   std::vector<std::string> names(rank_);
   for (size_t c = 0; c < rank_; ++c) names[c] = "nys_" + std::to_string(c);
   FeatureTable out = FeatureTable::make(X.rows, std::move(names));
@@ -174,63 +214,64 @@ void OneClassSvm::fit(const FeatureTable& X) {
   support_ = X.select_rows(rows);
   const size_t n = support_.rows;
   alpha_.assign(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  n_sv_ = 0;
+  sv_x_.clear();
+  sv_alpha_.clear();
+  sv_norms_.clear();
   if (n == 0) return;
 
   gamma_ = cfg_.gamma > 0.0 ? cfg_.gamma : median_heuristic_gamma(support_);
 
-  // Dense kernel matrix over the (capped) training set; upper-triangle rows
-  // fill concurrently (each (i, j >= i) pair written exactly once).
+  // Dense kernel matrix over the (capped) training set: one sq_dist_batch
+  // (GEMM) plus an exp sweep.
   std::vector<double> K(n * n);
-  parallel_for(
-      0, n,
-      [&](size_t i) {
-        for (size_t j = i; j < n; ++j) {
-          const double k = rbf_kernel(support_.row(i), support_.row(j), gamma_);
-          K[i * n + j] = k;
-          K[j * n + i] = k;
-        }
-      },
-      /*min_parallel=*/16);
+  std::vector<double> norms(n);
+  dense::row_sq_norms(n, support_.cols, support_.data.data(), support_.cols,
+                      norms.data());
+  dense::sq_dist_batch(n, n, support_.cols, support_.data.data(),
+                       support_.cols, support_.data.data(), support_.cols,
+                       norms.data(), norms.data(), K.data(), n);
+  rbf_from_sq_dists(n * n, gamma_, K.data());
 
   const double cap =
       std::max(1.0 / (cfg_.nu * static_cast<double>(n)), 1.0 / static_cast<double>(n));
   std::vector<double> grad(n);
   double step = 1.0;
   for (size_t it = 0; it < cfg_.iters; ++it) {
-    // K alpha: each gradient entry is an independent dot product over the
-    // frozen alpha from the previous step.
-    parallel_for(
-        0, n,
-        [&](size_t i) {
-          double g = 0.0;
-          for (size_t j = 0; j < n; ++j) g += K[i * n + j] * alpha_[j];
-          grad[i] = g;
-        },
-        /*min_parallel=*/64);
+    // Gradient = K alpha, one GEMV per step.
+    dense::gemv(n, n, K.data(), n, alpha_.data(), nullptr, grad.data());
     const double lr = step / (1.0 + 0.05 * static_cast<double>(it));
     for (size_t i = 0; i < n; ++i) alpha_[i] -= lr * grad[i];
     project_capped_simplex(alpha_, cap);
   }
 
   // rho = decision value at an unbounded support vector (median over them).
+  std::vector<double> kalpha(n);
+  dense::gemv(n, n, K.data(), n, alpha_.data(), nullptr, kalpha.data());
   std::vector<double> sv_values;
   for (size_t i = 0; i < n; ++i) {
     if (alpha_[i] > 1e-8 && alpha_[i] < cap - 1e-8) {
-      double g = 0.0;
-      for (size_t j = 0; j < n; ++j) g += K[i * n + j] * alpha_[j];
-      sv_values.push_back(g);
+      sv_values.push_back(kalpha[i]);
     }
   }
-  if (sv_values.empty()) {
-    for (size_t i = 0; i < n; ++i) {
-      double g = 0.0;
-      for (size_t j = 0; j < n; ++j) g += K[i * n + j] * alpha_[j];
-      sv_values.push_back(g);
-    }
-  }
+  if (sv_values.empty()) sv_values = kalpha;
   rho_ = features::median(sv_values);
 
-  // Calibrate the alert threshold on benign training scores.
+  // Compact support set: only rows with non-negligible alpha take part in
+  // the decision function (same 1e-10 cutoff the per-row path uses).
+  for (size_t i = 0; i < n; ++i) {
+    if (alpha_[i] <= 1e-10) continue;
+    const auto row = support_.row(i);
+    sv_x_.insert(sv_x_.end(), row.begin(), row.end());
+    sv_alpha_.push_back(alpha_[i]);
+    ++n_sv_;
+  }
+  sv_norms_.resize(n_sv_);
+  dense::row_sq_norms(n_sv_, support_.cols, sv_x_.data(), support_.cols,
+                      sv_norms_.data());
+
+  // Calibrate the alert threshold on benign training scores, through the
+  // same batched path score() uses.
   std::vector<double> s = score(support_);
   threshold_ = quantile_threshold(std::move(s), cfg_.quantile);
 }
@@ -245,6 +286,35 @@ double OneClassSvm::decision(std::span<const double> x) const {
 }
 
 std::vector<double> OneClassSvm::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  if (n_sv_ == 0) {
+    for (size_t r = 0; r < X.rows; ++r) out[r] = rho_;
+    return out;
+  }
+  const size_t nblocks =
+      (X.rows + dense::kScoreBlock - 1) / dense::kScoreBlock;
+  parallel_for(
+      0, nblocks,
+      [&](size_t blk) {
+        const size_t lo = blk * dense::kScoreBlock;
+        const size_t hi = std::min(X.rows, lo + dense::kScoreBlock);
+        const size_t m = hi - lo;
+        thread_local std::vector<double> kmat;
+        kmat.resize(m * n_sv_);
+        dense::sq_dist_batch(m, n_sv_, support_.cols,
+                             X.data.data() + lo * X.cols, X.cols, sv_x_.data(),
+                             support_.cols, /*xn=*/nullptr, sv_norms_.data(),
+                             kmat.data(), n_sv_);
+        rbf_from_sq_dists(m * n_sv_, gamma_, kmat.data());
+        dense::gemv(m, n_sv_, kmat.data(), n_sv_, sv_alpha_.data(), nullptr,
+                    out.data() + lo);
+        for (size_t i = lo; i < hi; ++i) out[i] = rho_ - out[i];
+      },
+      /*min_parallel=*/2);
+  return out;
+}
+
+std::vector<double> OneClassSvm::score_perrow(const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
   parallel_for(
       0, X.rows, [&](size_t r) { out[r] = decision(X.row(r)); },
@@ -272,15 +342,12 @@ void LinearOneClassSvm::fit(const FeatureTable& X) {
     const double lr = cfg_.lr / (1.0 + 0.2 * static_cast<double>(e));
     for (size_t r : order) {
       const auto x = X.row(r);
-      double wx = 0.0;
-      for (size_t c = 0; c < X.cols; ++c) wx += w_[c] * x[c];
+      const double wx = dense::dot(X.cols, w_.data(), x.data());
       // Gradient of 0.5||w||^2 - rho + inv_nu_n * hinge(rho - w.x).
       for (size_t c = 0; c < X.cols; ++c) w_[c] -= lr * w_[c];
       double drho = -1.0;
       if (rho_ - wx > 0.0) {
-        for (size_t c = 0; c < X.cols; ++c) {
-          w_[c] += lr * inv_nu_n * x[c];
-        }
+        dense::axpy(X.cols, lr * inv_nu_n, x.data(), w_.data());
         drho += inv_nu_n;
       }
       rho_ -= lr * drho;
@@ -291,14 +358,25 @@ void LinearOneClassSvm::fit(const FeatureTable& X) {
   s.reserve(rows.size());
   for (size_t r : rows) {
     const auto x = X.row(r);
-    double wx = 0.0;
-    for (size_t c = 0; c < X.cols; ++c) wx += w_[c] * x[c];
-    s.push_back(rho_ - wx);
+    s.push_back(rho_ - dense::dot(X.cols, w_.data(), x.data()));
   }
   threshold_ = quantile_threshold(std::move(s), cfg_.quantile);
 }
 
 std::vector<double> LinearOneClassSvm::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  if (w_.size() == X.cols && X.rows > 0) {
+    // One GEMV over the whole table: out = rho - X w.
+    dense::gemv(X.rows, X.cols, X.data.data(), X.cols, w_.data(), nullptr,
+                out.data());
+    for (size_t r = 0; r < X.rows; ++r) out[r] = rho_ - out[r];
+    return out;
+  }
+  return score_perrow(X);
+}
+
+std::vector<double> LinearOneClassSvm::score_perrow(
+    const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
   for (size_t r = 0; r < X.rows; ++r) {
     const auto x = X.row(r);

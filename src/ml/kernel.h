@@ -40,13 +40,18 @@ class NystromMap {
   double gamma() const { return gamma_; }
   size_t dim() const { return rank_; }
 
+  /// Pre-PR reference: per-row kernel-vector + projection loop. Kept for
+  /// the batched-vs-per-row equivalence tests.
+  FeatureTable transform_perrow(const FeatureTable& X) const;
+
  private:
   Config cfg_;
   double gamma_ = 1.0;
   size_t n_features_ = 0;
   size_t rank_ = 0;
-  std::vector<double> landmarks_;   // n_landmarks x n_features
-  std::vector<double> projection_;  // n_landmarks x rank (K_mm^{-1/2})
+  std::vector<double> landmarks_;       // n_landmarks x n_features
+  std::vector<double> landmark_norms_;  // ||landmark||^2 per row
+  std::vector<double> projection_;      // n_landmarks x rank (K_mm^{-1/2})
   size_t n_landmarks_ = 0;
 };
 
@@ -76,6 +81,10 @@ class OneClassSvm : public Model {
 
   double threshold() const { return threshold_; }
 
+  /// Pre-PR reference: per-row decision() loop over all stored training
+  /// rows. Kept for the batched-vs-per-row equivalence tests and bench.
+  std::vector<double> score_perrow(const FeatureTable& X) const;
+
  private:
   double decision(std::span<const double> x) const;
 
@@ -85,6 +94,13 @@ class OneClassSvm : public Model {
   double threshold_ = 0.0;
   FeatureTable support_;
   std::vector<double> alpha_;
+  // Compact support set (alpha > 1e-10) for the batched decision path:
+  // score blocks get their distance matrix to sv_x_ in one sq_dist_batch,
+  // then exp + a GEMV against sv_alpha_.
+  size_t n_sv_ = 0;
+  std::vector<double> sv_x_;      // n_sv x n_features
+  std::vector<double> sv_alpha_;  // n_sv
+  std::vector<double> sv_norms_;  // ||sv||^2 per row
 };
 
 /// Linear one-class SVM over already-embedded features (Nyström + OCSVM):
@@ -107,6 +123,9 @@ class LinearOneClassSvm : public Model {
   std::vector<int> predict(const FeatureTable& X) const override;
   std::string name() const override { return "LinearOCSVM"; }
   bool is_supervised() const override { return false; }
+
+  /// Pre-PR reference: per-row dot-product loop.
+  std::vector<double> score_perrow(const FeatureTable& X) const;
 
  private:
   Config cfg_;

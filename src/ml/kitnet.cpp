@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "features/stats.h"
+#include "ml/dense.h"
 
 namespace lumen::ml {
 
@@ -130,10 +131,24 @@ void KitNet::fit(const FeatureTable& X) {
     }
   }
 
-  std::vector<double> s;
-  s.reserve(rows.size());
-  ScoreScratch scratch;
-  for (size_t r : rows) s.push_back(score_row(X.row(r), scratch));
+  // Calibrate through the same blocked path score() uses, so the threshold
+  // and the scores it gates share the same kernel math. The benign rows
+  // are gathered into a contiguous table first (benign_rows need not be a
+  // prefix when attack rows are interleaved).
+  FeatureTable benign;
+  benign.cols = X.cols;
+  benign.rows = rows.size();
+  benign.data.resize(rows.size() * X.cols);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto row = X.row(rows[i]);
+    std::copy(row.begin(), row.end(), benign.data.begin() + i * X.cols);
+  }
+  std::vector<double> s(rows.size(), 0.0);
+  BatchScratch scratch;
+  for (size_t lo = 0; lo < rows.size(); lo += dense::kScoreBlock) {
+    const size_t hi = std::min(rows.size(), lo + dense::kScoreBlock);
+    score_block(benign, lo, hi, s.data() + lo, scratch);
+  }
   threshold_ = quantile_threshold(std::move(s), cfg_.quantile);
 }
 
@@ -153,7 +168,45 @@ double KitNet::score_row(std::span<const double> x,
   return output_->score_sample(scratch.rmses, scratch.ae);
 }
 
+void KitNet::score_block(const FeatureTable& X, size_t lo, size_t hi,
+                         double* out, BatchScratch& scratch) const {
+  const size_t m = hi - lo;
+  const size_t n_cl = clusters_.size();
+  scratch.rmses.resize(m * n_cl);
+  scratch.col.resize(m);
+  for (size_t k = 0; k < n_cl; ++k) {
+    const std::vector<size_t>& cl = clusters_[k];
+    scratch.sub.resize(m * cl.size());
+    for (size_t i = 0; i < m; ++i) {
+      const auto x = X.row(lo + i);
+      double* dst = scratch.sub.data() + i * cl.size();
+      for (size_t j = 0; j < cl.size(); ++j) dst[j] = x[cl[j]];
+    }
+    ensemble_[k]->score_batch(scratch.sub.data(), m, cl.size(),
+                              scratch.col.data(), scratch.ae);
+    for (size_t i = 0; i < m; ++i) scratch.rmses[i * n_cl + k] = scratch.col[i];
+  }
+  output_->score_batch(scratch.rmses.data(), m, n_cl, out, scratch.ae);
+}
+
 std::vector<double> KitNet::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  if (!output_) return out;
+  const size_t nblocks =
+      (X.rows + dense::kScoreBlock - 1) / dense::kScoreBlock;
+  parallel_for(
+      0, nblocks,
+      [&](size_t blk) {
+        const size_t lo = blk * dense::kScoreBlock;
+        const size_t hi = std::min(X.rows, lo + dense::kScoreBlock);
+        thread_local BatchScratch scratch;
+        score_block(X, lo, hi, out.data() + lo, scratch);
+      },
+      /*min_parallel=*/2);
+  return out;
+}
+
+std::vector<double> KitNet::score_perrow(const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
   if (!output_) return out;
   parallel_for(

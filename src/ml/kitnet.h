@@ -55,11 +55,29 @@ class KitNet : public Model {
   /// allocate in steady state.
   double score_row(std::span<const double> x, ScoreScratch& scratch) const;
 
+  /// Buffers for blocked batch scoring.
+  struct BatchScratch {
+    std::vector<double> sub;    // m x |cluster| gathered feature subset
+    std::vector<double> col;    // m per-cluster RMSEs before the scatter
+    std::vector<double> rmses;  // m x n_clusters output-AE inputs
+    AutoEncoderCore::BatchScratch ae;
+  };
+
+  /// Pre-PR reference: row-at-a-time score_row loop. Kept for the
+  /// batched-vs-per-row equivalence tests and the BENCH_ml baseline.
+  std::vector<double> score_perrow(const FeatureTable& X) const;
+
  private:
   /// Agglomerative clustering on correlation distance, clusters capped at
   /// max_cluster_size (Kitsune's feature-mapping phase).
   void build_feature_map(const FeatureTable& X,
                          const std::vector<size_t>& rows);
+
+  /// Score rows [lo, hi) of X into out[0..hi-lo): gather each cluster's
+  /// columns for the whole block, batch-score every ensemble AE, then
+  /// batch-score the output AE on the m x n_clusters RMSE matrix.
+  void score_block(const FeatureTable& X, size_t lo, size_t hi, double* out,
+                   BatchScratch& scratch) const;
 
   Config cfg_;
   std::vector<std::vector<size_t>> clusters_;

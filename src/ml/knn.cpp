@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/parallel.h"
+#include "ml/dense.h"
 
 namespace lumen::ml {
 
@@ -12,24 +13,63 @@ void Knn::fit(const FeatureTable& X) {
     std::vector<size_t> all(X.rows);
     std::iota(all.begin(), all.end(), 0);
     train_ = X.select_rows(all);
-    return;
+  } else {
+    // Deterministic subsample without replacement.
+    std::vector<size_t> idx(X.rows);
+    std::iota(idx.begin(), idx.end(), 0);
+    Rng rng(cfg_.seed);
+    rng.shuffle(idx);
+    idx.resize(cfg_.max_train_rows);
+    std::sort(idx.begin(), idx.end());
+    train_ = X.select_rows(idx);
   }
-  // Deterministic subsample without replacement.
-  std::vector<size_t> idx(X.rows);
-  std::iota(idx.begin(), idx.end(), 0);
-  Rng rng(cfg_.seed);
-  rng.shuffle(idx);
-  idx.resize(cfg_.max_train_rows);
-  std::sort(idx.begin(), idx.end());
-  train_ = X.select_rows(idx);
+  train_norms_.resize(train_.rows);
+  dense::row_sq_norms(train_.rows, train_.cols, train_.data.data(),
+                      train_.cols, train_norms_.data());
 }
 
 std::vector<double> Knn::score(const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
   if (train_.rows == 0) return out;
   const size_t k = std::min(cfg_.k, train_.rows);
-  // Each query row's distance scan is independent; the per-thread scratch
-  // buffer avoids reallocating the distance array per row.
+  const size_t nblocks =
+      (X.rows + dense::kScoreBlock - 1) / dense::kScoreBlock;
+  parallel_for(
+      0, nblocks,
+      [&](size_t blk) {
+        const size_t lo = blk * dense::kScoreBlock;
+        const size_t hi = std::min(X.rows, lo + dense::kScoreBlock);
+        const size_t m = hi - lo;
+        thread_local std::vector<double> dmat;
+        thread_local std::vector<std::pair<double, int>> dist;
+        dmat.resize(m * train_.rows);
+        dense::sq_dist_batch(m, train_.rows, X.cols,
+                             X.data.data() + lo * X.cols, X.cols,
+                             train_.data.data(), train_.cols,
+                             /*xn=*/nullptr, train_norms_.data(), dmat.data(),
+                             train_.rows);
+        dist.resize(train_.rows);
+        for (size_t i = 0; i < m; ++i) {
+          const double* di = dmat.data() + i * train_.rows;
+          for (size_t t = 0; t < train_.rows; ++t) {
+            dist[t] = {di[t], train_.labels[t]};
+          }
+          std::partial_sort(dist.begin(),
+                            dist.begin() + static_cast<std::ptrdiff_t>(k),
+                            dist.end());
+          double pos = 0.0;
+          for (size_t j = 0; j < k; ++j) pos += dist[j].second;
+          out[lo + i] = pos / static_cast<double>(k);
+        }
+      },
+      /*min_parallel=*/2);
+  return out;
+}
+
+std::vector<double> Knn::score_perrow(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  if (train_.rows == 0) return out;
+  const size_t k = std::min(cfg_.k, train_.rows);
   parallel_for(
       0, X.rows,
       [&](size_t r) {

@@ -1,5 +1,11 @@
 // k-nearest-neighbour classifier (brute force, Euclidean, with an optional
 // cap on stored training rows for tractability on large tables).
+//
+// Scoring runs block-at-a-time: each dense::kScoreBlock query block gets its
+// full distance matrix to the training set in one dense::sq_dist_batch call
+// (a GEMM via the ||x||^2 + ||y||^2 - 2 x.y expansion, with the training-row
+// norms precomputed at fit time), then per-row partial sorts pick the k
+// nearest labels.
 #pragma once
 
 #include "ml/model.h"
@@ -22,9 +28,14 @@ class Knn : public Model {
   std::string name() const override { return "kNN"; }
   bool is_supervised() const override { return true; }
 
+  /// Pre-PR reference: per-row scalar distance scan. Kept for the
+  /// batched-vs-per-row equivalence tests and the BENCH_ml baseline.
+  std::vector<double> score_perrow(const FeatureTable& X) const;
+
  private:
   KnnConfig cfg_;
   FeatureTable train_;
+  std::vector<double> train_norms_;  // ||t||^2 per training row
 };
 
 }  // namespace lumen::ml

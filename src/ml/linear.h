@@ -25,6 +25,10 @@ class LinearModel : public Model {
   std::vector<int> predict(const FeatureTable& X) const override;
   bool is_supervised() const override { return true; }
 
+  /// Pre-PR reference: per-row standardize + margin loop. Kept for the
+  /// batched-vs-per-row equivalence tests.
+  std::vector<double> score_perrow(const FeatureTable& X) const;
+
  protected:
   /// Raw decision value w.x + b for a standardized row.
   double margin(std::span<const double> x) const;

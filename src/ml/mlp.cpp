@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "features/stats.h"
+#include "ml/dense.h"
 
 namespace lumen::ml {
 
@@ -33,6 +34,16 @@ std::vector<double> Mlp::standardized(std::span<const double> x) const {
   return z;
 }
 
+void Mlp::standardize_block(const FeatureTable& X, size_t lo, size_t hi,
+                            double* z) const {
+  for (size_t r = lo; r < hi; ++r) {
+    const auto x = X.row(r);
+    double* zr = z + (r - lo) * X.cols;
+    for (size_t c = 0; c < X.cols; ++c) zr[c] = (x[c] - mean_[c]) * inv_sd_[c];
+  }
+}
+
+// Pre-PR row-at-a-time forward; kept as the reference scorer.
 double Mlp::forward(std::span<const double> x,
                     std::vector<std::vector<double>>* acts) const {
   std::vector<double> cur(x.begin(), x.end());
@@ -50,6 +61,65 @@ double Mlp::forward(std::span<const double> x,
     if (acts != nullptr) acts->push_back(cur);
   }
   return cur.empty() ? 0.0 : cur[0];
+}
+
+void Mlp::train_batch(const FeatureTable& X, const std::vector<size_t>& order,
+                      size_t lo, size_t hi, double lr, double w_pos,
+                      double w_neg, std::vector<std::vector<double>>& acts,
+                      std::vector<double>& delta,
+                      std::vector<double>& delta_prev) {
+  const size_t B = hi - lo;
+  // acts[l] is the B x dims[l] activation matrix entering layer l;
+  // acts[L] is the B x 1 sigmoid output.
+  acts[0].resize(B * X.cols);
+  for (size_t b = 0; b < B; ++b) {
+    const auto x = X.row(order[lo + b]);
+    double* z = acts[0].data() + b * X.cols;
+    for (size_t c = 0; c < X.cols; ++c) z[c] = (x[c] - mean_[c]) * inv_sd_[c];
+  }
+  const size_t L = layers_.size();
+  for (size_t li = 0; li < L; ++li) {
+    const Layer& lay = layers_[li];
+    acts[li + 1].resize(B * lay.out);
+    dense::gemm_nt(B, lay.out, lay.in, acts[li].data(), lay.in, lay.w.data(),
+                   lay.in, lay.b.data(), 0.0, acts[li + 1].data(), lay.out);
+    if (li + 1 == L) {
+      dense::sigmoid_sweep(B * lay.out, acts[li + 1].data());
+    } else {
+      dense::relu_sweep(B * lay.out, acts[li + 1].data());
+    }
+  }
+
+  // Output delta for sigmoid + cross-entropy: class_weight * (p - target).
+  delta.resize(B);
+  for (size_t b = 0; b < B; ++b) {
+    const int label = X.labels[order[lo + b]];
+    const double target = label != 0 ? 1.0 : 0.0;
+    const double cw = label != 0 ? w_pos : w_neg;
+    delta[b] = cw * (acts[L][b] - target);
+  }
+
+  for (size_t li = L; li-- > 0;) {
+    Layer& lay = layers_[li];
+    // Backprop to the previous activation with the pre-update weights,
+    // then apply the summed minibatch gradient.
+    if (li > 0) {
+      delta_prev.resize(B * lay.in);
+      dense::gemm_nn(B, lay.in, lay.out, delta.data(), lay.out, lay.w.data(),
+                     lay.in, 0.0, delta_prev.data(), lay.in);
+      const std::vector<double>& a_in = acts[li];  // ReLU outputs
+      for (size_t i = 0; i < B * lay.in; ++i) {
+        if (a_in[i] <= 0.0) delta_prev[i] = 0.0;
+      }
+    }
+    dense::gemm_tn(lay.out, lay.in, B, -lr, delta.data(), lay.out,
+                   acts[li].data(), lay.in, lay.w.data(), lay.in);
+    for (size_t b = 0; b < B; ++b) {
+      const double* db = delta.data() + b * lay.out;
+      for (size_t o = 0; o < lay.out; ++o) lay.b[o] -= lr * db[o];
+    }
+    if (li > 0) delta.swap(delta_prev);
+  }
 }
 
 void Mlp::fit(const FeatureTable& X) {
@@ -82,38 +152,82 @@ void Mlp::fit(const FeatureTable& X) {
   std::vector<size_t> order(X.rows);
   std::iota(order.begin(), order.end(), 0);
 
+  const size_t batch = std::max<size_t>(1, cfg_.batch);
+  std::vector<std::vector<double>> acts(layers_.size() + 1);
+  std::vector<double> delta, delta_prev;
   for (size_t e = 0; e < cfg_.epochs; ++e) {
     rng.shuffle(order);
     const double lr = cfg_.lr / (1.0 + 0.1 * static_cast<double>(e));
-    for (size_t r : order) {
-      std::vector<std::vector<double>> acts;
-      const std::vector<double> z = standardized(X.row(r));
-      const double p = forward(z, &acts);
-      const double target = X.labels[r] != 0 ? 1.0 : 0.0;
-      const double cw = X.labels[r] != 0 ? w_pos : w_neg;
-      // Backprop: output delta for sigmoid + cross-entropy is (p - target).
-      std::vector<double> delta = {cw * (p - target)};
-      for (size_t li = layers_.size(); li-- > 0;) {
-        Layer& L = layers_[li];
-        const std::vector<double>& a_in = acts[li];
-        const std::vector<double>& a_out = acts[li + 1];
-        std::vector<double> prev_delta(L.in, 0.0);
-        for (size_t o = 0; o < L.out; ++o) {
-          double d = delta[o];
-          if (li + 1 != layers_.size() && a_out[o] <= 0.0) d = 0.0;  // ReLU'
-          for (size_t i = 0; i < L.in; ++i) {
-            prev_delta[i] += L.w[o * L.in + i] * d;
-            L.w[o * L.in + i] -= lr * d * a_in[i];
-          }
-          L.b[o] -= lr * d;
-        }
-        delta = std::move(prev_delta);
-      }
+    for (size_t lo = 0; lo < X.rows; lo += batch) {
+      const size_t hi = std::min(X.rows, lo + batch);
+      train_batch(X, order, lo, hi, lr, w_pos, w_neg, acts, delta,
+                  delta_prev);
     }
   }
 }
 
+double Mlp::score_row(std::span<const double> x) const {
+  ScoreScratch scratch;
+  return score_row(x, scratch);
+}
+
+double Mlp::score_row(std::span<const double> x, ScoreScratch& scratch) const {
+  scratch.a.resize(x.size());
+  for (size_t c = 0; c < x.size(); ++c) {
+    scratch.a[c] = (x[c] - mean_[c]) * inv_sd_[c];
+  }
+  std::vector<double>* cur = &scratch.a;
+  std::vector<double>* nxt = &scratch.b;
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& L = layers_[li];
+    nxt->resize(L.out);
+    dense::gemv(L.out, L.in, L.w.data(), L.in, cur->data(), L.b.data(),
+                nxt->data());
+    if (li + 1 == layers_.size()) {
+      dense::sigmoid_sweep(L.out, nxt->data());
+    } else {
+      dense::relu_sweep(L.out, nxt->data());
+    }
+    std::swap(cur, nxt);
+  }
+  return cur->empty() ? 0.0 : (*cur)[0];
+}
+
 std::vector<double> Mlp::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  if (layers_.empty()) return out;
+  const size_t nblocks =
+      (X.rows + dense::kScoreBlock - 1) / dense::kScoreBlock;
+  parallel_for(
+      0, nblocks,
+      [&](size_t blk) {
+        const size_t lo = blk * dense::kScoreBlock;
+        const size_t hi = std::min(X.rows, lo + dense::kScoreBlock);
+        const size_t m = hi - lo;
+        thread_local std::vector<double> a, b;
+        a.resize(m * X.cols);
+        standardize_block(X, lo, hi, a.data());
+        std::vector<double>* cur = &a;
+        std::vector<double>* nxt = &b;
+        for (size_t li = 0; li < layers_.size(); ++li) {
+          const Layer& L = layers_[li];
+          nxt->resize(m * L.out);
+          dense::gemm_nt(m, L.out, L.in, cur->data(), L.in, L.w.data(), L.in,
+                         L.b.data(), 0.0, nxt->data(), L.out);
+          if (li + 1 == layers_.size()) {
+            dense::sigmoid_sweep(m * L.out, nxt->data());
+          } else {
+            dense::relu_sweep(m * L.out, nxt->data());
+          }
+          std::swap(cur, nxt);
+        }
+        for (size_t b2 = 0; b2 < m; ++b2) out[lo + b2] = (*cur)[b2];
+      },
+      /*min_parallel=*/2);
+  return out;
+}
+
+std::vector<double> Mlp::score_perrow(const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
   parallel_for(
       0, X.rows,
@@ -182,49 +296,43 @@ void AutoEncoderCore::normalize_into(std::span<const double> x,
 
 double AutoEncoderCore::train_sample(std::span<const double> x) {
   update_norm(x);
-  const std::vector<double> z = normalize(x);
+  normalize_into(x, tz_);
+  const std::vector<double>& z = tz_;
 
-  // Forward.
-  std::vector<double> h(hidden_);
-  for (size_t o = 0; o < hidden_; ++o) {
-    double s = b1_[o];
-    for (size_t i = 0; i < dim_; ++i) s += w1_[o * dim_ + i] * z[i];
-    h[o] = sigmoid(s);
-  }
-  std::vector<double> y(dim_);
-  for (size_t o = 0; o < dim_; ++o) {
-    double s = b2_[o];
-    for (size_t i = 0; i < hidden_; ++i) s += w2_[o * hidden_ + i] * h[i];
-    y[o] = sigmoid(s);
-  }
+  // Forward: two GEMVs with fused sigmoid sweeps.
+  th_.resize(hidden_);
+  dense::gemv(hidden_, dim_, w1_.data(), dim_, z.data(), b1_.data(),
+              th_.data());
+  dense::sigmoid_sweep(hidden_, th_.data());
+  ty_.resize(dim_);
+  dense::gemv(dim_, hidden_, w2_.data(), hidden_, th_.data(), b2_.data(),
+              ty_.data());
+  dense::sigmoid_sweep(dim_, ty_.data());
 
   double mse = 0.0;
   for (size_t i = 0; i < dim_; ++i) {
-    const double e = y[i] - z[i];
+    const double e = ty_[i] - z[i];
     mse += e * e;
   }
   const double rmse = std::sqrt(mse / static_cast<double>(dim_));
 
-  // Backprop (MSE, sigmoid everywhere).
-  std::vector<double> dy(dim_);
+  // Backprop (MSE, sigmoid everywhere). dh must use the pre-update w2.
+  tdy_.resize(dim_);
   for (size_t o = 0; o < dim_; ++o) {
-    dy[o] = (y[o] - z[o]) * y[o] * (1.0 - y[o]);
+    tdy_[o] = (ty_[o] - z[o]) * ty_[o] * (1.0 - ty_[o]);
   }
-  std::vector<double> dh(hidden_, 0.0);
-  for (size_t o = 0; o < dim_; ++o) {
-    for (size_t i = 0; i < hidden_; ++i) {
-      dh[i] += w2_[o * hidden_ + i] * dy[o];
-      w2_[o * hidden_ + i] -= lr_ * dy[o] * h[i];
-    }
-    b2_[o] -= lr_ * dy[o];
-  }
+  tdh_.resize(hidden_);
+  dense::gemv_t(dim_, hidden_, w2_.data(), hidden_, tdy_.data(), tdh_.data());
+  dense::ger(dim_, hidden_, -lr_, tdy_.data(), th_.data(), w2_.data(),
+             hidden_);
+  dense::axpy(dim_, -lr_, tdy_.data(), b2_.data());
+
+  tdv_.resize(hidden_);
   for (size_t o = 0; o < hidden_; ++o) {
-    const double d = dh[o] * h[o] * (1.0 - h[o]);
-    for (size_t i = 0; i < dim_; ++i) {
-      w1_[o * dim_ + i] -= lr_ * d * z[i];
-    }
-    b1_[o] -= lr_ * d;
+    tdv_[o] = tdh_[o] * th_[o] * (1.0 - th_[o]);
   }
+  dense::ger(hidden_, dim_, -lr_, tdv_.data(), z.data(), w1_.data(), dim_);
+  dense::axpy(hidden_, -lr_, tdv_.data(), b1_.data());
   return rmse;
 }
 
@@ -239,19 +347,55 @@ double AutoEncoderCore::score_sample(std::span<const double> x,
   const std::vector<double>& z = scratch.z;
   scratch.h.resize(hidden_);
   std::vector<double>& h = scratch.h;
-  for (size_t o = 0; o < hidden_; ++o) {
-    double s = b1_[o];
-    for (size_t i = 0; i < dim_; ++i) s += w1_[o * dim_ + i] * z[i];
-    h[o] = sigmoid(s);
-  }
+  dense::gemv(hidden_, dim_, w1_.data(), dim_, z.data(), b1_.data(), h.data());
+  dense::sigmoid_sweep(hidden_, h.data());
   double mse = 0.0;
   for (size_t o = 0; o < dim_; ++o) {
-    double s = b2_[o];
-    for (size_t i = 0; i < hidden_; ++i) s += w2_[o * hidden_ + i] * h[i];
-    const double e = sigmoid(s) - z[o];
+    const double s =
+        sigmoid(b2_[o] + dense::dot(hidden_, w2_.data() + o * hidden_, h.data()));
+    const double e = s - z[o];
     mse += e * e;
   }
   return std::sqrt(mse / static_cast<double>(dim_));
+}
+
+void AutoEncoderCore::score_batch(const double* x, size_t m, size_t ldx,
+                                  double* out, BatchScratch& scratch) const {
+  scratch.z.resize(m * dim_);
+  // Hoist the per-column reciprocal range out of the row loop: dim_
+  // divisions per block instead of one per element (divisions dominate the
+  // normalize cost at KitNET-sized layers). Multiplying by 1/range instead
+  // of dividing differs from the per-row path by at most 1 ulp.
+  scratch.inv.resize(dim_);
+  for (size_t c = 0; c < dim_; ++c) {
+    const double range = norm_max_[c] - norm_min_[c];
+    scratch.inv[c] = range > 1e-12 ? 1.0 / range : 0.0;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const double* xi = x + i * ldx;
+    double* zi = scratch.z.data() + i * dim_;
+    for (size_t c = 0; c < dim_; ++c) {
+      zi[c] = std::clamp((xi[c] - norm_min_[c]) * scratch.inv[c], 0.0, 1.0);
+    }
+  }
+  scratch.h.resize(m * hidden_);
+  dense::gemm_nt(m, hidden_, dim_, scratch.z.data(), dim_, w1_.data(), dim_,
+                 b1_.data(), 0.0, scratch.h.data(), hidden_);
+  dense::sigmoid_sweep(m * hidden_, scratch.h.data());
+  scratch.y.resize(m * dim_);
+  dense::gemm_nt(m, dim_, hidden_, scratch.h.data(), hidden_, w2_.data(),
+                 hidden_, b2_.data(), 0.0, scratch.y.data(), dim_);
+  dense::sigmoid_sweep(m * dim_, scratch.y.data());
+  for (size_t i = 0; i < m; ++i) {
+    const double* zi = scratch.z.data() + i * dim_;
+    const double* yi = scratch.y.data() + i * dim_;
+    double mse = 0.0;
+    for (size_t c = 0; c < dim_; ++c) {
+      const double e = yi[c] - zi[c];
+      mse += e * e;
+    }
+    out[i] = std::sqrt(mse / static_cast<double>(dim_));
+  }
 }
 
 // --------------------------------------------------- AutoEncoderDetector
@@ -263,13 +407,44 @@ void AutoEncoderDetector::fit(const FeatureTable& X) {
   for (size_t e = 0; e < cfg_.epochs; ++e) {
     for (size_t r : rows) ae_->train_sample(X.row(r));
   }
-  std::vector<double> s;
-  s.reserve(rows.size());
-  for (size_t r : rows) s.push_back(ae_->score_sample(X.row(r)));
+  // Calibrate through the same blocked path score() uses, so the threshold
+  // and the scores it gates share bit-identical math.
+  std::vector<double> s(rows.size(), 0.0);
+  AutoEncoderCore::BatchScratch scratch;
+  std::vector<double> gather;
+  for (size_t lo = 0; lo < rows.size(); lo += dense::kScoreBlock) {
+    const size_t hi = std::min(rows.size(), lo + dense::kScoreBlock);
+    const size_t m = hi - lo;
+    gather.resize(m * X.cols);
+    for (size_t i = 0; i < m; ++i) {
+      const auto row = X.row(rows[lo + i]);
+      std::copy(row.begin(), row.end(), gather.begin() + i * X.cols);
+    }
+    ae_->score_batch(gather.data(), m, X.cols, s.data() + lo, scratch);
+  }
   threshold_ = quantile_threshold(std::move(s), cfg_.quantile);
 }
 
 std::vector<double> AutoEncoderDetector::score(const FeatureTable& X) const {
+  std::vector<double> out(X.rows, 0.0);
+  if (!ae_) return out;
+  const size_t nblocks =
+      (X.rows + dense::kScoreBlock - 1) / dense::kScoreBlock;
+  parallel_for(
+      0, nblocks,
+      [&](size_t blk) {
+        const size_t lo = blk * dense::kScoreBlock;
+        const size_t hi = std::min(X.rows, lo + dense::kScoreBlock);
+        thread_local AutoEncoderCore::BatchScratch scratch;
+        ae_->score_batch(X.data.data() + lo * X.cols, hi - lo, X.cols,
+                         out.data() + lo, scratch);
+      },
+      /*min_parallel=*/2);
+  return out;
+}
+
+std::vector<double> AutoEncoderDetector::score_perrow(
+    const FeatureTable& X) const {
   std::vector<double> out(X.rows, 0.0);
   if (!ae_) return out;
   parallel_for(

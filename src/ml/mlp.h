@@ -4,6 +4,13 @@
 //    normalization (the building block Kitsune stacks into KitNET).
 //  * AutoEncoderDetector — Model adapter: train on benign rows, score by
 //    reconstruction RMSE, threshold at a benign quantile.
+//
+// All the forward/backward math routes through the dense-kernel library
+// (ml/dense.h): training runs minibatch GEMMs over the contiguous row-major
+// weights, and the score(FeatureTable) paths process dense::kScoreBlock-row
+// blocks instead of row-at-a-time. The pre-PR row-at-a-time scorers are
+// kept as *_perrow reference paths for the equivalence tests and the
+// batched-vs-per-row benchmark gate.
 #pragma once
 
 #include "ml/model.h"
@@ -14,6 +21,7 @@ struct MlpConfig {
   std::vector<size_t> hidden = {32, 16};
   double lr = 0.02;
   size_t epochs = 30;
+  size_t batch = 32;  // minibatch size for the GEMM-based SGD
   uint64_t seed = 43;
 };
 
@@ -27,6 +35,22 @@ class Mlp : public Model {
   std::string name() const override { return "MLP"; }
   bool is_supervised() const override { return true; }
 
+  /// Reusable buffers for allocation-free single-row scoring.
+  struct ScoreScratch {
+    std::vector<double> a;  // ping
+    std::vector<double> b;  // pong
+  };
+
+  /// Score one feature vector without touching a table (streaming path);
+  /// the scratch overload never allocates in steady state.
+  double score_row(std::span<const double> x) const;
+  double score_row(std::span<const double> x, ScoreScratch& scratch) const;
+
+  /// Pre-PR reference: row-at-a-time scalar forward with per-row activation
+  /// allocations. Kept for the batched-vs-per-row equivalence tests and the
+  /// BENCH_ml baseline; not a production path.
+  std::vector<double> score_perrow(const FeatureTable& X) const;
+
  private:
   struct Layer {
     size_t in = 0, out = 0;
@@ -37,6 +61,14 @@ class Mlp : public Model {
   double forward(std::span<const double> x, std::vector<std::vector<double>>* acts) const;
   void fit_standardizer(const FeatureTable& X);
   std::vector<double> standardized(std::span<const double> x) const;
+  /// Standardize rows [lo, hi) of X into z (row-major, X.cols stride).
+  void standardize_block(const FeatureTable& X, size_t lo, size_t hi,
+                         double* z) const;
+  /// One minibatch SGD step over rows[lo, hi) of the shuffled order.
+  void train_batch(const FeatureTable& X, const std::vector<size_t>& order,
+                   size_t lo, size_t hi, double lr, double w_pos,
+                   double w_neg, std::vector<std::vector<double>>& acts,
+                   std::vector<double>& delta, std::vector<double>& delta_prev);
 
   MlpConfig cfg_;
   std::vector<Layer> layers_;
@@ -57,6 +89,14 @@ class AutoEncoderCore {
     std::vector<double> h;  // hidden activations
   };
 
+  /// Buffers for blocked batch scoring (score_batch).
+  struct BatchScratch {
+    std::vector<double> z;    // m x dim normalized inputs
+    std::vector<double> h;    // m x hidden
+    std::vector<double> y;    // m x dim reconstructions
+    std::vector<double> inv;  // dim reciprocal normalization ranges
+  };
+
   /// One SGD step on x; returns the reconstruction RMSE *before* the update.
   double train_sample(std::span<const double> x);
 
@@ -65,6 +105,12 @@ class AutoEncoderCore {
 
   /// Same, but reusing caller-owned buffers (the per-packet hot path).
   double score_sample(std::span<const double> x, ScoreScratch& scratch) const;
+
+  /// Batched scoring: out[i] = reconstruction RMSE of row i of the m x dim
+  /// row-major block x (row stride ldx). Forward pass runs as two GEMMs
+  /// plus fused sigmoid sweeps over the whole block.
+  void score_batch(const double* x, size_t m, size_t ldx, double* out,
+                   BatchScratch& scratch) const;
 
   size_t dim() const { return dim_; }
   size_t hidden() const { return hidden_; }
@@ -81,6 +127,9 @@ class AutoEncoderCore {
   std::vector<double> w2_, b2_;  // dim x hidden, dim
   std::vector<double> norm_min_, norm_max_;
   bool norm_init_ = false;
+  // Reused train_sample buffers (z, h, y, dy, dh, dvec); copying a core
+  // copies them harmlessly.
+  std::vector<double> tz_, th_, ty_, tdy_, tdh_, tdv_;
 };
 
 struct AutoEncoderConfig {
@@ -102,6 +151,9 @@ class AutoEncoderDetector : public Model {
   bool is_supervised() const override { return false; }
 
   double threshold() const { return threshold_; }
+
+  /// Pre-PR reference path (row-at-a-time score_sample loop).
+  std::vector<double> score_perrow(const FeatureTable& X) const;
 
  private:
   AutoEncoderConfig cfg_;

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Single entry point for the verify recipe: the tier-1 build-and-test pass,
-# then the ThreadSanitizer and AddressSanitizer checks. Usage:
+# then the ThreadSanitizer, AddressSanitizer, and UBSanitizer checks,
+# and finally the throughput regression gates. Usage:
 #   tools/check_all.sh [build-dir]
 set -euo pipefail
 
@@ -13,6 +14,7 @@ cmake --build "$BUILD" -j
 
 tools/check_tsan.sh
 tools/check_asan.sh
+tools/check_ubsan.sh
 tools/check_bench.sh "$BUILD"
 
-echo "check_all: tier-1 tests + TSan + ASan + bench gate clean"
+echo "check_all: tier-1 tests + TSan + ASan + UBSan + bench gate clean"

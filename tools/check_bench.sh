@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Throughput regression gate: run bench_ingest and fail if the 4-consumer
-# configuration scores fewer packets per second than the 1-consumer one —
-# the de-serialized ingest path must never make adding consumers a loss.
+# Throughput regression gates:
+#  * bench_ingest — fail if the 4-consumer configuration scores fewer
+#    packets per second than the 1-consumer one (the de-serialized ingest
+#    path must never make adding consumers a loss).
+#  * bench_ml — fail if any model's batched dense-kernel scoring path is
+#    slower than the pre-PR per-row path it replaced.
 # Usage:
 #   tools/check_bench.sh [build-dir]
 set -euo pipefail
@@ -10,7 +13,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
 cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j --target bench_ingest
+cmake --build "$BUILD" -j --target bench_ingest bench_ml
 
 "$BUILD/bench/bench_ingest"
 
@@ -41,3 +44,27 @@ if ! grep -q '"paced_deterministic": true' "$JSON"; then
 fi
 
 echo "check_bench: 4-consumer $FOUR pkts/s >= 1-consumer $ONE pkts/s"
+
+# --- bench_ml: batched scoring must not lose to the per-row path ---------
+"$BUILD/bench/bench_ml"
+
+ML_JSON="BENCH_ml.json"
+[ -f "$ML_JSON" ] || { echo "check_bench: $ML_JSON not produced" >&2; exit 1; }
+
+FAILED=0
+while IFS= read -r line; do
+  name="$(sed -n 's/.*"name": "\([^"]*\)".*/\1/p' <<<"$line")"
+  speedup="$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' <<<"$line")"
+  [ -n "$name" ] && [ -n "$speedup" ] || continue
+  if awk -v s="$speedup" 'BEGIN { exit !(s < 1.0) }'; then
+    echo "check_bench: FAIL — $name batched path slower than per-row (${speedup}x)" >&2
+    FAILED=1
+  fi
+done < <(grep '"speedup"' "$ML_JSON")
+[ "$(grep -c '"speedup"' "$ML_JSON")" -gt 0 ] || {
+  echo "check_bench: no model speedups found in $ML_JSON" >&2
+  exit 1
+}
+[ "$FAILED" -eq 0 ] || exit 1
+
+echo "check_bench: all batched model paths at or above per-row throughput"
