@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "core/kitsune_extractor.h"
 #include "core/kitsune_extractor_ref.h"
 #include "trace/registry.h"
@@ -85,28 +86,33 @@ int main() {
     return 1;
   }
 
+  // JSON artifact via the unified telemetry serializer.
+  telemetry::json::Writer w;
+  w.kv_str("benchmark", "kitsune_extractor");
+  w.kv_str("capture", "P1");
+  w.kv_u64("packets", ds.trace.view.size());
+  w.kv_u64("threads", ThreadPool::global().size());
+  w.kv_u64("hardware_threads", ThreadPool::hardware_threads());
+  w.kv_i64("reps", kReps);
+  const auto impl = [&w](const char* key, const RunResult& r) {
+    w.begin_inline_object(key);
+    w.kv_f("seconds", r.seconds, 4);
+    w.kv_f("pkts_per_sec", r.pkts_per_sec, 1);
+    w.kv_u64("tracked_contexts", r.tracked);
+    w.end();
+  };
+  impl("string_keyed", ref);
+  impl("packed_key", packed);
+  w.begin_inline_object("packed_key_capped");
+  w.kv_u64("max_contexts", kCap);
+  w.kv_f("seconds", capped.seconds, 4);
+  w.kv_f("pkts_per_sec", capped.pkts_per_sec, 1);
+  w.kv_u64("tracked_contexts", capped.tracked);
+  w.end();
+  w.kv_f("speedup", speedup, 3);
   if (std::FILE* f = std::fopen("BENCH_extractor.json", "w")) {
-    std::fprintf(
-        f,
-        "{\n"
-        "  \"benchmark\": \"kitsune_extractor\",\n"
-        "  \"capture\": \"P1\",\n"
-        "  \"packets\": %zu,\n"
-        "  \"threads\": %zu,\n"
-        "  \"hardware_threads\": %zu,\n"
-        "  \"reps\": %d,\n"
-        "  \"string_keyed\": {\"seconds\": %.4f, \"pkts_per_sec\": %.1f, "
-        "\"tracked_contexts\": %zu},\n"
-        "  \"packed_key\": {\"seconds\": %.4f, \"pkts_per_sec\": %.1f, "
-        "\"tracked_contexts\": %zu},\n"
-        "  \"packed_key_capped\": {\"max_contexts\": %zu, \"seconds\": %.4f, "
-        "\"pkts_per_sec\": %.1f, \"tracked_contexts\": %zu},\n"
-        "  \"speedup\": %.3f\n"
-        "}\n",
-        ds.trace.view.size(), ThreadPool::global().size(),
-        ThreadPool::hardware_threads(), kReps, ref.seconds, ref.pkts_per_sec,
-        ref.tracked, packed.seconds, packed.pkts_per_sec, packed.tracked,
-        kCap, capped.seconds, capped.pkts_per_sec, capped.tracked, speedup);
+    const std::string doc = w.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
     std::printf("[artifact] BENCH_extractor.json\n");
   }

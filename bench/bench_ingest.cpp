@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "core/ingest.h"
 #include "core/kitsune_extractor.h"
 #include "core/stream.h"
@@ -261,56 +262,67 @@ int main() {
       static_cast<unsigned long long>(fstats.alerted),
       fault_accounted ? "accounted" : "LEAK (BUG)");
 
-  if (std::FILE* f = std::fopen("BENCH_ingest.json", "w")) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"benchmark\": \"ingest_runtime\",\n"
-                 "  \"capture\": \"P1\",\n"
-                 "  \"streamed_packets\": %zu,\n"
-                 "  \"sweep_packets\": %zu,\n"
-                 "  \"stream_repeats\": %d,\n"
-                 "  \"threads\": %zu,\n"
-                 "  \"hardware_threads\": %zu,\n"
-                 "  \"reps\": %d,\n"
-                 "  \"stage_ns_per_pkt\": {\"extract\": %.1f, "
-                 "\"score\": %.1f, \"queue\": %.1f},\n"
-                 "  \"unpaced_single_consumer_pkts_per_sec\": %.1f,\n"
-                 "  \"offered_pkts_per_sec\": %.1f,\n"
-                 "  \"configs\": [\n",
-                 streamed, sweep_packets, kStreamRepeats,
-                 ThreadPool::global().size(), ThreadPool::hardware_threads(),
-                 kReps, extract_ns, score_ns, queue_ns, unpaced_peak,
-                 kOfferedRate);
-    for (size_t i = 0; i < configs.size(); ++i) {
-      const ConfigResult& r = configs[i];
-      std::fprintf(f,
-                   "    {\"consumers\": %zu, \"seconds\": %.4f, "
-                   "\"pkts_per_sec\": %.1f, \"achieved_pkts_per_sec\": %.1f, "
-                   "\"kept_up\": %s, \"scored\": %llu, "
-                   "\"alerted\": %llu}%s\n",
-                   r.consumers, r.seconds, r.sustained, r.achieved,
-                   r.kept_up ? "true" : "false",
-                   static_cast<unsigned long long>(r.stats.scored),
-                   static_cast<unsigned long long>(r.stats.alerted),
-                   i + 1 < configs.size() ? "," : "");
+  // The runtime published per-stage latency histograms into the process
+  // registry during the sweep; scrape their means as a cross-check on the
+  // subtraction-based stage costs above.
+  {
+    const telemetry::Snapshot snap = telemetry::Registry::process().snapshot();
+    for (const char* stage : {"extract", "score", "flush"}) {
+      const auto* h = snap.find_histogram(std::string("ingest.stage.") +
+                                          stage + "_ns");
+      if (h != nullptr && h->count > 0) {
+        std::printf("registry %s histogram: %llu samples, mean %.0f ns\n",
+                    stage, static_cast<unsigned long long>(h->count),
+                    h->sum / static_cast<double>(h->count));
+      }
     }
-    std::fprintf(f,
-                 "  ],\n"
-                 "  \"paced_alerts\": %lld,\n"
-                 "  \"unpaced_alerts\": %lld,\n"
-                 "  \"paced_deterministic\": %s,\n"
-                 "  \"fault_run\": {\"enqueued\": %llu, \"dropped\": %llu, "
-                 "\"parse_skipped\": %llu, \"scored\": %llu, "
-                 "\"alerted\": %llu, \"accounted\": %s}\n"
-                 "}\n",
-                 paced_alerts, unpaced_alerts,
-                 deterministic ? "true" : "false",
-                 static_cast<unsigned long long>(fstats.enqueued),
-                 static_cast<unsigned long long>(fstats.dropped),
-                 static_cast<unsigned long long>(fstats.parse_skipped),
-                 static_cast<unsigned long long>(fstats.scored),
-                 static_cast<unsigned long long>(fstats.alerted),
-                 fault_accounted ? "true" : "false");
+  }
+
+  // JSON artifact, rendered through the unified telemetry serializer (the
+  // same Writer Snapshot::to_json uses).
+  telemetry::json::Writer w;
+  w.kv_str("benchmark", "ingest_runtime");
+  w.kv_str("capture", "P1");
+  w.kv_u64("streamed_packets", streamed);
+  w.kv_u64("sweep_packets", sweep_packets);
+  w.kv_i64("stream_repeats", kStreamRepeats);
+  w.kv_u64("threads", ThreadPool::global().size());
+  w.kv_u64("hardware_threads", ThreadPool::hardware_threads());
+  w.kv_i64("reps", kReps);
+  w.begin_inline_object("stage_ns_per_pkt");
+  w.kv_f("extract", extract_ns, 1);
+  w.kv_f("score", score_ns, 1);
+  w.kv_f("queue", queue_ns, 1);
+  w.end();
+  w.kv_f("unpaced_single_consumer_pkts_per_sec", unpaced_peak, 1);
+  w.kv_f("offered_pkts_per_sec", kOfferedRate, 1);
+  w.begin_array("configs");
+  for (const ConfigResult& r : configs) {
+    w.begin_inline_object();
+    w.kv_u64("consumers", r.consumers);
+    w.kv_f("seconds", r.seconds, 4);
+    w.kv_f("pkts_per_sec", r.sustained, 1);
+    w.kv_f("achieved_pkts_per_sec", r.achieved, 1);
+    w.kv_bool("kept_up", r.kept_up);
+    w.kv_u64("scored", r.stats.scored);
+    w.kv_u64("alerted", r.stats.alerted);
+    w.end();
+  }
+  w.end();
+  w.kv_i64("paced_alerts", paced_alerts);
+  w.kv_i64("unpaced_alerts", unpaced_alerts);
+  w.kv_bool("paced_deterministic", deterministic);
+  w.begin_inline_object("fault_run");
+  w.kv_u64("enqueued", fstats.enqueued);
+  w.kv_u64("dropped", fstats.dropped);
+  w.kv_u64("parse_skipped", fstats.parse_skipped);
+  w.kv_u64("scored", fstats.scored);
+  w.kv_u64("alerted", fstats.alerted);
+  w.kv_bool("accounted", fault_accounted);
+  w.end();
+  if (std::FILE* f = std::fopen("BENCH_ingest.json", "w")) {
+    const std::string doc = w.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
     std::printf("[artifact] BENCH_ingest.json\n");
   }

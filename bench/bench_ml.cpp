@@ -12,6 +12,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "ml/dense.h"
 #include "ml/gmm.h"
 #include "ml/kernel.h"
@@ -226,37 +227,36 @@ int main() {
     kernels.push_back(bench_sigmoid(ml::dense::Backend::kAvx2, "avx2"));
   }
 
+  // JSON artifact via the unified telemetry serializer.
+  telemetry::json::Writer w;
+  w.kv_str("benchmark", "ml_scoring");
+  w.kv_str("backend", backend);
+  w.kv_u64("rows", kScoreRows);
+  w.kv_u64("cols", kCols);
+  w.kv_i64("reps", kReps);
+  w.kv_u64("threads", ThreadPool::global().size());
+  w.begin_array("models");
+  for (const ModelResult& m : models) {
+    w.begin_inline_object();
+    w.kv_str("name", m.name);
+    w.kv_f("perrow_rows_per_sec", m.perrow_rows_per_sec, 1);
+    w.kv_f("batched_rows_per_sec", m.batched_rows_per_sec, 1);
+    w.kv_f("speedup", m.speedup, 3);
+    w.end();
+  }
+  w.end();
+  w.begin_array("kernels");
+  for (const KernelResult& k : kernels) {
+    w.begin_inline_object();
+    w.kv_str("name", k.name);
+    w.kv_str("backend", k.backend);
+    w.kv_f("gflops", k.gflops, 3);
+    w.end();
+  }
+  w.end();
   if (std::FILE* f = std::fopen("BENCH_ml.json", "w")) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"benchmark\": \"ml_scoring\",\n"
-                 "  \"backend\": \"%s\",\n"
-                 "  \"rows\": %zu,\n"
-                 "  \"cols\": %zu,\n"
-                 "  \"reps\": %d,\n"
-                 "  \"threads\": %zu,\n"
-                 "  \"models\": [\n",
-                 backend, kScoreRows, kCols, kReps,
-                 ThreadPool::global().size());
-    for (size_t i = 0; i < models.size(); ++i) {
-      const ModelResult& m = models[i];
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"perrow_rows_per_sec\": %.1f, "
-                   "\"batched_rows_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
-                   m.name.c_str(), m.perrow_rows_per_sec,
-                   m.batched_rows_per_sec, m.speedup,
-                   i + 1 < models.size() ? "," : "");
-    }
-    std::fprintf(f, "  ],\n  \"kernels\": [\n");
-    for (size_t i = 0; i < kernels.size(); ++i) {
-      const KernelResult& k = kernels[i];
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"backend\": \"%s\", "
-                   "\"gflops\": %.3f}%s\n",
-                   k.name.c_str(), k.backend.c_str(), k.gflops,
-                   i + 1 < kernels.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
+    const std::string doc = w.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
     std::printf("\n[artifact] BENCH_ml.json\n");
   }

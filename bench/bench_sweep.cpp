@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "fig_common.h"
 
 namespace {
@@ -86,20 +87,31 @@ int main() {
   std::printf("speedup:           %.2fx\n", speedup);
   std::printf("csv byte-identical: %s\n", identical ? "yes" : "NO (BUG)");
 
+  // The sweeps above recorded one `eval.cell` span per grid cell plus pool
+  // task counters into the process registry; surface the totals.
+  const telemetry::Snapshot snap = telemetry::Registry::process().snapshot();
+  size_t cell_spans = 0;
+  for (const auto& s : snap.spans) cell_spans += s.name == "eval.cell";
+  std::printf("registry: %llu cells ok, %llu pool tasks, %zu cell spans\n",
+              static_cast<unsigned long long>(snap.counter_value("eval.cells")),
+              static_cast<unsigned long long>(snap.counter_value("pool.tasks")),
+              cell_spans);
+
+  // JSON artifact via the unified telemetry serializer.
+  telemetry::json::Writer w;
+  w.kv_str("benchmark", "same_dataset_sweep");
+  w.kv_u64("grid_pairs", pairs);
+  w.kv_u64("threads", threads);
+  w.kv_u64("hardware_threads", hw_threads);
+  w.kv_f("serial_seconds", serial_s, 4);
+  w.kv_f("parallel_seconds", parallel_s, 4);
+  w.kv_f("speedup", speedup, 3);
+  w.kv_bool("csv_identical", identical);
+  w.kv_u64("pool_tasks", snap.counter_value("pool.tasks"));
+  w.kv_u64("eval_cell_spans", cell_spans);
   if (std::FILE* f = std::fopen("BENCH_sweep.json", "w")) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"benchmark\": \"same_dataset_sweep\",\n"
-                 "  \"grid_pairs\": %zu,\n"
-                 "  \"threads\": %zu,\n"
-                 "  \"hardware_threads\": %zu,\n"
-                 "  \"serial_seconds\": %.4f,\n"
-                 "  \"parallel_seconds\": %.4f,\n"
-                 "  \"speedup\": %.3f,\n"
-                 "  \"csv_identical\": %s\n"
-                 "}\n",
-                 pairs, threads, hw_threads, serial_s, parallel_s, speedup,
-                 identical ? "true" : "false");
+    const std::string doc = w.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
     std::printf("[artifact] BENCH_sweep.json\n");
   }

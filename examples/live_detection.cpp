@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/telemetry.h"
 #include "core/ingest.h"
 #include "core/stream.h"
 #include "netio/pcap.h"
@@ -106,6 +107,11 @@ int main(int argc, char** argv) {
   TimelineSink sink(ds.pkt_label);
   core::IngestRuntime::Options opts;
   opts.consumers = 1;  // one consumer keeps the timeline in capture order
+  // Instruments land in a registry a monitoring agent could scrape mid-run;
+  // here we use an example-local one and dump it after the stream ends.
+  telemetry::Registry registry;
+  opts.registry = &registry;
+  opts.instrument_prefix = "gateway.";
   core::IngestRuntime runtime(
       opts,
       [&detector](size_t) {
@@ -131,6 +137,15 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(st.parse_skipped),
       static_cast<unsigned long long>(st.scored),
       static_cast<unsigned long long>(st.alerted), st.queue_high_water);
+
+  // The same numbers, as the Prometheus text a /metrics endpoint would
+  // serve (counters and gauges only; histogram series elided for brevity).
+  std::printf("\nPrometheus scrape excerpt:\n");
+  const telemetry::Snapshot snap = registry.snapshot();
+  telemetry::Snapshot scalars;
+  scalars.counters = snap.counters;
+  scalars.gauges = snap.gauges;
+  std::fputs(scalars.to_prometheus().c_str(), stdout);
   std::filesystem::remove(pcap_path);
   return 0;
 }

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdlib>
@@ -31,6 +32,8 @@
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/telemetry.h"
 
 namespace lumen {
 
@@ -71,8 +74,18 @@ class TaskGroup {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(size_t n_threads = 0) {
+  explicit ThreadPool(size_t n_threads = 0)
+      // Instruments resolve against the process registry before any worker
+      // spawns, which also guarantees the registry outlives the pool.
+      : tasks_submitted_(telemetry::Registry::process().counter("pool.tasks")),
+        tasks_inline_(
+            telemetry::Registry::process().counter("pool.tasks_inline")),
+        queue_depth_(telemetry::Registry::process().gauge("pool.queue_depth")),
+        queue_wait_ns_(
+            telemetry::Registry::process().histogram("pool.queue_wait_ns")) {
     if (n_threads == 0) n_threads = default_thread_count();
+    telemetry::Registry::process().gauge("pool.workers").set(
+        static_cast<double>(n_threads));
     workers_.reserve(n_threads);
     for (size_t i = 0; i < n_threads; ++i) {
       workers_.emplace_back([this] { worker_loop(); });
@@ -97,10 +110,13 @@ class ThreadPool {
   /// there; without one, the first exception is rethrown by wait_idle().
   void submit(std::function<void()> task, TaskGroup* group = nullptr) {
     if (group != nullptr) group->add_pending(1);
+    tasks_submitted_.add(1);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      tasks_.emplace(std::move(task), group);
+      tasks_.push(Task{std::move(task), group,
+                       std::chrono::steady_clock::now()});
       ++pending_;
+      queue_depth_.set(static_cast<double>(tasks_.size()));
     }
     cv_.notify_one();
   }
@@ -119,6 +135,11 @@ class ThreadPool {
 
   /// True when the calling thread is one of this process's pool workers.
   static bool on_worker_thread() { return tl_on_worker(); }
+
+  /// Count a parallel_for that ran inline (small range, serial guard, or
+  /// nested call) — the pool's analog of a "steal": work the workers never
+  /// saw. Exposed as the `pool.tasks_inline` counter.
+  void note_inline_loop() { tasks_inline_.add(1); }
 
   /// Process-wide pool, created on first use. LUMEN_THREADS overrides the
   /// worker count, clamped to hardware_concurrency(); set
@@ -160,31 +181,46 @@ class ThreadPool {
   void worker_loop() {
     tl_on_worker() = true;
     for (;;) {
-      std::pair<std::function<void()>, TaskGroup*> task;
+      Task task;
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
         if (stop_ && tasks_.empty()) return;
         task = std::move(tasks_.front());
         tasks_.pop();
+        queue_depth_.set(static_cast<double>(tasks_.size()));
       }
+      queue_wait_ns_.record(
+          std::chrono::duration<double, std::nano>(
+              std::chrono::steady_clock::now() - task.enqueued)
+              .count());
       std::exception_ptr err;
       try {
-        task.first();
+        task.fn();
       } catch (...) {
         err = std::current_exception();
       }
-      if (task.second != nullptr) task.second->finish_one(std::move(err));
+      if (task.group != nullptr) task.group->finish_one(std::move(err));
       {
         std::lock_guard<std::mutex> lock(mu_);
-        if (err && task.second == nullptr && !error_) error_ = std::move(err);
+        if (err && task.group == nullptr && !error_) error_ = std::move(err);
         if (--pending_ == 0) idle_cv_.notify_all();
       }
     }
   }
 
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  telemetry::Counter& tasks_submitted_;
+  telemetry::Counter& tasks_inline_;
+  telemetry::Gauge& queue_depth_;
+  telemetry::Histogram& queue_wait_ns_;
   std::vector<std::thread> workers_;
-  std::queue<std::pair<std::function<void()>, TaskGroup*>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
@@ -227,6 +263,7 @@ inline void parallel_for(size_t begin, size_t end,
   ThreadPool& pool = ThreadPool::global();
   if (n < min_parallel || pool.size() <= 1 || serial_forced() ||
       ThreadPool::on_worker_thread()) {
+    pool.note_inline_loop();
     for (size_t i = begin; i < end; ++i) body(i);
     return;
   }

@@ -50,12 +50,45 @@ Result<void> Engine::type_check(const PipelineSpec& spec) const {
   return {};
 }
 
+std::vector<OpProfile> profile_from_spans(const telemetry::Snapshot& snap,
+                                          const std::vector<uint64_t>& span_ids,
+                                          std::string_view op_prefix) {
+  std::vector<OpProfile> profile;
+  profile.reserve(span_ids.size());
+  for (const uint64_t id : span_ids) {
+    const telemetry::SpanRecord* rec = snap.find_span(id);
+    if (rec == nullptr) continue;  // span log overflowed (giant pipeline)
+    OpProfile p;
+    p.func = rec->name.rfind(op_prefix, 0) == 0
+                 ? rec->name.substr(op_prefix.size())
+                 : rec->name;
+    p.output = rec->detail;
+    p.seconds = rec->seconds;
+    p.output_bytes = rec->value;
+    p.freed_early = rec->flag;
+    profile.push_back(std::move(p));
+  }
+  return profile;
+}
+
 Result<PipelineReport> Engine::run(const PipelineSpec& spec,
                                    OpContext& ctx) const {
   Result<void> ok = type_check(spec);
   if (!ok.ok()) return ok.error();
 
   const OperationRegistry& reg = OperationRegistry::instance();
+
+  // Telemetry sink: the configured registry, or a run-local scratch one
+  // when the embedder silenced publishing (profiles still work either way).
+  telemetry::Registry local_tel;
+  telemetry::Registry& tel =
+      opts_.registry != nullptr ? *opts_.registry : local_tel;
+  const std::string op_prefix = opts_.instrument_prefix + "op.";
+  telemetry::Counter& ops_run = tel.counter(opts_.instrument_prefix + "ops");
+  telemetry::Gauge& live_gauge =
+      tel.gauge(opts_.instrument_prefix + "live_bytes");
+  telemetry::Gauge& peak_gauge =
+      tel.gauge(opts_.instrument_prefix + "peak_bytes");
 
   // Last-use index per binding, for dead-value elimination.
   std::map<std::string, size_t> last_use;
@@ -67,6 +100,7 @@ Result<PipelineReport> Engine::run(const PipelineSpec& spec,
   PipelineReport report;
   std::map<std::string, Value> env;
   std::map<std::string, size_t> env_bytes;
+  std::map<std::string, uint64_t> span_of_output;  // for freed-early patches
   size_t live_bytes = 0;
 
   for (size_t i = 0; i < spec.ops.size(); ++i) {
@@ -86,27 +120,29 @@ Result<PipelineReport> Engine::run(const PipelineSpec& spec,
       inputs.push_back(&it->second);
     }
 
-    const auto start = std::chrono::steady_clock::now();
+    // One span per op: wall time covers exactly the operation body; bytes
+    // are annotated after stop() so they don't count against the clock.
+    telemetry::Span span(&tel, op_prefix + op.func, op.output);
     Result<Value> out = inst.value()->run(inputs, ctx);
-    const auto stop = std::chrono::steady_clock::now();
+    span.stop();
     if (!out.ok()) {
       return Error::make("engine", "op #" + std::to_string(i) + " ('" +
                                        op.func + "'): " + out.error().message);
     }
 
-    OpProfile prof;
-    prof.func = op.func;
-    prof.output = op.output;
-    prof.seconds = std::chrono::duration<double>(stop - start).count();
-    prof.output_bytes = value_bytes(out.value());
+    const size_t output_bytes = value_bytes(out.value());
+    span.set_value(output_bytes);
+    report.span_ids.push_back(span.id());
+    span_of_output[op.output] = span.id();
+    ops_run.add(1);
 
     // Rebinding replaces the old value.
     if (auto it = env.find(op.output); it != env.end()) {
       live_bytes -= env_bytes[op.output];
       env.erase(it);
     }
-    live_bytes += prof.output_bytes;
-    env_bytes[op.output] = prof.output_bytes;
+    live_bytes += output_bytes;
+    env_bytes[op.output] = output_bytes;
     env.emplace(op.output, std::move(out).value());
     report.peak_bytes = std::max(report.peak_bytes, live_bytes);
 
@@ -120,8 +156,9 @@ Result<PipelineReport> Engine::run(const PipelineSpec& spec,
         if (consumed_out && !never_used && keep.count(name) == 0 &&
             name != op.output) {
           live_bytes -= env_bytes[name];
-          for (OpProfile& p : report.profile) {
-            if (p.output == name) p.freed_early = true;
+          if (auto sp = span_of_output.find(name);
+              sp != span_of_output.end()) {
+            tel.set_span_flag(sp->second, true);
           }
           it = env.erase(it);
         } else {
@@ -129,9 +166,14 @@ Result<PipelineReport> Engine::run(const PipelineSpec& spec,
         }
       }
     }
-    report.profile.push_back(std::move(prof));
+    live_gauge.set(static_cast<double>(live_bytes));
+    peak_gauge.update_max(static_cast<double>(report.peak_bytes));
   }
 
+  // The report's profile is a view over the telemetry snapshot: same span
+  // records a scraper of `tel` sees, keyed by this run's span ids.
+  report.profile =
+      profile_from_spans(tel.snapshot(), report.span_ids, op_prefix);
   report.bindings = std::move(env);
   return report;
 }

@@ -6,11 +6,20 @@
 
 #include <map>
 
+#include "common/telemetry.h"
 #include "core/pipeline.h"
 
 namespace lumen::core {
 
 /// One row of the engine's time/memory profile.
+///
+/// DEPRECATION NOTE: OpProfile/profile_table() are now compatibility views
+/// over the unified telemetry API (common/telemetry.h). Engine::run records
+/// one telemetry::Span per operation (name `<prefix>op.<func>`, detail = the
+/// output binding, value = output bytes, flag = freed-early) into
+/// Options::registry and rebuilds this struct from the registry snapshot, so
+/// the numbers here and in the registry are the same by construction. New
+/// consumers should scrape the registry instead of this struct.
 struct OpProfile {
   std::string func;
   std::string output;
@@ -19,11 +28,21 @@ struct OpProfile {
   bool freed_early = false;  // dropped by dead-value elimination
 };
 
+/// Rebuild per-op profile rows from the telemetry spans a run recorded
+/// (`span_ids` in execution order, names prefixed with `op_prefix`). This is
+/// the only constructor of OpProfile rows the engine uses.
+std::vector<OpProfile> profile_from_spans(const telemetry::Snapshot& snap,
+                                          const std::vector<uint64_t>& span_ids,
+                                          std::string_view op_prefix);
+
 struct PipelineReport {
   /// Bindings still alive at the end of the run (pipeline results).
   std::map<std::string, Value> bindings;
   std::vector<OpProfile> profile;
   size_t peak_bytes = 0;
+  /// Span ids (execution order) of this run's per-op telemetry spans — the
+  /// keys for re-deriving `profile` from a registry snapshot.
+  std::vector<uint64_t> span_ids;
 
   const Value* find(const std::string& name) const {
     auto it = bindings.find(name);
@@ -47,6 +66,14 @@ class Engine {
     bool free_dead_values = true;
     /// Bindings to keep alive even if consumed (besides never-consumed ones).
     std::vector<std::string> keep;
+    /// Where per-op spans and byte gauges land. Default: the process-wide
+    /// registry, so any embedder can scrape engine activity. nullptr keeps
+    /// the run's telemetry in a run-local registry (nothing published) —
+    /// the report/profile_table still work. Same shape as
+    /// IngestRuntime::Options.
+    telemetry::Registry* registry = &telemetry::Registry::process();
+    /// Prepended to every instrument and span name this engine records.
+    std::string instrument_prefix = "engine.";
   };
 
   Engine() : Engine(Options{}) {}

@@ -1,5 +1,6 @@
 #include "core/ingest.h"
 
+#include <chrono>
 #include <exception>
 #include <thread>
 #include <utility>
@@ -21,12 +22,14 @@ bool BoundedPacketQueue::push(netio::SourcePacket p) {
     if (closed_) return false;
     q_.pop_front();
     ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->add(1);
   } else if (closed_) {
     return false;
   }
   const bool was_empty = q_.empty();
   q_.push_back(std::move(p));
   high_water_ = std::max(high_water_, q_.size());
+  note_size_locked();
   lock.unlock();
   // Consumers only sleep on an empty queue, so only the empty->non-empty
   // transition needs a wakeup; steady-state pushes skip the notify.
@@ -41,6 +44,7 @@ bool BoundedPacketQueue::pop(netio::SourcePacket& out) {
   const bool was_full = q_.size() >= capacity_;
   out = std::move(q_.front());
   q_.pop_front();
+  note_size_locked();
   const bool still_nonempty = !q_.empty();
   lock.unlock();
   if (was_full) not_full_.notify_one();
@@ -61,6 +65,7 @@ size_t BoundedPacketQueue::pop_batch(std::vector<netio::SourcePacket>& out,
     out.push_back(std::move(q_.front()));
     q_.pop_front();
   }
+  note_size_locked();
   const bool still_nonempty = !q_.empty();
   lock.unlock();
   // A blocked producer only waits while the queue is at capacity.
@@ -80,6 +85,25 @@ void BoundedPacketQueue::close() {
   not_empty_.notify_all();
 }
 
+void BoundedPacketQueue::attach_telemetry(telemetry::Gauge* depth,
+                                          telemetry::Gauge* high_water,
+                                          telemetry::Counter* dropped) {
+  std::lock_guard<std::mutex> lock(mu_);
+  depth_gauge_ = depth;
+  high_water_gauge_ = high_water;
+  dropped_counter_ = dropped;
+  note_size_locked();
+}
+
+void BoundedPacketQueue::note_size_locked() {
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->set(static_cast<double>(q_.size()));
+  }
+  if (high_water_gauge_ != nullptr) {
+    high_water_gauge_->update_max(static_cast<double>(high_water_));
+  }
+}
+
 uint64_t BoundedPacketQueue::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dropped_;
@@ -92,9 +116,33 @@ size_t BoundedPacketQueue::high_water() const {
 
 IngestRuntime::IngestRuntime(Options opts, ScorerFactory factory,
                              AlertSink* sink)
-    : opts_(opts), factory_(std::move(factory)), sink_(sink) {
+    : opts_(std::move(opts)), factory_(std::move(factory)), sink_(sink) {
   if (opts_.consumers == 0) opts_.consumers = 1;
   if (opts_.consumer_batch == 0) opts_.consumer_batch = 1;
+  // Core accounting always lives in registry counters (the IngestStats
+  // façade reads them back); the extended instruments — queue gauges and
+  // per-stage latency histograms, with their clock reads — only run when
+  // the embedder gave us a registry to publish into.
+  extended_ = opts_.registry != nullptr;
+  reg_ = extended_ ? opts_.registry : &local_reg_;
+  const std::string& p = opts_.instrument_prefix;
+  enqueued_ = &reg_->counter(p + "enqueued");
+  dropped_ = &reg_->counter(p + "dropped");
+  parse_skipped_ = &reg_->counter(p + "parse_skipped");
+  scored_ = &reg_->counter(p + "scored");
+  alerted_ = &reg_->counter(p + "alerted");
+  if (extended_) {
+    queue_depth_ = &reg_->gauge(p + "queue.depth");
+    queue_high_water_ = &reg_->gauge(p + "queue.high_water");
+    extract_ns_ = &reg_->histogram(p + "stage.extract_ns");
+    score_ns_ = &reg_->histogram(p + "stage.score_ns");
+    flush_ns_ = &reg_->histogram(p + "stage.flush_ns");
+  }
+  // stats() before the first run() must read zero even when another
+  // runtime already bumped these (shared registry, shared prefix).
+  base_ = Baseline{enqueued_->value(), dropped_->value(),
+                   parse_skipped_->value(), scored_->value(),
+                   alerted_->value()};
 }
 
 void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
@@ -103,7 +151,12 @@ void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
   // are claimed in batches (one queue lock per batch), scored without any
   // shared state, and sink records plus stats counters are published once
   // per batch. Buffers are reused across batches, so the steady-state loop
-  // performs no allocation.
+  // performs no allocation. Telemetry is also per-batch — four clock reads
+  // and a handful of relaxed adds per batch, never per packet.
+  using Clock = std::chrono::steady_clock;
+  const auto ns_between = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::nano>(b - a).count();
+  };
   struct Scored {
     netio::PacketView view;
     double score = 0.0;
@@ -111,18 +164,29 @@ void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
     bool alerted = false;
   };
   std::vector<netio::SourcePacket> batch;
+  std::vector<netio::PacketView> parsed;
   std::vector<Scored> pending;
   batch.reserve(opts_.consumer_batch);
+  parsed.reserve(opts_.consumer_batch);
   pending.reserve(opts_.consumer_batch);
   while (queue.pop_batch(batch, opts_.consumer_batch) > 0) {
     uint64_t skipped = 0, scored = 0, alerted = 0;
+    Clock::time_point t0, t1, t2;
+    // Stage 1 — extract: parse the whole batch (views borrow the packet
+    // bytes in `batch`, which outlives the flush below).
+    if (extended_) t0 = Clock::now();
+    parsed.clear();
     for (netio::SourcePacket& sp : batch) {
-      auto parsed = netio::parse_packet(sp.pkt, link, sp.capture_index);
-      if (!parsed.ok()) {
+      auto p = netio::parse_packet(sp.pkt, link, sp.capture_index);
+      if (!p.ok()) {
         ++skipped;
         continue;
       }
-      const netio::PacketView& view = parsed.value();
+      parsed.push_back(p.value());
+    }
+    if (extended_) t1 = Clock::now();
+    // Stage 2 — score, in consumption order (scorer state is per-consumer).
+    for (const netio::PacketView& view : parsed) {
       const double score = scorer.score(view);
       const double threshold = scorer.threshold();
       const bool is_alert = score > threshold;
@@ -132,9 +196,11 @@ void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
         pending.push_back(Scored{view, score, threshold, is_alert});
       }
     }
-    if (skipped != 0) parse_skipped_.fetch_add(skipped, std::memory_order_relaxed);
-    if (scored != 0) scored_.fetch_add(scored, std::memory_order_relaxed);
-    if (alerted != 0) alerted_.fetch_add(alerted, std::memory_order_relaxed);
+    if (extended_) t2 = Clock::now();
+    if (skipped != 0) parse_skipped_->add(skipped);
+    if (scored != 0) scored_->add(scored);
+    if (alerted != 0) alerted_->add(alerted);
+    // Stage 3 — flush the batch's sink records.
     if (!pending.empty()) {
       std::lock_guard<std::mutex> lock(sink_mu_);
       for (const Scored& p : pending) {
@@ -146,15 +212,28 @@ void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
       }
     }
     pending.clear();
+    if (extended_) {
+      const Clock::time_point t3 = Clock::now();
+      // extract/score samples are the batch's mean per-packet cost; flush
+      // is the whole batch's sink hand-off (it is per-batch by design).
+      if (!batch.empty()) {
+        extract_ns_->record(ns_between(t0, t1) /
+                            static_cast<double>(batch.size()));
+      }
+      if (!parsed.empty()) {
+        score_ns_->record(ns_between(t1, t2) /
+                          static_cast<double>(parsed.size()));
+      }
+      flush_ns_->record(ns_between(t2, t3));
+    }
   }
 }
 
 Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
-  enqueued_.store(0);
-  parse_skipped_.store(0);
-  scored_.store(0);
-  alerted_.store(0);
-  dropped_snapshot_ = 0;
+  // Per-run façade semantics over cumulative instruments: re-baseline now.
+  base_ = Baseline{enqueued_->value(), dropped_->value(),
+                   parse_skipped_->value(), scored_->value(),
+                   alerted_->value()};
   high_water_snapshot_ = 0;
   stop_.store(false);
 
@@ -169,6 +248,12 @@ Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
   }
 
   BoundedPacketQueue queue(opts_.queue_capacity, opts_.overflow);
+  if (extended_) {
+    // Live queue instruments: depth, high-water, and drops update under
+    // the queue's own lock, so scrapers see them mid-run (the historic
+    // snapshots only materialized after run() returned).
+    queue.attach_telemetry(queue_depth_, queue_high_water_, dropped_);
+  }
   const netio::LinkType link = source.link();
 
   // Consumers follow the parallel.h exception convention: the first failure
@@ -191,12 +276,14 @@ Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
   netio::SourcePacket sp;
   while (!stop_.load(std::memory_order_relaxed) && source.next(sp)) {
     if (!queue.push(std::move(sp))) break;  // closed: consumer died or stop
-    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    enqueued_->add(1);
   }
   queue.close();
   for (auto& t : threads) t.join();
 
-  dropped_snapshot_ = queue.dropped();
+  // With attached telemetry the queue streamed drops into the counter
+  // live; otherwise fold them in now.
+  if (!extended_) dropped_->add(queue.dropped());
   high_water_snapshot_ = queue.high_water();
   for (auto& err : errors) {
     if (err) std::rethrow_exception(err);
@@ -206,11 +293,11 @@ Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
 
 IngestStats IngestRuntime::stats() const {
   IngestStats s;
-  s.enqueued = enqueued_.load(std::memory_order_relaxed);
-  s.dropped = dropped_snapshot_;
-  s.parse_skipped = parse_skipped_.load(std::memory_order_relaxed);
-  s.scored = scored_.load(std::memory_order_relaxed);
-  s.alerted = alerted_.load(std::memory_order_relaxed);
+  s.enqueued = enqueued_->value() - base_.enqueued;
+  s.dropped = dropped_->value() - base_.dropped;
+  s.parse_skipped = parse_skipped_->value() - base_.parse_skipped;
+  s.scored = scored_->value() - base_.scored;
+  s.alerted = alerted_->value() - base_.alerted;
   s.queue_high_water = high_water_snapshot_;
   return s;
 }

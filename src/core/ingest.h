@@ -27,6 +27,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/stream.h"
 #include "netio/source.h"
 
@@ -64,11 +65,22 @@ class BoundedPacketQueue {
   /// fail, and blocked producers/consumers wake up.
   void close();
 
+  /// Mirror queue state into telemetry instruments: `depth` tracks the live
+  /// queue length, `high_water` its running maximum, and `dropped` counts
+  /// drop-oldest evictions — all updated under the queue lock the operation
+  /// already holds, so scrapers see them while a run is in flight (the old
+  /// IngestStats snapshots only updated after the run finished). Any
+  /// pointer may be null.
+  void attach_telemetry(telemetry::Gauge* depth, telemetry::Gauge* high_water,
+                        telemetry::Counter* dropped);
+
   size_t capacity() const { return capacity_; }
   uint64_t dropped() const;
   size_t high_water() const;
 
  private:
+  void note_size_locked();  // update depth/high-water mirrors under mu_
+
   const size_t capacity_;
   const OverflowPolicy policy_;
   mutable std::mutex mu_;
@@ -78,12 +90,23 @@ class BoundedPacketQueue {
   uint64_t dropped_ = 0;
   size_t high_water_ = 0;
   bool closed_ = false;
+  telemetry::Gauge* depth_gauge_ = nullptr;
+  telemetry::Gauge* high_water_gauge_ = nullptr;
+  telemetry::Counter* dropped_counter_ = nullptr;
 };
 
 /// Counters exported by a runtime run. `enqueued` counts packets accepted
 /// from the source; `dropped` those evicted by kDropOldest; `parse_skipped`
 /// malformed frames consumers could not parse; `scored` packets that went
 /// through a scorer; `alerted` scores above threshold.
+///
+/// DEPRECATION NOTE: this struct is now a compatibility façade over the
+/// unified telemetry API (common/telemetry.h). IngestRuntime keeps its
+/// counts in registry Counters (`<prefix>enqueued`, `<prefix>dropped`,
+/// `<prefix>parse_skipped`, `<prefix>scored`, `<prefix>alerted`) plus queue
+/// gauges and per-stage latency histograms; stats() reads those instruments
+/// back (per-run deltas against a baseline captured at run start). New
+/// consumers should scrape Options::registry instead.
 struct IngestStats {
   uint64_t enqueued = 0;
   uint64_t dropped = 0;
@@ -193,6 +216,17 @@ class IngestRuntime {
     /// packet-at-a-time behaviour (same alerts either way; only lock
     /// amortization and sink-delivery latency change).
     size_t consumer_batch = 64;
+    /// Where this runtime's instruments live. Default: the process-wide
+    /// registry, so a live gateway can be scraped mid-run. nullptr keeps
+    /// the core accounting counters in a runtime-local registry (stats()
+    /// still works) and skips the optional extras — queue gauges, stage
+    /// latency histograms, and their clock reads — which is the cheapest
+    /// mode and the baseline bench_telemetry measures overhead against.
+    /// Same shape as Engine::Options.
+    telemetry::Registry* registry = &telemetry::Registry::process();
+    /// Prepended to every instrument name this runtime records. Give each
+    /// embedded runtime its own prefix if several share one registry.
+    std::string instrument_prefix = "ingest.";
   };
 
   IngestRuntime(Options opts, ScorerFactory factory, AlertSink* sink);
@@ -207,8 +241,14 @@ class IngestRuntime {
   /// The queue is closed; consumers drain what is already buffered.
   void request_stop() { stop_.store(true, std::memory_order_relaxed); }
 
-  /// Statistics of the current (or last finished) run.
+  /// Statistics of the current (or last finished) run, read back from the
+  /// registry instruments as deltas against the run-start baseline (see the
+  /// IngestStats deprecation note).
   IngestStats stats() const;
+
+  /// The registry this runtime records into (the configured one, or the
+  /// runtime-local fallback when Options::registry was nullptr).
+  telemetry::Registry& registry() const { return *reg_; }
 
  private:
   void consume(size_t id, BoundedPacketQueue& queue, PacketScorer& scorer,
@@ -220,11 +260,28 @@ class IngestRuntime {
   std::atomic<bool> stop_{false};
   std::mutex sink_mu_;
 
-  std::atomic<uint64_t> enqueued_{0};
-  std::atomic<uint64_t> parse_skipped_{0};
-  std::atomic<uint64_t> scored_{0};
-  std::atomic<uint64_t> alerted_{0};
-  uint64_t dropped_snapshot_ = 0;
+  // Instruments (resolved once in the constructor; see Options::registry).
+  telemetry::Registry local_reg_;  // fallback when opts_.registry == nullptr
+  telemetry::Registry* reg_ = nullptr;
+  bool extended_ = false;  // queue gauges + stage histograms active
+  telemetry::Counter* enqueued_ = nullptr;
+  telemetry::Counter* dropped_ = nullptr;
+  telemetry::Counter* parse_skipped_ = nullptr;
+  telemetry::Counter* scored_ = nullptr;
+  telemetry::Counter* alerted_ = nullptr;
+  telemetry::Gauge* queue_depth_ = nullptr;
+  telemetry::Gauge* queue_high_water_ = nullptr;
+  telemetry::Histogram* extract_ns_ = nullptr;
+  telemetry::Histogram* score_ns_ = nullptr;
+  telemetry::Histogram* flush_ns_ = nullptr;
+
+  /// Counter values at run() start: stats() reports deltas so the façade
+  /// keeps its historic per-run semantics over cumulative instruments.
+  struct Baseline {
+    uint64_t enqueued = 0, dropped = 0, parse_skipped = 0, scored = 0,
+             alerted = 0;
+  };
+  Baseline base_;
   size_t high_water_snapshot_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/parallel.h"
+#include "common/telemetry.h"
 
 namespace lumen::eval {
 
@@ -56,7 +57,19 @@ void run_indexed(
     const std::function<std::string(size_t)>& describe, ResultStore& store,
     const RunCallback& on_run) {
   std::vector<std::optional<Result<Benchmark::RunOutput>>> results(n);
-  auto evaluate = [&](size_t i) { results[i].emplace(cell(i)); };
+  // Each grid cell records a wall-time span (detail = "algo on dataset")
+  // plus ok/error counters into the process registry; the span stack is
+  // thread-local, so pool workers trace their own cells. Telemetry never
+  // touches the results buffer, so the determinism contract holds.
+  telemetry::Registry& tel = telemetry::Registry::process();
+  telemetry::Counter& cells_ok = tel.counter("eval.cells");
+  telemetry::Counter& cells_err = tel.counter("eval.cell_errors");
+  auto evaluate = [&](size_t i) {
+    telemetry::Span span(&tel, "eval.cell", describe(i));
+    results[i].emplace(cell(i));
+    span.stop();
+    (results[i]->ok() ? cells_ok : cells_err).add(1);
+  };
   if (parallel) {
     parallel_for(0, n, evaluate, /*min_parallel=*/2);
   } else {

@@ -133,6 +133,69 @@ TEST(Engine, RunsPaperTemplateEndToEnd) {
   EXPECT_FALSE(report.value().profile_table().empty());
 }
 
+// The report's profile is rebuilt from the telemetry spans the run
+// recorded, so re-deriving it from a registry snapshot must reproduce the
+// same rows — and the spans must carry the op/output/bytes annotations.
+TEST(Engine, ProfileRoundTripsThroughTelemetrySnapshot) {
+  auto spec = PipelineSpec::parse(R"([
+    {"func": "field_extract", "input": None, "output": "Packets", "param": []},
+    {"func": "groupby", "input": ["Packets"], "output": "Grouped",
+     "flowid": ["srcip"]},
+    {"func": "apply_aggregates", "input": ["Grouped"], "output": "Features"},
+  ])");
+  ASSERT_TRUE(spec.ok());
+  telemetry::Registry reg;
+  Engine::Options opts;
+  opts.registry = &reg;
+  opts.instrument_prefix = "e.";
+  OpContext ctx = make_ctx();
+  auto report = Engine(opts).run(spec.value(), ctx);
+  ASSERT_TRUE(report.ok());
+  const PipelineReport& r = report.value();
+  ASSERT_EQ(r.profile.size(), 3u);
+  ASSERT_EQ(r.span_ids.size(), 3u);
+
+  const telemetry::Snapshot snap = reg.snapshot();
+  const std::vector<OpProfile> rebuilt =
+      profile_from_spans(snap, r.span_ids, "e.op.");
+  ASSERT_EQ(rebuilt.size(), r.profile.size());
+  for (size_t i = 0; i < rebuilt.size(); ++i) {
+    EXPECT_EQ(rebuilt[i].func, r.profile[i].func);
+    EXPECT_EQ(rebuilt[i].output, r.profile[i].output);
+    EXPECT_DOUBLE_EQ(rebuilt[i].seconds, r.profile[i].seconds);
+    EXPECT_EQ(rebuilt[i].output_bytes, r.profile[i].output_bytes);
+    EXPECT_EQ(rebuilt[i].freed_early, r.profile[i].freed_early);
+  }
+  // The spans carry the profile's semantics directly.
+  const telemetry::SpanRecord* first = snap.find_span(r.span_ids[0]);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->name, "e.op.field_extract");
+  EXPECT_EQ(first->detail, "Packets");
+  EXPECT_EQ(first->value, r.profile[0].output_bytes);
+  EXPECT_TRUE(first->flag);  // Packets was consumed and freed early
+  // Run-level instruments landed under the configured prefix.
+  EXPECT_EQ(snap.counter_value("e.ops"), 3u);
+  EXPECT_GT(snap.gauge_value("e.peak_bytes"), 0.0);
+}
+
+// registry = nullptr keeps telemetry run-local; the report must still be
+// fully populated.
+TEST(Engine, NullRegistryStillProfiles) {
+  auto spec = PipelineSpec::parse(R"([
+    {"func": "field_extract", "input": None, "output": "P", "param": []},
+    {"func": "groupby", "input": ["P"], "output": "G", "flowid": ["srcip"]},
+  ])");
+  ASSERT_TRUE(spec.ok());
+  Engine::Options opts;
+  opts.registry = nullptr;
+  OpContext ctx = make_ctx();
+  auto report = Engine(opts).run(spec.value(), ctx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().profile.size(), 2u);
+  EXPECT_GT(report.value().peak_bytes, 0u);
+  EXPECT_FALSE(report.value().profile_table().empty());
+}
+
 TEST(Engine, DeadValueEliminationFreesConsumedBindings) {
   auto spec = PipelineSpec::parse(R"([
     {"func": "field_extract", "input": None, "output": "Packets", "param": []},

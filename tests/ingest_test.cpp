@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/ingest.h"
 #include "netio/builder.h"
 #include "netio/parse.h"
@@ -440,6 +441,127 @@ TEST(Runtime, MultiConsumerBatchedFlushConservesAlerts) {
     EXPECT_EQ(sink.alerts().size(), stats.value().alerted);
     EXPECT_EQ(stats.value().alerted, expected_alerts);
   }
+}
+
+// Stress the queue's telemetry mirrors: producers racing drop-oldest
+// eviction against batched consumers must never lose a drop or high-water
+// update, and the attached instruments must agree with the queue's own
+// accounting once everything drains. Run under tools/check_tsan.sh to get
+// the race coverage this test exists for.
+TEST(BoundedQueue, TelemetryMirrorsStayExactUnderStress) {
+  telemetry::Registry reg;
+  telemetry::Gauge& depth = reg.gauge("q.depth");
+  telemetry::Gauge& high_water = reg.gauge("q.high_water");
+  telemetry::Counter& dropped = reg.counter("q.dropped");
+  BoundedPacketQueue q(8, OverflowPolicy::kDropOldest);
+  q.attach_telemetry(&depth, &high_water, &dropped);
+
+  constexpr size_t kProducers = 3, kConsumers = 3;
+  constexpr uint32_t kPerProducer = 4000;
+  std::atomic<uint64_t> popped{0};
+  std::vector<std::thread> producers, consumers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q] {
+      for (uint32_t i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.push(sp(i)));  // drop-oldest: push never fails
+      }
+    });
+  }
+  for (size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&q, &popped] {
+      std::vector<SourcePacket> batch;
+      while (q.pop_batch(batch, 16) > 0) {
+        popped.fetch_add(batch.size(), std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.close();
+  for (std::thread& t : consumers) t.join();
+
+  const uint64_t pushed = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load() + q.dropped(), pushed);
+  EXPECT_EQ(dropped.value(), q.dropped());
+  EXPECT_DOUBLE_EQ(high_water.value(), static_cast<double>(q.high_water()));
+  EXPECT_LE(q.high_water(), 8u);
+  EXPECT_GE(q.high_water(), 1u);
+  EXPECT_DOUBLE_EQ(depth.value(), 0.0);  // fully drained
+}
+
+// The IngestStats façade must read back exactly what the registry holds:
+// same run, same numbers, whether consumed through stats() or a Snapshot.
+TEST(Runtime, StatsRoundTripThroughTelemetrySnapshot) {
+  Trace t = make_trace(210);
+  TraceReplaySource src(t);
+  telemetry::Registry reg;
+  IngestRuntime::Options opts;
+  opts.consumers = 2;
+  opts.consumer_batch = 16;
+  opts.registry = &reg;
+  opts.instrument_prefix = "t.";
+  CollectingSink sink;
+  IngestRuntime rt(opts, payload_scorer(), &sink);
+  auto stats = rt.run(src);
+  ASSERT_TRUE(stats.ok());
+  const IngestStats& s = stats.value();
+  EXPECT_EQ(s.enqueued, 210u);
+  EXPECT_EQ(s.scored, 210u);
+
+  const telemetry::Snapshot snap = rt.registry().snapshot();
+  EXPECT_EQ(snap.counter_value("t.enqueued"), s.enqueued);
+  EXPECT_EQ(snap.counter_value("t.dropped"), s.dropped);
+  EXPECT_EQ(snap.counter_value("t.parse_skipped"), s.parse_skipped);
+  EXPECT_EQ(snap.counter_value("t.scored"), s.scored);
+  EXPECT_EQ(snap.counter_value("t.alerted"), s.alerted);
+  EXPECT_EQ(static_cast<size_t>(snap.gauge_value("t.queue.high_water")),
+            s.queue_high_water);
+  // Per-stage latency histograms saw the run (one sample per batch).
+  for (const char* name :
+       {"t.stage.extract_ns", "t.stage.score_ns", "t.stage.flush_ns"}) {
+    const telemetry::HistogramSample* h = snap.find_histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GT(h->count, 0u) << name;
+  }
+}
+
+// Consecutive runs on one runtime must each report per-run numbers even
+// though the underlying registry counters are cumulative.
+TEST(Runtime, StatsAreDeltasPerRun) {
+  Trace t = make_trace(140);
+  telemetry::Registry reg;
+  IngestRuntime::Options opts;
+  opts.registry = &reg;
+  IngestRuntime rt(opts, payload_scorer(), nullptr);
+  for (int run = 0; run < 2; ++run) {
+    TraceReplaySource src(t);
+    auto stats = rt.run(src);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().enqueued, 140u);
+    EXPECT_EQ(stats.value().scored, 140u);
+  }
+  // The registry itself is cumulative across both runs.
+  EXPECT_EQ(reg.snapshot().counter_value("ingest.scored"), 280u);
+}
+
+// Options.registry == nullptr (the uninstrumented baseline) must still
+// produce full, correct stats through the runtime-local registry.
+TEST(Runtime, NullRegistryStillAccounts) {
+  Trace t = make_trace(63);
+  TraceReplaySource src(t);
+  IngestRuntime::Options opts;
+  opts.registry = nullptr;
+  opts.queue_capacity = 4;
+  opts.overflow = OverflowPolicy::kDropOldest;
+  IngestRuntime rt(opts, payload_scorer(), nullptr);
+  auto stats = rt.run(src);
+  ASSERT_TRUE(stats.ok());
+  const IngestStats& s = stats.value();
+  EXPECT_EQ(s.enqueued, 63u);
+  EXPECT_EQ(s.scored + s.parse_skipped, s.enqueued - s.dropped);
+  EXPECT_GE(s.queue_high_water, 1u);
+  // Extended instruments are skipped in this mode.
+  EXPECT_EQ(rt.registry().snapshot().find_histogram("ingest.stage.extract_ns"),
+            nullptr);
 }
 
 TEST(Runtime, ConsumerExceptionPropagatesToCaller) {

@@ -5,6 +5,8 @@
 #    path must never make adding consumers a loss).
 #  * bench_ml — fail if any model's batched dense-kernel scoring path is
 #    slower than the pre-PR per-row path it replaced.
+#  * bench_telemetry — fail if full instrumentation costs the ingest
+#    runtime more than 2% of its uninstrumented drain throughput.
 # Usage:
 #   tools/check_bench.sh [build-dir]
 set -euo pipefail
@@ -13,7 +15,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
 cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j --target bench_ingest bench_ml
+cmake --build "$BUILD" -j --target bench_ingest bench_ml bench_telemetry
 
 "$BUILD/bench/bench_ingest"
 
@@ -68,3 +70,22 @@ done < <(grep '"speedup"' "$ML_JSON")
 [ "$FAILED" -eq 0 ] || exit 1
 
 echo "check_bench: all batched model paths at or above per-row throughput"
+
+# --- bench_telemetry: instrumentation must cost <= 2% of drain rate ------
+"$BUILD/bench/bench_telemetry"
+
+TEL_JSON="BENCH_telemetry.json"
+[ -f "$TEL_JSON" ] || { echo "check_bench: $TEL_JSON not produced" >&2; exit 1; }
+
+OVERHEAD="$(sed -n 's/.*"overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' "$TEL_JSON")"
+[ -n "$OVERHEAD" ] || {
+  echo "check_bench: could not parse overhead_pct from $TEL_JSON" >&2
+  exit 1
+}
+
+if awk -v o="$OVERHEAD" 'BEGIN { exit !(o > 2.0) }'; then
+  echo "check_bench: FAIL — telemetry overhead ${OVERHEAD}% exceeds 2%" >&2
+  exit 1
+fi
+
+echo "check_bench: telemetry overhead ${OVERHEAD}% within the 2% budget"
