@@ -4,10 +4,13 @@
 // per-packet cost into extract / score / queue stages; checks that paced and
 // unpaced replay of the same capture alert identically; and stresses a
 // multi-consumer run over a fault-injecting source. Emits BENCH_ingest.json.
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
@@ -96,6 +99,7 @@ int main() {
   // extra cost is queue/thread overhead.
   double extract_ns = 0.0, score_ns = 0.0, queue_ns = 0.0;
   double unpaced_peak = 0.0;  // 1-consumer full-runtime drain rate
+  double extract_s_best = 1e30;  // extract-only pass, reused by the online section
   {
     double extract_s = 1e30, scored_s = 1e30, runtime_s = 1e30;
     std::vector<double> row;
@@ -125,6 +129,7 @@ int main() {
       runtime_s = std::min(runtime_s, seconds_since(t0));
     }
     const double n = static_cast<double>(sweep_packets);
+    extract_s_best = extract_s;
     extract_ns = extract_s / n * 1e9;
     score_ns = std::max(0.0, (scored_s - extract_s) / n * 1e9);
     queue_ns = std::max(0.0, (runtime_s - scored_s) / n * 1e9);
@@ -134,6 +139,176 @@ int main() {
                 extract_ns, score_ns, queue_ns);
     std::printf("unpaced 1-consumer drain rate: %.0f pkts/s\n\n",
                 unpaced_peak);
+  }
+
+  // Online micro-batch sweep: the same stream scored through the fused
+  // OnlineKitsune::score_packets path in fixed-size micro-batches. Each
+  // point is the score-only marginal ns/pkt (the extract-only pass above
+  // subtracted out); batch 1 is the fused path driven row-at-a-time, the
+  // apples-to-apples baseline the check_bench gate compares against.
+  const size_t default_score_batch = core::IngestRuntime::Options{}.score_batch;
+  struct OnlinePoint {
+    size_t batch = 0;
+    double ns = 0.0;
+  };
+  std::vector<OnlinePoint> online_sweep;
+  double row_score_ns = 0.0, batched_score_ns = 0.0;
+  {
+    std::vector<double> scores(
+        std::max<size_t>(default_score_batch, 64), 0.0);
+    std::printf("online micro-batch sweep (score-only ns/pkt):\n");
+    for (size_t b : {size_t{1}, size_t{8}, size_t{16}, size_t{32},
+                     size_t{64}}) {
+      double best = 1e30;
+      for (int rep = 0; rep < kReps; ++rep) {
+        core::OnlineKitsune det = proto;
+        const Clock::time_point t0 = Clock::now();
+        for (size_t lo = 0; lo < big.view.size(); lo += b) {
+          const size_t n = std::min(b, big.view.size() - lo);
+          det.score_packets({big.view.data() + lo, n}, scores.data());
+        }
+        best = std::min(best, seconds_since(t0));
+      }
+      const double ns = std::max(
+          0.0, (best - extract_s_best) / static_cast<double>(sweep_packets) *
+                   1e9);
+      online_sweep.push_back(OnlinePoint{b, ns});
+      if (b == 1) row_score_ns = ns;
+      if (b == default_score_batch) batched_score_ns = ns;
+      std::printf("  score_batch=%-3zu %.0f ns/pkt\n", b, ns);
+    }
+    std::printf("  default (%zu): %.0f ns/pkt, %.2fx vs batch=1, "
+                "%.2fx vs per-row scorer\n\n",
+                default_score_batch, batched_score_ns,
+                batched_score_ns > 0.0 ? row_score_ns / batched_score_ns : 0.0,
+                batched_score_ns > 0.0 ? score_ns / batched_score_ns : 0.0);
+  }
+
+  // Per-model online breakdown over the pre-extracted feature matrix:
+  // row-at-a-time scoring vs the fused score_rows path at the default
+  // micro-batch, model math only (no extraction in either number).
+  struct ModelOnline {
+    const char* name = nullptr;
+    double row_ns = 0.0;
+    double batched_ns = 0.0;
+  };
+  std::vector<ModelOnline> online_models;
+  {
+    core::KitsuneExtractor ex;
+    const size_t fdim = ex.dim();
+    std::vector<double> feats(sweep_packets * fdim);
+    std::vector<double> row;
+    for (size_t i = 0; i < big.view.size(); ++i) {
+      ex.process(big.view[i], row);
+      std::copy(row.begin(), row.end(),
+                feats.begin() + static_cast<std::ptrdiff_t>(i * fdim));
+    }
+    const double n = static_cast<double>(sweep_packets);
+    std::vector<double> out(default_score_batch, 0.0);
+
+    const auto time_model =
+        [&](auto&& row_fn, auto&& rows_fn) -> std::pair<double, double> {
+      double row_s = 1e30, rows_s = 1e30;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const Clock::time_point t0 = Clock::now();
+        for (size_t i = 0; i < sweep_packets; ++i) {
+          row_fn(feats.data() + i * fdim);
+        }
+        row_s = std::min(row_s, seconds_since(t0));
+      }
+      for (int rep = 0; rep < kReps; ++rep) {
+        const Clock::time_point t0 = Clock::now();
+        for (size_t lo = 0; lo < sweep_packets; lo += default_score_batch) {
+          const size_t m = std::min(default_score_batch, sweep_packets - lo);
+          rows_fn(feats.data() + lo * fdim, m, out.data());
+        }
+        rows_s = std::min(rows_s, seconds_since(t0));
+      }
+      return {row_s / n * 1e9, rows_s / n * 1e9};
+    };
+
+    {
+      const ml::KitNet& kn = proto.detector();
+      ml::KitNet::ScoreScratch rs;
+      ml::KitNet::RowsScratch bs;
+      const auto [row_ns, rows_ns] = time_model(
+          [&](const double* x) {
+            (void)kn.score_row({x, fdim}, rs);
+          },
+          [&](const double* x, size_t m, double* o) {
+            kn.score_rows(x, m, fdim, o, bs);
+          });
+      online_models.push_back(ModelOnline{"KitNET", row_ns, rows_ns});
+    }
+    {
+      // A single full-width autoencoder (the other online-capable model),
+      // trained briefly on the grace region's features.
+      ml::AutoEncoderCore ae(fdim, 0.75, 0.1, 77);
+      const size_t train_rows = std::min<size_t>(sweep_packets, 2000);
+      for (size_t i = 0; i < train_rows; ++i) {
+        ae.train_sample({feats.data() + i * fdim, fdim});
+      }
+      ae.seal();
+      ml::AutoEncoderCore::ScoreScratch rs;
+      ml::AutoEncoderCore::RowsScratch bs;
+      const auto [row_ns, rows_ns] = time_model(
+          [&](const double* x) {
+            (void)ae.score_sample({x, fdim}, rs);
+          },
+          [&](const double* x, size_t m, double* o) {
+            ae.score_rows(x, m, fdim, o, bs);
+          });
+      online_models.push_back(ModelOnline{"AutoEncoder", row_ns, rows_ns});
+    }
+    for (const ModelOnline& m : online_models) {
+      std::printf("online model %s: per-row %.0f ns, micro-batched %.0f ns "
+                  "(%.2fx)\n",
+                  m.name, m.row_ns, m.batched_ns,
+                  m.batched_ns > 0.0 ? m.row_ns / m.batched_ns : 0.0);
+    }
+    std::printf("\n");
+  }
+
+  // Alert-set identity: a single-consumer run must emit bit-identical
+  // per-packet scores and alert flags whether it scores row-at-a-time
+  // (score_batch=1) or in default micro-batches. This is the acceptance
+  // check for the micro-batched consumer.
+  struct ScoreRecord {
+    uint32_t index = 0;
+    double score = 0.0;
+    bool alerted = false;
+    bool operator==(const ScoreRecord&) const = default;
+  };
+  class ScoreRecorder : public core::AlertSink {
+   public:
+    void on_alert(const core::Alert&) override {}
+    void on_packet(const netio::PacketView& v, double s, bool a) override {
+      recs.push_back(ScoreRecord{v.index, s, a});
+    }
+    std::vector<ScoreRecord> recs;
+  };
+  bool alerts_identical = false;
+  {
+    auto record_run = [&](size_t score_batch, std::vector<ScoreRecord>& out) {
+      netio::TraceReplaySource src(big, netio::ReplayOptions{});
+      core::IngestRuntime::Options o;
+      o.score_batch = score_batch;
+      ScoreRecorder sink;
+      core::IngestRuntime rt(o, kitsune_factory, &sink);
+      auto st = rt.run(src);
+      if (!st.ok()) return false;
+      out = std::move(sink.recs);
+      return true;
+    };
+    std::vector<ScoreRecord> rec_row, rec_batched;
+    alerts_identical = record_run(1, rec_row) &&
+                       record_run(default_score_batch, rec_batched) &&
+                       rec_row == rec_batched;
+    std::printf("row-at-a-time vs micro-batched consumer: %zu vs %zu packets "
+                "(%s)\n\n",
+                rec_row.size(), rec_batched.size(),
+                alerts_identical ? "bit-identical scores and alerts"
+                                 : "MISMATCH (BUG)");
   }
 
   // Consumer sweep: offer the stream at a fixed kOfferedRate line rate
@@ -296,6 +471,36 @@ int main() {
   w.end();
   w.kv_f("unpaced_single_consumer_pkts_per_sec", unpaced_peak, 1);
   w.kv_f("offered_pkts_per_sec", kOfferedRate, 1);
+  w.begin_inline_object("online");
+  w.kv_u64("score_batch_default", default_score_batch);
+  w.kv_f("row_score_ns_per_pkt", row_score_ns, 1);
+  w.kv_f("batched_score_ns_per_pkt", batched_score_ns, 1);
+  w.kv_f("speedup_vs_batch1", batched_score_ns > 0.0
+                                  ? row_score_ns / batched_score_ns
+                                  : 0.0,
+         2);
+  w.kv_f("speedup_vs_perrow_scorer",
+         batched_score_ns > 0.0 ? score_ns / batched_score_ns : 0.0, 2);
+  w.kv_bool("alerts_identical", alerts_identical);
+  w.end();
+  w.begin_array("online_sweep");
+  for (const OnlinePoint& p : online_sweep) {
+    w.begin_inline_object();
+    w.kv_u64("score_batch", p.batch);
+    w.kv_f("score_ns_per_pkt", p.ns, 1);
+    w.end();
+  }
+  w.end();
+  w.begin_array("online_models");
+  for (const ModelOnline& m : online_models) {
+    w.begin_inline_object();
+    w.kv_str("model", m.name);
+    w.kv_f("row_ns_per_row", m.row_ns, 1);
+    w.kv_f("batched_ns_per_row", m.batched_ns, 1);
+    w.kv_f("speedup", m.batched_ns > 0.0 ? m.row_ns / m.batched_ns : 0.0, 2);
+    w.end();
+  }
+  w.end();
   w.begin_array("configs");
   for (const ConfigResult& r : configs) {
     w.begin_inline_object();
@@ -326,5 +531,5 @@ int main() {
     std::fclose(f);
     std::printf("[artifact] BENCH_ingest.json\n");
   }
-  return (deterministic && fault_accounted) ? 0 : 1;
+  return (deterministic && fault_accounted && alerts_identical) ? 0 : 1;
 }

@@ -119,6 +119,7 @@ IngestRuntime::IngestRuntime(Options opts, ScorerFactory factory,
     : opts_(std::move(opts)), factory_(std::move(factory)), sink_(sink) {
   if (opts_.consumers == 0) opts_.consumers = 1;
   if (opts_.consumer_batch == 0) opts_.consumer_batch = 1;
+  if (opts_.score_batch == 0) opts_.score_batch = 1;
   // Core accounting always lives in registry counters (the IngestStats
   // façade reads them back); the extended instruments — queue gauges and
   // per-stage latency histograms, with their clock reads — only run when
@@ -137,6 +138,7 @@ IngestRuntime::IngestRuntime(Options opts, ScorerFactory factory,
     extract_ns_ = &reg_->histogram(p + "stage.extract_ns");
     score_ns_ = &reg_->histogram(p + "stage.score_ns");
     flush_ns_ = &reg_->histogram(p + "stage.flush_ns");
+    score_batch_rows_ = &reg_->histogram(p + "score.batch_rows");
   }
   // stats() before the first run() must read zero even when another
   // runtime already bumped these (shared registry, shared prefix).
@@ -165,9 +167,11 @@ void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
   };
   std::vector<netio::SourcePacket> batch;
   std::vector<netio::PacketView> parsed;
+  std::vector<double> scores;
   std::vector<Scored> pending;
   batch.reserve(opts_.consumer_batch);
   parsed.reserve(opts_.consumer_batch);
+  scores.reserve(opts_.consumer_batch);
   pending.reserve(opts_.consumer_batch);
   while (queue.pop_batch(batch, opts_.consumer_batch) > 0) {
     uint64_t skipped = 0, scored = 0, alerted = 0;
@@ -186,9 +190,24 @@ void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
     }
     if (extended_) t1 = Clock::now();
     // Stage 2 — score, in consumption order (scorer state is per-consumer).
-    for (const netio::PacketView& view : parsed) {
-      const double score = scorer.score(view);
-      const double threshold = scorer.threshold();
+    // The claimed batch is scored in score_batch-row micro-batches through
+    // the fused PacketScorer::score_batch path; per-packet alert ordering
+    // is preserved because scores land positionally in `scores` and the
+    // alert/sink pass below walks them in consumption order. A tail chunk
+    // is just a smaller micro-batch — the batch-invariance contract makes
+    // its scores identical either way.
+    scores.resize(parsed.size());
+    for (size_t lo = 0; lo < parsed.size(); lo += opts_.score_batch) {
+      const size_t n = std::min(opts_.score_batch, parsed.size() - lo);
+      scorer.score_batch(
+          std::span<const netio::PacketView>(parsed.data() + lo, n),
+          scores.data() + lo);
+      if (extended_) score_batch_rows_->record(static_cast<double>(n));
+    }
+    const double threshold = scorer.threshold();
+    for (size_t i = 0; i < parsed.size(); ++i) {
+      const netio::PacketView& view = parsed[i];
+      const double score = scores[i];
       const bool is_alert = score > threshold;
       ++scored;
       if (is_alert) ++alerted;

@@ -25,6 +25,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "common/telemetry.h"
@@ -160,6 +161,18 @@ class PacketScorer {
   virtual ~PacketScorer() = default;
   virtual double score(const netio::PacketView& view) = 0;
   virtual double threshold() const = 0;
+
+  /// Score a micro-batch in capture order: out[i] = score of views[i], as
+  /// if score() had been called on each view in sequence. The consumer
+  /// loop always scores through this entry point (in Options::score_batch
+  /// chunks); scorers with a fused batch path override it. Contract for
+  /// overrides: results must not depend on how a fixed view sequence is
+  /// chopped into batches, so alert sets are invariant under score_batch
+  /// tuning. Default: a score() loop (trivially batch-invariant).
+  virtual void score_batch(std::span<const netio::PacketView> views,
+                           double* out) {
+    for (size_t i = 0; i < views.size(); ++i) out[i] = score(views[i]);
+  }
 };
 
 /// OnlineKitsune as a PacketScorer. Copies the (typically pre-trained)
@@ -173,6 +186,14 @@ class KitsuneScorer : public PacketScorer {
     return detector_.score_packet(view);
   }
   double threshold() const override { return detector_.threshold(); }
+
+  /// Fused micro-batch scoring: stage the batch's feature rows and ride
+  /// the packed SIMD kernels (see OnlineKitsune::score_packets for the
+  /// batch-invariance guarantee).
+  void score_batch(std::span<const netio::PacketView> views,
+                   double* out) override {
+    detector_.score_packets(views, out);
+  }
 
  private:
   OnlineKitsune detector_;
@@ -216,6 +237,12 @@ class IngestRuntime {
     /// packet-at-a-time behaviour (same alerts either way; only lock
     /// amortization and sink-delivery latency change).
     size_t consumer_batch = 64;
+    /// Rows per PacketScorer::score_batch call inside a claimed batch: the
+    /// micro-batch size of the fused SIMD scoring path. Scores and alert
+    /// sets are invariant under this knob (the score_batch contract); it
+    /// only tunes throughput. 1 scores row-at-a-time through the same
+    /// entry point — the baseline the bench/CI gate compares against.
+    size_t score_batch = 64;
     /// Where this runtime's instruments live. Default: the process-wide
     /// registry, so a live gateway can be scraped mid-run. nullptr keeps
     /// the core accounting counters in a runtime-local registry (stats()
@@ -274,6 +301,7 @@ class IngestRuntime {
   telemetry::Histogram* extract_ns_ = nullptr;
   telemetry::Histogram* score_ns_ = nullptr;
   telemetry::Histogram* flush_ns_ = nullptr;
+  telemetry::Histogram* score_batch_rows_ = nullptr;
 
   /// Counter values at run() start: stats() reports deltas so the façade
   /// keeps its historic per-run semantics over cumulative instruments.

@@ -33,4 +33,25 @@ double OnlineKitsune::score_packet(const netio::PacketView& v) {
   return detector_.score_row(row_, scratch_);
 }
 
+void OnlineKitsune::score_packets(std::span<const netio::PacketView> packets,
+                                  double* out) {
+  const size_t m = packets.size();
+  if (m == 0) return;
+  // Stage: extraction is inherently sequential (every packet mutates the
+  // streaming statistics), so run it row by row into a contiguous block...
+  const size_t dim = extractor_.dim();
+  rows_block_.resize(m * dim);
+  for (size_t i = 0; i < m; ++i) {
+    extractor_.process(packets[i], row_);
+    std::copy(row_.begin(), row_.end(),
+              rows_block_.begin() + static_cast<std::ptrdiff_t>(i * dim));
+  }
+  if (!trained_) {
+    std::fill(out, out + m, 0.0);
+    return;
+  }
+  // ...then score the whole block through the fused packed-panel path.
+  detector_.score_rows(rows_block_.data(), m, dim, out, rows_scratch_);
+}
+
 }  // namespace lumen::core

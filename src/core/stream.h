@@ -37,12 +37,27 @@ class OnlineKitsune {
   /// packet, and returns its anomaly score (RMSE of the output AE).
   double score_packet(const netio::PacketView& v);
 
+  /// Micro-batched hot path: extract each packet in capture order (the
+  /// streaming statistics update sequentially, exactly as score_packet
+  /// would), stage the feature rows into one contiguous block, and score
+  /// it with a single fused KitNet::score_rows call. out must hold
+  /// packets.size() scores. Guarantee: splitting the same packet sequence
+  /// into different batch sizes yields bit-identical scores (the
+  /// score_rows / PackedDense contract), so alert sets do not depend on
+  /// how the consumer chops the stream. Note the fused path may differ
+  /// from score_packet's gemv math by ulps — compare batchings against
+  /// score_packets with single-packet spans, not against score_packet.
+  void score_packets(std::span<const netio::PacketView> packets, double* out);
+
   /// Convenience: score and compare against the calibrated threshold.
   bool process(const netio::PacketView& v) {
     return score_packet(v) > threshold_;
   }
 
   const KitsuneExtractor& extractor() const { return extractor_; }
+
+  /// The trained detector (for benches that want to time the model alone).
+  const ml::KitNet& detector() const { return detector_; }
 
  private:
   Options opts_;
@@ -52,6 +67,8 @@ class OnlineKitsune {
   bool trained_ = false;
   std::vector<double> row_;
   ml::KitNet::ScoreScratch scratch_;
+  std::vector<double> rows_block_;  // staged m x dim block for score_packets
+  ml::KitNet::RowsScratch rows_scratch_;
 };
 
 }  // namespace lumen::core

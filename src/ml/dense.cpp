@@ -141,6 +141,24 @@ void sq_dist_k(size_t rows, size_t n, const double* x, const double* y,
   }
 }
 
+void packed_apply_k(size_t m, size_t np, size_t k, const double* x,
+                    size_t ldx, const double* wt, const double* bias,
+                    double* y, size_t ldy) {
+  // Per element: y[i][j] = bias[j] + sum over l (sequential) — the fixed
+  // accumulation order the packed_apply contract promises, so row i's
+  // result never depends on m.
+  for (size_t i = 0; i < m; ++i) {
+    const double* xi = x + i * ldx;
+    double* yi = y + i * ldy;
+    for (size_t j = 0; j < np; ++j) yi[j] = bias[j];
+    for (size_t l = 0; l < k; ++l) {
+      const double xl = xi[l];
+      const double* wl = wt + l * np;
+      for (size_t j = 0; j < np; ++j) yi[j] += xl * wl[j];
+    }
+  }
+}
+
 }  // namespace scalar
 
 const Kernels& scalar_kernels() {
@@ -149,7 +167,7 @@ const Kernels& scalar_kernels() {
       scalar::gemv_k,   scalar::gemv_t_k,  scalar::ger_k,
       scalar::gemm_nt_k, scalar::gemm_nn_k, scalar::gemm_tn_k,
       scalar::sigmoid_k, scalar::relu_k,   scalar::exp_k,
-      scalar::sq_dist_k,
+      scalar::sq_dist_k, scalar::packed_apply_k,
   };
   return k;
 }
@@ -278,6 +296,35 @@ void sigmoid_sweep(size_t n, double* x) { active().sigmoid_sweep(n, x); }
 void relu_sweep(size_t n, double* x) { active().relu_sweep(n, x); }
 void exp_sweep(size_t n, double* x) { active().exp_sweep(n, x); }
 
+void packed_apply(size_t m, size_t n_pad, size_t k, const double* x,
+                  size_t ldx, const double* wt, const double* bias, double* y,
+                  size_t ldy) {
+  active().packed_apply(m, n_pad, k, x, ldx, wt, bias, y, ldy);
+}
+
+// ------------------------------------------------------------ PackedDense
+
+void PackedDense::pack(size_t out, size_t in, const double* w, size_t ldw,
+                       const double* bias) {
+  out_ = out;
+  in_ = in;
+  out_pad_ = (out + kPackPad - 1) / kPackPad * kPackPad;
+  wt_.assign(in_ * out_pad_, 0.0);
+  for (size_t o = 0; o < out_; ++o) {
+    const double* row = w + o * ldw;
+    for (size_t i = 0; i < in_; ++i) wt_[i * out_pad_ + o] = row[i];
+  }
+  bias_.assign(out_pad_, 0.0);
+  if (bias != nullptr) {
+    for (size_t o = 0; o < out_; ++o) bias_[o] = bias[o];
+  }
+}
+
+void PackedDense::apply(size_t m, const double* x, size_t ldx, double* y,
+                        size_t ldy) const {
+  packed_apply(m, out_pad_, in_, x, ldx, wt_.data(), bias_.data(), y, ldy);
+}
+
 void sq_dist(size_t rows, size_t n, const double* x, const double* y,
              size_t ldy, double* out) {
   active().sq_dist(rows, n, x, y, ldy, out);
@@ -296,6 +343,16 @@ void sq_dist_batch(size_t m, size_t r, size_t n, const double* x, size_t ldx,
                    const double* y, size_t ldy, const double* xn,
                    const double* yn, double* d, size_t ldd) {
   const Kernels& k = active();
+  // Crossover heuristic: the expansion's fixed costs (two norm passes, the
+  // GEMM setup, the finalize sweep) only amortize across enough query
+  // rows; tiny batches go straight to the direct-difference kernel, which
+  // is bit-identical to calling sq_dist once per row.
+  if (m < kSqDistBatchCrossover) {
+    for (size_t i = 0; i < m; ++i) {
+      k.sq_dist(r, n, x + i * ldx, y, ldy, d + i * ldd);
+    }
+    return;
+  }
   // Norms first (unless the caller precomputed them), then the cross term
   // as one GEMM: D = -2 * X Y^T, finalized with the norm sums.
   constexpr size_t kMaxStackNorms = 256;

@@ -407,6 +407,45 @@ void relu_k(size_t n, double* x) {
   for (; i < n; ++i) x[i] = std::max(0.0, x[i]);
 }
 
+// ------------------------------------------------------------ packed panel
+
+// Fused packed-layer kernel: wt is the pre-transposed k x np panel with np
+// a multiple of 4, so every column chunk is a full vector. C-row chunks
+// live in registers across the whole k loop (no per-l reload), and each
+// lane accumulates bias + sequential-k FMAs — a fixed per-element order,
+// so row i's result is independent of the batch size m (the packed_apply
+// contract; FMA contraction makes it differ from scalar by ulps only).
+void packed_apply_k(size_t m, size_t np, size_t k, const double* x,
+                    size_t ldx, const double* wt, const double* bias,
+                    double* y, size_t ldy) {
+  for (size_t i = 0; i < m; ++i) {
+    const double* xi = x + i * ldx;
+    double* yi = y + i * ldy;
+    size_t j = 0;
+    for (; j + 8 <= np; j += 8) {
+      __m256d acc0 = _mm256_loadu_pd(bias + j);
+      __m256d acc1 = _mm256_loadu_pd(bias + j + 4);
+      const double* wp = wt + j;
+      for (size_t l = 0; l < k; ++l) {
+        const __m256d xv = _mm256_set1_pd(xi[l]);
+        acc0 = _mm256_fmadd_pd(xv, _mm256_loadu_pd(wp + l * np), acc0);
+        acc1 = _mm256_fmadd_pd(xv, _mm256_loadu_pd(wp + l * np + 4), acc1);
+      }
+      _mm256_storeu_pd(yi + j, acc0);
+      _mm256_storeu_pd(yi + j + 4, acc1);
+    }
+    for (; j < np; j += 4) {
+      __m256d acc = _mm256_loadu_pd(bias + j);
+      const double* wp = wt + j;
+      for (size_t l = 0; l < k; ++l) {
+        acc = _mm256_fmadd_pd(_mm256_set1_pd(xi[l]),
+                              _mm256_loadu_pd(wp + l * np), acc);
+      }
+      _mm256_storeu_pd(yi + j, acc);
+    }
+  }
+}
+
 // --------------------------------------------------------------- distances
 
 void sq_dist_k(size_t rows, size_t n, const double* x, const double* y,
@@ -435,7 +474,7 @@ const Kernels& avx2_kernels_impl() {
   static const Kernels k = {
       dot_k,    axpy_k,    rot_k,    gemv_k,      gemv_t_k, ger_k,
       gemm_nt_k, gemm_nn_k, gemm_tn_k, sigmoid_k, relu_k,   exp_sweep_k,
-      sq_dist_k,
+      sq_dist_k, packed_apply_k,
   };
   return k;
 }

@@ -131,6 +131,11 @@ void KitNet::fit(const FeatureTable& X) {
     }
   }
 
+  // Training is done: pack every AE's weights for the fused score_rows
+  // path (the online hot path; the blocked score() keeps its GEMMs).
+  for (auto& ae : ensemble_) ae->seal();
+  output_->seal();
+
   // Calibrate through the same blocked path score() uses, so the threshold
   // and the scores it gates share the same kernel math. The benign rows
   // are gathered into a contiguous table first (benign_rows need not be a
@@ -187,6 +192,30 @@ void KitNet::score_block(const FeatureTable& X, size_t lo, size_t hi,
     for (size_t i = 0; i < m; ++i) scratch.rmses[i * n_cl + k] = scratch.col[i];
   }
   output_->score_batch(scratch.rmses.data(), m, n_cl, out, scratch.ae);
+}
+
+void KitNet::score_rows(const double* x, size_t m, size_t ldx, double* out,
+                        RowsScratch& scratch) const {
+  if (!output_) {
+    std::fill(out, out + m, 0.0);
+    return;
+  }
+  const size_t n_cl = clusters_.size();
+  scratch.rmses.resize(m * n_cl);
+  scratch.col.resize(m);
+  for (size_t k = 0; k < n_cl; ++k) {
+    const std::vector<size_t>& cl = clusters_[k];
+    scratch.sub.resize(m * cl.size());
+    for (size_t i = 0; i < m; ++i) {
+      const double* xi = x + i * ldx;
+      double* dst = scratch.sub.data() + i * cl.size();
+      for (size_t j = 0; j < cl.size(); ++j) dst[j] = xi[cl[j]];
+    }
+    ensemble_[k]->score_rows(scratch.sub.data(), m, cl.size(),
+                             scratch.col.data(), scratch.ae);
+    for (size_t i = 0; i < m; ++i) scratch.rmses[i * n_cl + k] = scratch.col[i];
+  }
+  output_->score_rows(scratch.rmses.data(), m, n_cl, out, scratch.ae);
 }
 
 std::vector<double> KitNet::score(const FeatureTable& X) const {

@@ -67,6 +67,24 @@ class KitNet : public Model {
   /// batched-vs-per-row equivalence tests and the BENCH_ml baseline.
   std::vector<double> score_perrow(const FeatureTable& X) const;
 
+  /// Buffers for the fused micro-batch path (score_rows).
+  struct RowsScratch {
+    std::vector<double> sub;    // m x |cluster| gathered feature subset
+    std::vector<double> col;    // m per-cluster RMSEs before the scatter
+    std::vector<double> rmses;  // m x n_clusters output-AE inputs
+    AutoEncoderCore::RowsScratch ae;
+  };
+
+  /// Fused micro-batch scoring for the online hot path: out[i] = score of
+  /// row i of the m x dim row-major block x (row stride ldx). Per-cluster
+  /// gather + packed encode/decode (fit() seals every AE into its
+  /// dense::PackedDense panels), with row i's result bit-identical no
+  /// matter how the stream is chopped into micro-batches — the live
+  /// consumer relies on this to keep alert sets independent of
+  /// Options::score_batch. An unfitted model scores zeros.
+  void score_rows(const double* x, size_t m, size_t ldx, double* out,
+                  RowsScratch& scratch) const;
+
  private:
   /// Agglomerative clustering on correlation distance, clusters capped at
   /// max_cluster_size (Kitsune's feature-mapping phase).

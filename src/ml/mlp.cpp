@@ -140,7 +140,10 @@ void Mlp::fit(const FeatureTable& X) {
     layers_.push_back(std::move(L));
     in_dim = d;
   }
-  if (X.rows == 0) return;
+  if (X.rows == 0) {
+    seal();
+    return;
+  }
 
   // Class-balanced sample weights.
   size_t n_pos = 0;
@@ -164,6 +167,53 @@ void Mlp::fit(const FeatureTable& X) {
                   delta_prev);
     }
   }
+  seal();
+}
+
+void Mlp::seal() {
+  packed_.resize(layers_.size());
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& L = layers_[li];
+    packed_[li].pack(L.out, L.in, L.w.data(), L.in, L.b.data());
+  }
+}
+
+void Mlp::score_rows(const double* x, size_t m, size_t ldx, double* out,
+                     RowsScratch& scratch) const {
+  if (packed_.empty()) {
+    std::fill(out, out + m, 0.0);
+    return;
+  }
+  const size_t cols = layers_.front().in;
+  scratch.z.resize(m * cols);
+  for (size_t i = 0; i < m; ++i) {
+    const double* xi = x + i * ldx;
+    double* zi = scratch.z.data() + i * cols;
+    for (size_t c = 0; c < cols; ++c) zi[c] = (xi[c] - mean_[c]) * inv_sd_[c];
+  }
+  std::vector<double>* cur = &scratch.z;
+  std::vector<double>* nxt = &scratch.a;
+  size_t ld = cols;
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const dense::PackedDense& P = packed_[li];
+    const size_t lp = P.padded_out();
+    nxt->resize(m * lp);
+    P.apply(m, cur->data(), ld, nxt->data(), lp);
+    // Per-row sweeps over the true (unpadded) width keep every row's
+    // activation math independent of the batch size m.
+    for (size_t i = 0; i < m; ++i) {
+      double* ai = nxt->data() + i * lp;
+      if (li + 1 == layers_.size()) {
+        dense::sigmoid_sweep(P.out_dim(), ai);
+      } else {
+        dense::relu_sweep(P.out_dim(), ai);
+      }
+    }
+    std::swap(cur, nxt);
+    if (nxt == &scratch.z) nxt = &scratch.b;
+    ld = lp;
+  }
+  for (size_t i = 0; i < m; ++i) out[i] = (*cur)[i * ld];
 }
 
 double Mlp::score_row(std::span<const double> x) const {
@@ -295,6 +345,7 @@ void AutoEncoderCore::normalize_into(std::span<const double> x,
 }
 
 double AutoEncoderCore::train_sample(std::span<const double> x) {
+  sealed_ = false;  // weights are about to change; score_rows repacks via seal()
   update_norm(x);
   normalize_into(x, tz_);
   const std::vector<double>& z = tz_;
@@ -398,6 +449,61 @@ void AutoEncoderCore::score_batch(const double* x, size_t m, size_t ldx,
   }
 }
 
+void AutoEncoderCore::seal() {
+  enc_.pack(hidden_, dim_, w1_.data(), dim_, b1_.data());
+  dec_.pack(dim_, hidden_, w2_.data(), hidden_, b2_.data());
+  sealed_ = true;
+}
+
+void AutoEncoderCore::score_rows(const double* x, size_t m, size_t ldx,
+                                 double* out, RowsScratch& scratch) const {
+  if (!sealed_) {
+    for (size_t i = 0; i < m; ++i) {
+      out[i] = score_sample(std::span<const double>(x + i * ldx, dim_),
+                            scratch.row);
+    }
+    return;
+  }
+  const size_t hp = enc_.padded_out();
+  const size_t dp = dec_.padded_out();
+  // Same hoisted-reciprocal normalization as score_batch; inv depends only
+  // on the (sealed) normalization ranges, never on m.
+  scratch.inv.resize(dim_);
+  for (size_t c = 0; c < dim_; ++c) {
+    const double range = norm_max_[c] - norm_min_[c];
+    scratch.inv[c] = range > 1e-12 ? 1.0 / range : 0.0;
+  }
+  scratch.z.resize(m * dim_);
+  for (size_t i = 0; i < m; ++i) {
+    const double* xi = x + i * ldx;
+    double* zi = scratch.z.data() + i * dim_;
+    for (size_t c = 0; c < dim_; ++c) {
+      zi[c] = std::clamp((xi[c] - norm_min_[c]) * scratch.inv[c], 0.0, 1.0);
+    }
+  }
+  scratch.h.resize(m * hp);
+  enc_.apply(m, scratch.z.data(), dim_, scratch.h.data(), hp);
+  // Activations sweep per row (true width, padded stride): the sweep
+  // kernels' vector/scalar split depends on the sweep length, so sweeping
+  // the whole m x hp block would make row results depend on m.
+  for (size_t i = 0; i < m; ++i) {
+    dense::sigmoid_sweep(hidden_, scratch.h.data() + i * hp);
+  }
+  scratch.y.resize(m * dp);
+  dec_.apply(m, scratch.h.data(), hp, scratch.y.data(), dp);
+  for (size_t i = 0; i < m; ++i) {
+    double* yi = scratch.y.data() + i * dp;
+    dense::sigmoid_sweep(dim_, yi);
+    const double* zi = scratch.z.data() + i * dim_;
+    double mse = 0.0;
+    for (size_t c = 0; c < dim_; ++c) {
+      const double e = yi[c] - zi[c];
+      mse += e * e;
+    }
+    out[i] = std::sqrt(mse / static_cast<double>(dim_));
+  }
+}
+
 // --------------------------------------------------- AutoEncoderDetector
 
 void AutoEncoderDetector::fit(const FeatureTable& X) {
@@ -407,6 +513,7 @@ void AutoEncoderDetector::fit(const FeatureTable& X) {
   for (size_t e = 0; e < cfg_.epochs; ++e) {
     for (size_t r : rows) ae_->train_sample(X.row(r));
   }
+  ae_->seal();
   // Calibrate through the same blocked path score() uses, so the threshold
   // and the scores it gates share bit-identical math.
   std::vector<double> s(rows.size(), 0.0);

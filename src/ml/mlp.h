@@ -13,6 +13,7 @@
 // batched-vs-per-row benchmark gate.
 #pragma once
 
+#include "ml/dense.h"
 #include "ml/model.h"
 
 namespace lumen::ml {
@@ -51,12 +52,30 @@ class Mlp : public Model {
   /// BENCH_ml baseline; not a production path.
   std::vector<double> score_perrow(const FeatureTable& X) const;
 
+  /// Buffers for the fused micro-batch path (score_rows).
+  struct RowsScratch {
+    std::vector<double> z;  // m x in standardized inputs
+    std::vector<double> a;  // ping (padded layer activations)
+    std::vector<double> b;  // pong
+  };
+
+  /// Fused micro-batch scoring over the packed layer weights (see
+  /// dense::PackedDense): out[i] = score of row i of the m x cols row-major
+  /// block x (row stride ldx). Activations sweep per row, so results are
+  /// bit-identical no matter how rows are grouped into batches. fit() packs
+  /// the layers; an unfitted model scores zeros.
+  void score_rows(const double* x, size_t m, size_t ldx, double* out,
+                  RowsScratch& scratch) const;
+
  private:
   struct Layer {
     size_t in = 0, out = 0;
     std::vector<double> w;  // out x in
     std::vector<double> b;  // out
   };
+
+  /// Pack every layer's weights for score_rows; called at the end of fit.
+  void seal();
 
   double forward(std::span<const double> x, std::vector<std::vector<double>>* acts) const;
   void fit_standardizer(const FeatureTable& X);
@@ -72,6 +91,7 @@ class Mlp : public Model {
 
   MlpConfig cfg_;
   std::vector<Layer> layers_;
+  std::vector<dense::PackedDense> packed_;  // one per layer, set by seal()
   std::vector<double> mean_, inv_sd_;
 };
 
@@ -97,6 +117,16 @@ class AutoEncoderCore {
     std::vector<double> inv;  // dim reciprocal normalization ranges
   };
 
+  /// Buffers for the fused micro-batch path (score_rows). Like ScoreScratch,
+  /// one scratch may be shared across cores of different dimensions.
+  struct RowsScratch {
+    std::vector<double> z;    // m x dim normalized inputs
+    std::vector<double> h;    // m x padded hidden activations
+    std::vector<double> y;    // m x padded reconstructions
+    std::vector<double> inv;  // dim reciprocal normalization ranges
+    ScoreScratch row;         // unsealed fallback
+  };
+
   /// One SGD step on x; returns the reconstruction RMSE *before* the update.
   double train_sample(std::span<const double> x);
 
@@ -112,6 +142,22 @@ class AutoEncoderCore {
   void score_batch(const double* x, size_t m, size_t ldx, double* out,
                    BatchScratch& scratch) const;
 
+  /// Pack the current weights into the PackedDense layout used by
+  /// score_rows. Called once when training finishes (the owning fit());
+  /// any later train_sample invalidates the seal. Packing is explicit —
+  /// not lazy — so the const score paths stay safe to call concurrently.
+  void seal();
+  bool sealed() const { return sealed_; }
+
+  /// Fused micro-batch scoring for the online hot path: out[i] =
+  /// reconstruction RMSE of row i of the m x dim block x (row stride ldx).
+  /// Runs encode/decode over the packed panels with per-row activation
+  /// sweeps, so row i's score is bit-identical no matter how the stream is
+  /// chopped into micro-batches (see the PackedDense contract). Falls back
+  /// to a score_sample loop when not sealed.
+  void score_rows(const double* x, size_t m, size_t ldx, double* out,
+                  RowsScratch& scratch) const;
+
   size_t dim() const { return dim_; }
   size_t hidden() const { return hidden_; }
 
@@ -125,6 +171,8 @@ class AutoEncoderCore {
   double lr_;
   std::vector<double> w1_, b1_;  // hidden x dim, hidden
   std::vector<double> w2_, b2_;  // dim x hidden, dim
+  dense::PackedDense enc_, dec_;  // packed w1/w2 panels (valid iff sealed_)
+  bool sealed_ = false;
   std::vector<double> norm_min_, norm_max_;
   bool norm_init_ = false;
   // Reused train_sample buffers (z, h, y, dy, dh, dvec); copying a core

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -351,6 +352,101 @@ TEST(DenseKernels, SqDistBatchMatchesDirect) {
   }
 }
 
+TEST(DenseKernels, SqDistBatchSmallBatchesFallBackBitIdentical) {
+  // Below the crossover, sq_dist_batch must route through the per-row
+  // kernel — bit-identical to calling sq_dist once per query row.
+  Rng rng(9);
+  static_assert(dense::kSqDistBatchCrossover > 1);
+  for (Backend be : runnable_backends()) {
+    ScopedBackend guard(be);
+    for (size_t m : {size_t{1}, size_t{3}, dense::kSqDistBatchCrossover - 1}) {
+      const size_t r = 57, n = 23;
+      const size_t ldx = n + 1, ldy = n + 2, ldd = r + 1;
+      const std::vector<double> x = random_vec(m * ldx, rng);
+      const std::vector<double> y = random_vec(r * ldy, rng);
+      std::vector<double> d(m * ldd, -1.0);
+      dense::sq_dist_batch(m, r, n, x.data(), ldx, y.data(), ldy, nullptr,
+                           nullptr, d.data(), ldd);
+      std::vector<double> ref(r, -1.0);
+      for (size_t i = 0; i < m; ++i) {
+        dense::sq_dist(r, n, x.data() + i * ldx, y.data(), ldy, ref.data());
+        for (size_t j = 0; j < r; ++j) {
+          EXPECT_EQ(d[i * ldd + j], ref[j]) << "m=" << m << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(DenseKernels, PackedDenseMatchesGemv) {
+  Rng rng(10);
+  for (Backend be : runnable_backends()) {
+    ScopedBackend guard(be);
+    for (size_t out : {size_t{1}, size_t{3}, size_t{8}, size_t{13}}) {
+      for (size_t in : {size_t{1}, size_t{7}, size_t{23}}) {
+        const size_t ldw = in + 2;
+        const std::vector<double> w = random_vec(out * ldw, rng);
+        const std::vector<double> bias = random_vec(out, rng);
+        dense::PackedDense p;
+        EXPECT_TRUE(p.empty());
+        p.pack(out, in, w.data(), ldw, bias.data());
+        EXPECT_FALSE(p.empty());
+        EXPECT_EQ(p.out_dim(), out);
+        EXPECT_EQ(p.in_dim(), in);
+        EXPECT_EQ(p.padded_out() % dense::kPackPad, size_t{0});
+        EXPECT_GE(p.padded_out(), out);
+
+        const size_t m = 6, ldx = in + 1, ldy = p.padded_out();
+        const std::vector<double> x = random_vec(m * ldx, rng);
+        std::vector<double> y(m * ldy, -1.0);
+        p.apply(m, x.data(), ldx, y.data(), ldy);
+        for (size_t i = 0; i < m; ++i) {
+          for (size_t o = 0; o < out; ++o) {
+            double ref = bias[o];
+            for (size_t c = 0; c < in; ++c) {
+              ref += w[o * ldw + c] * x[i * ldx + c];
+            }
+            expect_close(y[i * ldy + o], ref, 1e-12, 1e-12, "PackedDense");
+          }
+          // Padding columns carry zero weights and zero bias.
+          for (size_t o = out; o < p.padded_out(); ++o) {
+            EXPECT_EQ(y[i * ldy + o], 0.0);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DenseKernels, PackedDenseBatchSizeBitInvariant) {
+  // The whole micro-batched live path rests on this: chopping the same
+  // rows into different batch sizes must give bit-identical outputs.
+  Rng rng(11);
+  const size_t out = 11, in = 17, m = 29;
+  const std::vector<double> w = random_vec(out * in, rng);
+  const std::vector<double> bias = random_vec(out, rng);
+  dense::PackedDense p;
+  p.pack(out, in, w.data(), in, bias.data());
+  const size_t ldy = p.padded_out();
+  const std::vector<double> x = random_vec(m * in, rng);
+  for (Backend be : runnable_backends()) {
+    ScopedBackend guard(be);
+    std::vector<double> whole(m * ldy, -1.0);
+    p.apply(m, x.data(), in, whole.data(), ldy);
+    for (size_t chunk : {size_t{1}, size_t{4}, size_t{5}, size_t{16}}) {
+      std::vector<double> piecewise(m * ldy, -2.0);
+      for (size_t lo = 0; lo < m; lo += chunk) {
+        const size_t nrows = std::min(chunk, m - lo);
+        p.apply(nrows, x.data() + lo * in, in, piecewise.data() + lo * ldy,
+                ldy);
+      }
+      for (size_t i = 0; i < m * ldy; ++i) {
+        EXPECT_EQ(whole[i], piecewise[i]) << "chunk=" << chunk << " i=" << i;
+      }
+    }
+  }
+}
+
 // ------------------------------------------------- model-level equivalence
 
 FeatureTable labeled_set(size_t rows, size_t dims, uint64_t seed) {
@@ -430,6 +526,105 @@ TEST(BatchedEquivalence, KitNet) {
       expect_close(model.score_row(X.row(r), scratch), s[r], 1e-9, 1e-9,
                    "KitNet::score_row");
     }
+  }
+}
+
+TEST(BatchedEquivalence, AutoEncoderScoreRowsSealedAndBatchInvariant) {
+  Rng rng(19);
+  const size_t dim = 9, m = 47;
+  AutoEncoderCore ae(dim, 0.75, 0.1, 21);
+  std::vector<double> sample(dim);
+  for (size_t s = 0; s < 300; ++s) {
+    for (double& v : sample) v = rng.normal(0.0, 1.0);
+    ae.train_sample(sample);
+  }
+  EXPECT_FALSE(ae.sealed());  // train_sample invalidates any seal
+  ae.seal();
+  EXPECT_TRUE(ae.sealed());
+  const std::vector<double> x = random_vec(m * dim, rng);
+  for (Backend be : runnable_backends()) {
+    ScopedBackend guard(be);
+    AutoEncoderCore::RowsScratch scratch;
+    std::vector<double> whole(m, -1.0);
+    ae.score_rows(x.data(), m, dim, whole.data(), scratch);
+    // Chopping the stream differently must not move a single bit.
+    for (size_t chunk : {size_t{1}, size_t{8}, size_t{16}, size_t{64}}) {
+      std::vector<double> piecewise(m, -2.0);
+      for (size_t lo = 0; lo < m; lo += chunk) {
+        const size_t n = std::min(chunk, m - lo);
+        ae.score_rows(x.data() + lo * dim, n, dim, piecewise.data() + lo,
+                      scratch);
+      }
+      for (size_t i = 0; i < m; ++i) {
+        EXPECT_EQ(whole[i], piecewise[i]) << "chunk=" << chunk << " i=" << i;
+      }
+    }
+    // And the fused path agrees with the per-row reference numerically.
+    AutoEncoderCore::ScoreScratch row_scratch;
+    for (size_t i = 0; i < m; ++i) {
+      expect_close(whole[i],
+                   ae.score_sample(
+                       std::span<const double>(x.data() + i * dim, dim),
+                       row_scratch),
+                   1e-9, 1e-9, "score_rows vs score_sample");
+    }
+  }
+}
+
+TEST(BatchedEquivalence, KitNetScoreRowsBatchInvariant) {
+  const FeatureTable X = labeled_set(300, 12, 22);
+  KitNet::Config cfg;
+  cfg.fm_grace = 100;
+  cfg.epochs = 1;
+  KitNet model(cfg);
+  model.fit(X);
+  for (Backend be : runnable_backends()) {
+    ScopedBackend guard(be);
+    KitNet::RowsScratch scratch;
+    std::vector<double> whole(X.rows, -1.0);
+    model.score_rows(X.data.data(), X.rows, X.cols, whole.data(), scratch);
+    for (size_t chunk : {size_t{1}, size_t{8}, size_t{33}, size_t{64}}) {
+      std::vector<double> piecewise(X.rows, -2.0);
+      for (size_t lo = 0; lo < X.rows; lo += chunk) {
+        const size_t n = std::min(chunk, X.rows - lo);
+        model.score_rows(X.data.data() + lo * X.cols, n, X.cols,
+                         piecewise.data() + lo, scratch);
+      }
+      for (size_t i = 0; i < X.rows; ++i) {
+        EXPECT_EQ(whole[i], piecewise[i]) << "chunk=" << chunk << " i=" << i;
+      }
+    }
+    // Numerically in family with the blocked table path.
+    expect_scores_close(whole, model.score(X), 1e-9, 1e-9,
+                        "KitNet::score_rows vs score");
+  }
+}
+
+TEST(BatchedEquivalence, MlpScoreRowsBatchInvariant) {
+  const FeatureTable X = labeled_set(230, 9, 23);
+  MlpConfig cfg;
+  cfg.hidden = {16, 8};
+  cfg.epochs = 5;
+  Mlp model(cfg);
+  model.fit(X);
+  for (Backend be : runnable_backends()) {
+    ScopedBackend guard(be);
+    Mlp::RowsScratch scratch;
+    std::vector<double> whole(X.rows, -1.0);
+    model.score_rows(X.data.data(), X.rows, X.cols, whole.data(), scratch);
+    for (size_t chunk : {size_t{1}, size_t{8}, size_t{64}}) {
+      std::vector<double> piecewise(X.rows, -2.0);
+      for (size_t lo = 0; lo < X.rows; lo += chunk) {
+        const size_t n = std::min(chunk, X.rows - lo);
+        model.score_rows(X.data.data() + lo * X.cols, n, X.cols,
+                         piecewise.data() + lo, scratch);
+      }
+      for (size_t i = 0; i < X.rows; ++i) {
+        EXPECT_EQ(whole[i], piecewise[i]) << "chunk=" << chunk << " i=" << i;
+      }
+    }
+    expect_scores_close(whole, model.score(X), 1e-9, 1e-9,
+                        "Mlp::score_rows vs score");
   }
 }
 

@@ -2,7 +2,9 @@
 # Throughput regression gates:
 #  * bench_ingest — fail if the 4-consumer configuration scores fewer
 #    packets per second than the 1-consumer one (the de-serialized ingest
-#    path must never make adding consumers a loss).
+#    path must never make adding consumers a loss); fail if the
+#    micro-batched online scoring path is slower than the row-at-a-time
+#    baseline, or if its alert set diverged from the row-at-a-time run.
 #  * bench_ml — fail if any model's batched dense-kernel scoring path is
 #    slower than the pre-PR per-row path it replaced.
 #  * bench_telemetry — fail if full instrumentation costs the ingest
@@ -13,6 +15,100 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
+
+# ---- tolerant JSON field extraction --------------------------------------
+# The artifacts come from telemetry::json::Writer, which may legitimately
+# split any object or array across lines (pretty-printing). These helpers
+# therefore never assume one-object-per-line: the whole document is folded
+# into a token stream (structural characters stripped) and keys are matched
+# as exact "key": tokens, so layout changes cannot silently break a gate.
+
+# json_num FILE KEY -> the value after the first "KEY": token.
+json_num() {
+  awk -v k="\"$2\":" '
+    { buf = buf " " $0 }
+    END {
+      gsub(/[,{}\[\]]/, " ", buf)
+      n = split(buf, t, /[ \t\r\n]+/)
+      for (i = 1; i < n; i++) if (t[i] == k) { print t[i + 1]; exit }
+    }' "$1"
+}
+
+# json_pair FILE KEY1 VAL1 KEY2 -> the value after "KEY2": in the object
+# where "KEY1": VAL1 (keys in Writer emission order).
+json_pair() {
+  awk -v k1="\"$2\":" -v v1="$3" -v k2="\"$4\":" '
+    { buf = buf " " $0 }
+    END {
+      gsub(/[,{}\[\]]/, " ", buf)
+      n = split(buf, t, /[ \t\r\n]+/)
+      for (i = 1; i < n; i++) {
+        if (t[i] == k1 && t[i + 1] == v1) armed = 1
+        else if (armed && t[i] == k2) { print t[i + 1]; exit }
+      }
+    }' "$1"
+}
+
+# json_named_nums FILE NAMEKEY NUMKEY -> "name value" per object, for
+# sweeping arrays of {"NAMEKEY": "...", ..., "NUMKEY": N} objects.
+json_named_nums() {
+  awk -v nk="\"$2\":" -v vk="\"$3\":" '
+    { buf = buf " " $0 }
+    END {
+      gsub(/[,{}\[\]]/, " ", buf)
+      n = split(buf, t, /[ \t\r\n]+/)
+      name = ""
+      for (i = 1; i < n; i++) {
+        if (t[i] == nk) { name = t[i + 1]; gsub(/"/, "", name) }
+        else if (t[i] == vk && name != "") { print name, t[i + 1]; name = "" }
+      }
+    }' "$1"
+}
+
+# Parser self-test against a deliberately pretty-printed fixture: if the
+# Writer ever changes layout, this is the failure mode the helpers must
+# survive — catch parser rot here, not as a silently-passing gate.
+selftest() {
+  local fx="$BUILD/check_bench_selftest.json"
+  mkdir -p "$BUILD"
+  cat >"$fx" <<'EOF'
+{
+  "configs": [
+    {
+      "consumers": 1,
+      "pkts_per_sec":
+        1111.5
+    },
+    { "consumers": 4, "pkts_per_sec": 4444.0 }
+  ],
+  "online_models": [
+    { "model": "KitNET",
+      "speedup": 2.5 },
+    {
+      "model": "AutoEncoder", "speedup": 1.5
+    }
+  ],
+  "online":
+  {
+    "row_score_ns_per_pkt": 2000.0,
+    "batched_score_ns_per_pkt":
+      900.25,
+    "alerts_identical": true
+  }
+}
+EOF
+  [ "$(json_pair "$fx" consumers 1 pkts_per_sec)" = "1111.5" ] &&
+    [ "$(json_pair "$fx" consumers 4 pkts_per_sec)" = "4444.0" ] &&
+    [ "$(json_num "$fx" batched_score_ns_per_pkt)" = "900.25" ] &&
+    [ "$(json_num "$fx" alerts_identical)" = "true" ] &&
+    [ "$(json_named_nums "$fx" model speedup)" = "$(printf 'KitNET 2.5\nAutoEncoder 1.5')" ] || {
+    echo "check_bench: JSON parser self-test FAILED" >&2
+    exit 1
+  }
+  rm -f "$fx"
+}
+selftest
+echo "check_bench: JSON parser self-test passed"
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j --target bench_ingest bench_ml bench_telemetry
@@ -25,7 +121,7 @@ JSON="BENCH_ingest.json"
 
 rate_for() {
   # Extract pkts_per_sec for a consumer count from the configs array.
-  sed -n "s/.*\"consumers\": $1,.*\"pkts_per_sec\": \([0-9.]*\).*/\1/p" "$JSON"
+  json_pair "$JSON" consumers "$1" pkts_per_sec
 }
 
 ONE="$(rate_for 1)"
@@ -40,12 +136,32 @@ if awk -v a="$FOUR" -v b="$ONE" 'BEGIN { exit !(a < b) }'; then
   exit 1
 fi
 
-if ! grep -q '"paced_deterministic": true' "$JSON"; then
+if [ "$(json_num "$JSON" paced_deterministic)" != "true" ]; then
   echo "check_bench: FAIL — paced replay was not deterministic" >&2
   exit 1
 fi
 
 echo "check_bench: 4-consumer $FOUR pkts/s >= 1-consumer $ONE pkts/s"
+
+# --- online path: micro-batched scoring must beat row-at-a-time ----------
+ROW_NS="$(json_num "$JSON" row_score_ns_per_pkt)"
+BATCHED_NS="$(json_num "$JSON" batched_score_ns_per_pkt)"
+[ -n "$ROW_NS" ] && [ -n "$BATCHED_NS" ] || {
+  echo "check_bench: could not parse online score costs from $JSON" >&2
+  exit 1
+}
+
+if awk -v b="$BATCHED_NS" -v r="$ROW_NS" 'BEGIN { exit !(b > r) }'; then
+  echo "check_bench: FAIL — micro-batched online scoring ($BATCHED_NS ns/pkt) slower than row-at-a-time ($ROW_NS ns/pkt)" >&2
+  exit 1
+fi
+
+if [ "$(json_num "$JSON" alerts_identical)" != "true" ]; then
+  echo "check_bench: FAIL — micro-batched consumer alert set diverged from row-at-a-time" >&2
+  exit 1
+fi
+
+echo "check_bench: online micro-batched $BATCHED_NS ns/pkt <= row-at-a-time $ROW_NS ns/pkt, alerts identical"
 
 # --- bench_ml: batched scoring must not lose to the per-row path ---------
 "$BUILD/bench/bench_ml"
@@ -54,16 +170,16 @@ ML_JSON="BENCH_ml.json"
 [ -f "$ML_JSON" ] || { echo "check_bench: $ML_JSON not produced" >&2; exit 1; }
 
 FAILED=0
-while IFS= read -r line; do
-  name="$(sed -n 's/.*"name": "\([^"]*\)".*/\1/p' <<<"$line")"
-  speedup="$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' <<<"$line")"
+FOUND=0
+while read -r name speedup; do
   [ -n "$name" ] && [ -n "$speedup" ] || continue
+  FOUND=1
   if awk -v s="$speedup" 'BEGIN { exit !(s < 1.0) }'; then
     echo "check_bench: FAIL — $name batched path slower than per-row (${speedup}x)" >&2
     FAILED=1
   fi
-done < <(grep '"speedup"' "$ML_JSON")
-[ "$(grep -c '"speedup"' "$ML_JSON")" -gt 0 ] || {
+done < <(json_named_nums "$ML_JSON" name speedup)
+[ "$FOUND" -eq 1 ] || {
   echo "check_bench: no model speedups found in $ML_JSON" >&2
   exit 1
 }
@@ -77,7 +193,7 @@ echo "check_bench: all batched model paths at or above per-row throughput"
 TEL_JSON="BENCH_telemetry.json"
 [ -f "$TEL_JSON" ] || { echo "check_bench: $TEL_JSON not produced" >&2; exit 1; }
 
-OVERHEAD="$(sed -n 's/.*"overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' "$TEL_JSON")"
+OVERHEAD="$(json_num "$TEL_JSON" overhead_pct)"
 [ -n "$OVERHEAD" ] || {
   echo "check_bench: could not parse overhead_pct from $TEL_JSON" >&2
   exit 1
