@@ -1,0 +1,292 @@
+// Streaming operator engine benchmark: per-operator cost of a compiled
+// chain (marginal ns/pkt via prefix-chain subtraction), plus the headline
+// comparison the check_bench gate enforces — a compiled per-packet chain
+// (field_extract -> damped_stats -> predict) must stay within 1.3x of the
+// bare KitsuneScorer path (OnlineKitsune::score_packets) on the same
+// stream. The chain does the same extraction and model math through the
+// generic operator plumbing (tuples, FeatureTable staging, epoch batches),
+// so the ratio is the abstraction tax of running compiled specs live.
+// Emits BENCH_stream.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/telemetry.h"
+#include "core/engine.h"
+#include "core/stream.h"
+#include "core/stream_op.h"
+#include "netio/parse.h"
+#include "trace/registry.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using lumen::core::compile_streaming;
+using lumen::core::PipelineSpec;
+using lumen::core::StreamingOptions;
+using lumen::core::StreamPipeline;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+constexpr int kReps = 5;           // best-of repetitions per timed section
+constexpr int kStreamRepeats = 4;  // stream = streamed region x repeats
+
+PipelineSpec parse_spec(const std::string& body) {
+  auto spec = PipelineSpec::parse("[" + body + "]");
+  if (!spec.ok()) {
+    std::fprintf(stderr, "spec parse: %s\n", spec.error().message.c_str());
+    std::exit(1);
+  }
+  return std::move(spec).value();
+}
+
+lumen::trace::Dataset slice_prefix(const lumen::trace::Dataset& ds,
+                                   size_t end) {
+  lumen::trace::Dataset out;
+  out.id = ds.id + "-train";
+  out.label_granularity = ds.label_granularity;
+  out.trace.link = ds.trace.link;
+  for (size_t j = 0; j < end; ++j) {
+    out.trace.raw.push_back(ds.trace.raw[j]);
+    out.pkt_label.push_back(ds.label_at(j));
+    out.pkt_attack.push_back(ds.attack_at(j));
+  }
+  lumen::netio::parse_trace(out.trace);
+  return out;
+}
+
+/// Best-of-kReps wall time for pushing the whole stream through `chain`.
+double time_chain(StreamPipeline& chain,
+                  const std::vector<lumen::netio::PacketView>& views) {
+  double best = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    chain.reset();
+    const Clock::time_point t0 = Clock::now();
+    for (const auto& v : views) chain.push(v);
+    chain.finish();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lumen;
+  std::printf("bench_stream: streaming operator engine\n\n");
+
+  const trace::Dataset ds = trace::make_dataset("P1", 1.0);
+  const size_t grace = ds.trace.view.size() * 45 / 100;
+  const trace::Dataset train = slice_prefix(ds, grace);
+
+  // Steady-state stream: the streamed region repeated with shifted
+  // timestamps (one pass is ~10 ms of work; fixed costs would drown it).
+  netio::Trace big;
+  big.link = ds.trace.link;
+  const double span = ds.trace.raw.back().ts - ds.trace.raw[grace].ts + 0.001;
+  for (int rep = 0; rep < kStreamRepeats; ++rep) {
+    for (size_t i = grace; i < ds.trace.raw.size(); ++i) {
+      netio::RawPacket p = ds.trace.raw[i];
+      p.ts += rep * span;
+      big.raw.push_back(std::move(p));
+    }
+  }
+  netio::parse_trace(big);
+  const double npkt = static_cast<double>(big.view.size());
+  std::printf("stream: streamed region x%d = %zu packets\n\n", kStreamRepeats,
+              big.view.size());
+
+  core::Engine::Options eopts;
+  eopts.registry = nullptr;
+  core::OpContext tctx;
+  tctx.dataset = &train;
+
+  // ---- per-operator breakdown over the windowed chain -------------------
+  // Chains must end in a row-producing operator to compile, so each rung of
+  // the ladder keeps the apply_aggregates tail and adds one operator; the
+  // added operator's cost is the difference between consecutive rungs. The
+  // first rung (extract + groupby + aggregate) is the floor a grouped chain
+  // cannot go below.
+  const double window = span / 8.0;
+  const std::string extract =
+      R"({"func": "field_extract", "input": None, "output": "P",
+          "param": ["srcIP", "packetLength"]},)";
+  const std::string filter =
+      R"({"func": "filter", "input": ["P"], "output": "PF",
+          "require": ["len"]},)";
+  const auto groupby = [](const char* in) {
+    return std::string(R"({"func": "groupby", "input": [")") + in +
+           R"("], "output": "G", "flowid": ["srcmac"]},)";
+  };
+  const std::string time_slice =
+      R"({"func": "time_slice", "input": ["G"], "output": "W", "window": )" +
+      std::to_string(window) + R"(, "align": "global"},)";
+  const auto aggregate = [](const char* in) {
+    return std::string(R"({"func": "apply_aggregates", "input": [")") + in +
+           R"("], "output": "F"},)";
+  };
+  const std::string normalize =
+      R"({"func": "normalize", "input": ["F"], "output": "N",
+          "kind": "minmax"},)";
+  const std::string predict =
+      R"({"func": "predict", "input": ["Model", "N"], "output": "Preds"},)";
+  const std::vector<std::pair<const char*, std::string>> ladder = {
+      {"extract+groupby+aggregate", extract + groupby("P") + aggregate("G")},
+      {"filter", extract + filter + groupby("PF") + aggregate("G")},
+      {"time_slice",
+       extract + filter + groupby("PF") + time_slice + aggregate("W")},
+      {"normalize",
+       extract + filter + groupby("PF") + time_slice + aggregate("W") +
+           normalize},
+      {"predict",
+       extract + filter + groupby("PF") + time_slice + aggregate("W") +
+           normalize + predict}};
+
+  // Train the windowed model once (batch engine, the only trainer).
+  core::ModelValue windowed_model;
+  {
+    const std::string body =
+        extract + filter + groupby("PF") + time_slice + aggregate("W") +
+        normalize +
+        R"({"func": "model", "input": None, "output": "M0",
+            "model_type": "KitNET", "normalize": true},
+           {"func": "train", "input": ["M0", "N"], "output": "Model"},)";
+    auto report = core::Engine(eopts).run(parse_spec(body), tctx);
+    if (!report.ok()) {
+      std::fprintf(stderr, "train windowed: %s\n",
+                   report.error().message.c_str());
+      return 1;
+    }
+    windowed_model = *report.value().get<core::ModelValue>("Model");
+  }
+
+  struct OpCost {
+    const char* op = nullptr;
+    double ns = 0.0;
+  };
+  std::vector<OpCost> op_costs;
+  double windowed_chain_ns = 0.0;
+  {
+    std::printf("per-operator marginal cost (ladder subtraction):\n");
+    double prev_s = 0.0;
+    for (size_t i = 0; i < ladder.size(); ++i) {
+      const auto& [op, body] = ladder[i];
+      StreamingOptions sopts;
+      sopts.bindings.emplace("Model", windowed_model);
+      auto chain = compile_streaming(parse_spec(body), std::move(sopts));
+      if (!chain.ok()) {
+        std::fprintf(stderr, "compile %s: %s\n", op,
+                     chain.error().message.c_str());
+        return 1;
+      }
+      const double s = time_chain(*chain.value(), big.view);
+      // Rung 0 is a floor, not a marginal: report its full cost.
+      const double marginal_ns =
+          i == 0 ? s / npkt * 1e9 : std::max(0.0, (s - prev_s) / npkt * 1e9);
+      op_costs.push_back(OpCost{op, marginal_ns});
+      std::printf("  %-26s %8.1f ns/pkt\n", op, marginal_ns);
+      prev_s = s;
+      windowed_chain_ns = s / npkt * 1e9;
+    }
+    std::printf("  full windowed chain: %.1f ns/pkt\n\n", windowed_chain_ns);
+  }
+
+  // ---- chain vs bare scorer (the gate) ----------------------------------
+  // Bare path: OnlineKitsune trained on the grace region, scored through
+  // the fused micro-batch entry point in batches of 64.
+  core::OnlineKitsune proto;
+  proto.train({ds.trace.view.data(), grace});
+  double scorer_ns = 0.0;
+  {
+    double best = 1e30;
+    std::vector<double> scores(64, 0.0);
+    for (int rep = 0; rep < kReps; ++rep) {
+      core::OnlineKitsune det = proto;
+      const Clock::time_point t0 = Clock::now();
+      for (size_t lo = 0; lo < big.view.size(); lo += 64) {
+        const size_t n = std::min<size_t>(64, big.view.size() - lo);
+        det.score_packets({big.view.data() + lo, n}, scores.data());
+      }
+      best = std::min(best, seconds_since(t0));
+    }
+    scorer_ns = best / npkt * 1e9;
+  }
+
+  // Chain path: the same per-packet feature math (damped_stats IS the
+  // Kitsune extractor) as a compiled spec, model seeded from a batch train.
+  double chain_ns = 0.0;
+  uint64_t chain_alerts = 0;
+  {
+    const std::string extract =
+        R"({"func": "field_extract", "input": None, "output": "P",
+            "param": []},
+           {"func": "damped_stats", "input": ["P"], "output": "F"},)";
+    auto trained = core::Engine(eopts).run(
+        parse_spec(extract +
+                   R"({"func": "model", "input": None, "output": "M0",
+                       "model_type": "KitNET", "normalize": true},
+                      {"func": "train", "input": ["M0", "F"],
+                       "output": "Model"},)"),
+        tctx);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "train per-packet: %s\n",
+                   trained.error().message.c_str());
+      return 1;
+    }
+    StreamingOptions sopts;
+    sopts.bindings.emplace("Model",
+                           *trained.value().get<core::ModelValue>("Model"));
+    auto chain = compile_streaming(
+        parse_spec(extract + R"({"func": "predict", "input": ["Model", "F"],
+                                 "output": "Preds"},)"),
+        std::move(sopts));
+    if (!chain.ok()) {
+      std::fprintf(stderr, "compile per-packet: %s\n",
+                   chain.error().message.c_str());
+      return 1;
+    }
+    chain_ns = time_chain(*chain.value(), big.view) / npkt * 1e9;
+    chain_alerts = chain.value()->alerts();
+  }
+  const double ratio = scorer_ns > 0.0 ? chain_ns / scorer_ns : 0.0;
+  std::printf("bare KitsuneScorer path: %.1f ns/pkt\n", scorer_ns);
+  std::printf("compiled chain path:     %.1f ns/pkt (%.2fx, %llu alerts)\n\n",
+              chain_ns, ratio,
+              static_cast<unsigned long long>(chain_alerts));
+
+  telemetry::json::Writer w;
+  w.kv_str("benchmark", "stream_engine");
+  w.kv_str("capture", "P1");
+  w.kv_u64("packets", big.view.size());
+  w.kv_i64("stream_repeats", kStreamRepeats);
+  w.kv_i64("reps", kReps);
+  w.begin_array("ops");
+  for (const OpCost& c : op_costs) {
+    w.begin_inline_object();
+    w.kv_str("op", c.op);
+    w.kv_f("marginal_ns_per_pkt", c.ns, 1);
+    w.end();
+  }
+  w.end();
+  w.kv_f("windowed_chain_ns_per_pkt", windowed_chain_ns, 1);
+  w.begin_inline_object("per_packet");
+  w.kv_f("scorer_ns_per_pkt", scorer_ns, 1);
+  w.kv_f("chain_ns_per_pkt", chain_ns, 1);
+  w.kv_f("chain_vs_scorer", ratio, 3);
+  w.kv_u64("chain_alerts", chain_alerts);
+  w.end();
+  if (std::FILE* f = std::fopen("BENCH_stream.json", "w")) {
+    const std::string doc = w.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("[artifact] BENCH_stream.json\n");
+  }
+  return 0;
+}

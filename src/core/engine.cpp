@@ -6,11 +6,16 @@
 
 namespace lumen::core {
 
-Result<void> Engine::type_check(const PipelineSpec& spec) const {
+Result<void> Engine::type_check(const PipelineSpec& spec,
+                                const std::map<std::string, Value>* seed)
+    const {
   register_builtin_operations();
   const OperationRegistry& reg = OperationRegistry::instance();
 
   std::map<std::string, ValueKind> env;
+  if (seed != nullptr) {
+    for (const auto& [name, value] : *seed) env[name] = kind_of(value);
+  }
   for (size_t i = 0; i < spec.ops.size(); ++i) {
     const OpSpec& op = spec.ops[i];
     if (!reg.knows(op.func)) {
@@ -71,9 +76,10 @@ std::vector<OpProfile> profile_from_spans(const telemetry::Snapshot& snap,
   return profile;
 }
 
-Result<PipelineReport> Engine::run(const PipelineSpec& spec,
-                                   OpContext& ctx) const {
-  Result<void> ok = type_check(spec);
+Result<PipelineReport> Engine::run(const PipelineSpec& spec, OpContext& ctx,
+                                   const std::map<std::string, Value>* seed)
+    const {
+  Result<void> ok = type_check(spec, seed);
   if (!ok.ok()) return ok.error();
 
   const OperationRegistry& reg = OperationRegistry::instance();
@@ -102,6 +108,16 @@ Result<PipelineReport> Engine::run(const PipelineSpec& spec,
   std::map<std::string, size_t> env_bytes;
   std::map<std::string, uint64_t> span_of_output;  // for freed-early patches
   size_t live_bytes = 0;
+
+  if (seed != nullptr) {
+    for (const auto& [name, value] : *seed) {
+      const size_t bytes = value_bytes(value);
+      env.emplace(name, value);
+      env_bytes[name] = bytes;
+      live_bytes += bytes;
+    }
+    report.peak_bytes = std::max(report.peak_bytes, live_bytes);
+  }
 
   for (size_t i = 0; i < spec.ops.size(); ++i) {
     const OpSpec& op = spec.ops[i];

@@ -80,10 +80,20 @@ class Engine {
   explicit Engine(Options opts) : opts_(std::move(opts)) {}
 
   /// Static analysis only: unknown ops, undefined inputs, kind mismatches.
-  Result<void> type_check(const PipelineSpec& spec) const;
+  /// `seed` optionally pre-populates the binding environment (name -> value
+  /// kind is derived from the values) — how a deploy spec consumes a model
+  /// trained by an earlier run; compile_streaming checks specs the same way
+  /// with StreamingOptions::bindings.
+  Result<void> type_check(const PipelineSpec& spec,
+                          const std::map<std::string, Value>* seed =
+                              nullptr) const;
 
-  /// Type-check then execute against the dataset in `ctx`.
-  Result<PipelineReport> run(const PipelineSpec& spec, OpContext& ctx) const;
+  /// Type-check then execute against the dataset in `ctx`. Seeded bindings
+  /// (copied in before the first op) behave like outputs of an op #-1: any
+  /// op may consume them, dead-value elimination may free them.
+  Result<PipelineReport> run(const PipelineSpec& spec, OpContext& ctx,
+                             const std::map<std::string, Value>* seed =
+                                 nullptr) const;
 
  private:
   Options opts_;

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/stream_op.h"
 #include "netio/parse.h"
 
 namespace lumen::core {
@@ -147,6 +148,13 @@ IngestRuntime::IngestRuntime(Options opts, ScorerFactory factory,
                    alerted_->value()};
 }
 
+IngestRuntime::IngestRuntime(Options opts, StreamPipelineFactory factory,
+                             EpochSink* sink)
+    : IngestRuntime(std::move(opts), ScorerFactory{}, nullptr) {
+  pipeline_factory_ = std::move(factory);
+  epoch_sink_ = sink;
+}
+
 void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
                             PacketScorer& scorer, netio::LinkType link) {
   // Everything below is consumer-local until the per-batch flush: packets
@@ -248,7 +256,59 @@ void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
   }
 }
 
-Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
+void IngestRuntime::consume_pipeline(size_t id, BoundedPacketQueue& queue,
+                                     StreamPipeline& pipe,
+                                     netio::LinkType link) {
+  // Same staged batch loop as consume(), but the scoring stage feeds the
+  // compiled operator chain: the chain's own state machinery (group
+  // directories, window clocks, accumulators) replaces the PacketScorer.
+  // Epoch emission happens synchronously inside pipe.push/finish via the
+  // callback installed in run(); everything else is consumer-local.
+  using Clock = std::chrono::steady_clock;
+  const auto ns_between = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::nano>(b - a).count();
+  };
+  std::vector<netio::SourcePacket> batch;
+  std::vector<netio::PacketView> parsed;
+  batch.reserve(opts_.consumer_batch);
+  parsed.reserve(opts_.consumer_batch);
+  while (queue.pop_batch(batch, opts_.consumer_batch) > 0) {
+    uint64_t skipped = 0;
+    Clock::time_point t0, t1, t2;
+    if (extended_) t0 = Clock::now();
+    parsed.clear();
+    for (netio::SourcePacket& sp : batch) {
+      auto p = netio::parse_packet(sp.pkt, link, sp.capture_index);
+      if (!p.ok()) {
+        ++skipped;
+        continue;
+      }
+      parsed.push_back(p.value());
+    }
+    if (extended_) t1 = Clock::now();
+    for (const netio::PacketView& view : parsed) pipe.push(view);
+    if (extended_) t2 = Clock::now();
+    if (skipped != 0) parse_skipped_->add(skipped);
+    if (!parsed.empty()) scored_->add(parsed.size());
+    if (extended_) {
+      if (!batch.empty()) {
+        extract_ns_->record(ns_between(t0, t1) /
+                            static_cast<double>(batch.size()));
+      }
+      if (!parsed.empty()) {
+        score_ns_->record(ns_between(t1, t2) /
+                          static_cast<double>(parsed.size()));
+      }
+    }
+  }
+  // End of stream: flush the chain's open windows/micro-batches.
+  pipe.finish();
+}
+
+Result<IngestStats> IngestRuntime::drive(
+    netio::PacketSource& source,
+    const std::function<void(size_t, BoundedPacketQueue&, netio::LinkType)>&
+        consumer_body) {
   // Per-run façade semantics over cumulative instruments: re-baseline now.
   base_ = Baseline{enqueued_->value(), dropped_->value(),
                    parse_skipped_->value(), scored_->value(),
@@ -256,18 +316,14 @@ Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
   high_water_snapshot_ = 0;
   stop_.store(false);
 
-  std::vector<std::unique_ptr<PacketScorer>> scorers;
-  scorers.reserve(opts_.consumers);
-  for (size_t c = 0; c < opts_.consumers; ++c) {
-    scorers.push_back(factory_(c));
-    if (!scorers.back()) {
-      return Error::make("ingest", "scorer factory returned null for consumer " +
-                                       std::to_string(c));
-    }
-  }
-
   BoundedPacketQueue queue(opts_.queue_capacity, opts_.overflow);
   if (extended_) {
+    // The queue gauges describe THIS run's queue: reset them before
+    // attaching, or a reused runtime (or a second runtime sharing the
+    // registry and prefix) keeps publishing the previous run's high-water
+    // mark — update_max never comes back down on its own.
+    queue_depth_->set(0.0);
+    queue_high_water_->set(0.0);
     // Live queue instruments: depth, high-water, and drops update under
     // the queue's own lock, so scrapers see them mid-run (the historic
     // snapshots only materialized after run() returned).
@@ -281,9 +337,9 @@ Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
   std::vector<std::thread> threads;
   threads.reserve(opts_.consumers);
   for (size_t c = 0; c < opts_.consumers; ++c) {
-    threads.emplace_back([this, c, &queue, &scorers, &errors, link] {
+    threads.emplace_back([c, &queue, &errors, link, &consumer_body] {
       try {
-        consume(c, queue, *scorers[c], link);
+        consumer_body(c, queue, link);
       } catch (...) {
         errors[c] = std::current_exception();
         queue.close();  // don't leave the producer blocked on a dead run
@@ -308,6 +364,50 @@ Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
     if (err) std::rethrow_exception(err);
   }
   return stats();
+}
+
+Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
+  if (pipeline_factory_) {
+    std::vector<std::unique_ptr<StreamPipeline>> pipes;
+    pipes.reserve(opts_.consumers);
+    for (size_t c = 0; c < opts_.consumers; ++c) {
+      pipes.push_back(pipeline_factory_(c));
+      if (!pipes.back()) {
+        return Error::make(
+            "ingest",
+            "pipeline factory returned null for consumer " + std::to_string(c));
+      }
+      pipes.back()->set_callback([this, c](EpochBatch&& b) {
+        uint64_t alerts = 0;
+        for (const int p : b.predictions) alerts += p != 0 ? 1 : 0;
+        if (alerts != 0) alerted_->add(alerts);
+        if (epoch_sink_ != nullptr) {
+          std::lock_guard<std::mutex> lock(sink_mu_);
+          epoch_sink_->on_epoch(b, c);
+        }
+      });
+    }
+    return drive(source,
+                 [this, &pipes](size_t id, BoundedPacketQueue& q,
+                                netio::LinkType link) {
+                   consume_pipeline(id, q, *pipes[id], link);
+                 });
+  }
+
+  std::vector<std::unique_ptr<PacketScorer>> scorers;
+  scorers.reserve(opts_.consumers);
+  for (size_t c = 0; c < opts_.consumers; ++c) {
+    scorers.push_back(factory_(c));
+    if (!scorers.back()) {
+      return Error::make("ingest", "scorer factory returned null for consumer " +
+                                       std::to_string(c));
+    }
+  }
+  return drive(source,
+               [this, &scorers](size_t id, BoundedPacketQueue& q,
+                                netio::LinkType link) {
+                 consume(id, q, *scorers[id], link);
+               });
 }
 
 IngestStats IngestRuntime::stats() const {

@@ -220,6 +220,27 @@ class FnScorer : public PacketScorer {
 using ScorerFactory =
     std::function<std::unique_ptr<PacketScorer>(size_t consumer_id)>;
 
+// ---- streaming-pipeline sink mode (core/stream_op.h) ----
+
+struct EpochBatch;
+class StreamPipeline;
+
+/// Receives the epoch batches a consumer's compiled operator chain emits.
+/// The runtime serializes all calls with an internal mutex (like
+/// AlertSink), so implementations need no locking of their own.
+class EpochSink {
+ public:
+  virtual ~EpochSink() = default;
+  virtual void on_epoch(const EpochBatch& batch, size_t consumer) = 0;
+};
+
+/// Builds one compiled operator chain per consumer thread (each consumer
+/// owns its chain's mutable state, so no locking on the hot path); called
+/// with the consumer id before the stream starts. Typically a thin wrapper
+/// around compile_streaming on a shared spec + bindings.
+using StreamPipelineFactory =
+    std::function<std::unique_ptr<StreamPipeline>(size_t consumer_id)>;
+
 /// The ingestion runtime. One run() drives a source to exhaustion:
 ///
 ///   IngestRuntime::Options opt;
@@ -258,6 +279,15 @@ class IngestRuntime {
 
   IngestRuntime(Options opts, ScorerFactory factory, AlertSink* sink);
 
+  /// Pipeline sink mode: consumers feed parsed packets through compiled
+  /// streaming operator chains (core/stream_op.h) instead of a bare
+  /// PacketScorer — the full spec (grouping, windows, aggregates,
+  /// normalization, model scoring) runs continuously on the live path.
+  /// Each consumer owns one chain; completed epochs are handed to `sink`
+  /// serialized under the runtime's mutex. In this mode `scored` counts
+  /// packets fed to the chains and `alerted` counts alerted rows.
+  IngestRuntime(Options opts, StreamPipelineFactory factory, EpochSink* sink);
+
   /// Drain `source` through the queue and the consumer threads. Blocks
   /// until the stream ends (or request_stop()) and every consumer has
   /// joined. Returns the run's statistics; an Error if a scorer could not
@@ -280,10 +310,21 @@ class IngestRuntime {
  private:
   void consume(size_t id, BoundedPacketQueue& queue, PacketScorer& scorer,
                netio::LinkType link);
+  void consume_pipeline(size_t id, BoundedPacketQueue& queue,
+                        StreamPipeline& pipe, netio::LinkType link);
+  /// Shared run skeleton: queue + producer loop + consumer threads running
+  /// `consumer_body(id, queue, link)` + graceful drain/join/rethrow. The
+  /// two public modes only differ in what the body does per batch.
+  Result<IngestStats> drive(
+      netio::PacketSource& source,
+      const std::function<void(size_t, BoundedPacketQueue&, netio::LinkType)>&
+          consumer_body);
 
   Options opts_;
   ScorerFactory factory_;
   AlertSink* sink_;
+  StreamPipelineFactory pipeline_factory_;  // pipeline mode (else empty)
+  EpochSink* epoch_sink_ = nullptr;
   std::atomic<bool> stop_{false};
   std::mutex sink_mu_;
 

@@ -124,6 +124,36 @@ Result<std::function<std::string(const netio::PacketView&)>> make_group_key(
   return Error::make("groupby", "unknown group key '" + key_in + "'");
 }
 
+Result<std::function<Key128(const netio::PacketView&)>> make_packed_group_key(
+    const std::string& key_in) {
+  const std::string key = lower(key_in);
+  using netio::PacketView;
+  if (key == "srcip")
+    return {[](const PacketView& v) { return Key128{0, v.src_ip}; }};
+  if (key == "dstip")
+    return {[](const PacketView& v) { return Key128{0, v.dst_ip}; }};
+  if (key == "srcdst" || key == "channel")
+    return {[](const PacketView& v) { return Key128{v.src_ip, v.dst_ip}; }};
+  if (key == "socket")
+    return {[](const PacketView& v) {
+      return Key128{(static_cast<uint64_t>(v.src_ip) << 32) | v.dst_ip,
+                    (static_cast<uint64_t>(v.src_port) << 32) |
+                        (static_cast<uint64_t>(v.dst_port) << 16) |
+                        v.proto_raw};
+    }};
+  if (key == "srcmac")
+    return {[](const PacketView& v) {
+      uint64_t mac = 0;
+      for (int i = 0; i < 6; ++i) mac = (mac << 8) | v.src_mac[i];
+      return Key128{0, mac};
+    }};
+  if (key == "dstport")
+    return {[](const PacketView& v) { return Key128{0, v.dst_port}; }};
+  if (key == "proto")
+    return {[](const PacketView& v) { return Key128{0, v.proto_raw}; }};
+  return Error::make("groupby", "unknown group key '" + key_in + "'");
+}
+
 // Registrars defined by the ops_*.cpp translation units.
 void register_packet_ops();
 void register_flow_ops();

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "core/json.h"
 #include "core/value.h"
@@ -83,6 +84,14 @@ const std::vector<std::string>& known_packet_fields();
 /// Group-key extractor for groupby-style operations ("srcip", "dstip",
 /// "srcdst", "channel", "socket", "srcmac").
 Result<std::function<std::string(const netio::PacketView&)>> make_group_key(
+    const std::string& key);
+
+/// Packed-numeric counterpart of make_group_key for streaming group
+/// directories: same key vocabulary, but each packet maps to a Key128
+/// (injective per key kind — two packets pack equal iff their printable
+/// keys are equal), so hot-path grouping is one FlatMap probe with no
+/// string building.
+Result<std::function<Key128(const netio::PacketView&)>> make_packed_group_key(
     const std::string& key);
 
 }  // namespace lumen::core

@@ -105,11 +105,22 @@ Result<Value> run_groupby(const OpSpec& spec,
 }
 
 // "time_slice": subdivide groups (or the whole set) into fixed windows.
+// "align" picks the time origin: "group" (default) starts each group's
+// window clock at its own first packet; "global" shares one origin — the
+// earliest packet across all groups — so window k means the same capture
+// interval everywhere (the alignment the streaming engine requires, since
+// a live chain has a single clock to flush on).
 Result<Value> run_time_slice(const OpSpec& spec,
                              const std::vector<const Value*>& in,
                              OpContext& ctx) {
   const double window = spec.params.get_number("window", 10.0);
   if (window <= 0.0) return Error::make("time_slice", "window must be > 0");
+  const std::string align = spec.params.get_string("align", "group");
+  if (align != "group" && align != "global") {
+    return Error::make("time_slice",
+                       "align must be \"group\" or \"global\", got '" + align +
+                           "'");
+  }
 
   GroupedPackets source;
   if (const auto* gp = std::get_if<GroupedPackets>(in[0])) {
@@ -128,12 +139,25 @@ Result<Value> run_time_slice(const OpSpec& spec,
     return Error::make("time_slice", "input must be packets or groups");
   }
 
+  double global_t0 = 0.0;
+  if (align == "global") {
+    bool any = false;
+    for (const Group& g : source.groups) {
+      if (g.idx.empty()) continue;
+      const double ts = source.dataset->trace.view[g.idx.front()].ts;
+      if (!any || ts < global_t0) global_t0 = ts;
+      any = true;
+    }
+  }
+
   GroupedPackets out;
   out.dataset = source.dataset;
   out.group_field = source.group_field + "#window";
   for (const Group& g : source.groups) {
     if (g.idx.empty()) continue;
-    const double t0 = source.dataset->trace.view[g.idx.front()].ts;
+    const double t0 = align == "global"
+                          ? global_t0
+                          : source.dataset->trace.view[g.idx.front()].ts;
     std::map<int64_t, Group> windows;
     for (uint32_t i : g.idx) {
       const double ts = source.dataset->trace.view[i].ts;

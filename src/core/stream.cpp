@@ -30,7 +30,14 @@ void OnlineKitsune::train(std::span<const netio::PacketView> packets) {
 double OnlineKitsune::score_packet(const netio::PacketView& v) {
   extractor_.process(v, row_);
   if (!trained_) return 0.0;
-  return detector_.score_row(row_, scratch_);
+  // Score through the SAME fused packed-panel path score_packets uses, as a
+  // one-row block. The per-row gemv path accumulates in a different order
+  // and could differ from the fused path by ulps — enough for process() and
+  // a micro-batched consumer to disagree on a threshold crossing for the
+  // same packet. One code path, bit-identical scores at any batch size.
+  double out = 0.0;
+  detector_.score_rows(row_.data(), 1, extractor_.dim(), &out, rows_scratch_);
+  return out;
 }
 
 void OnlineKitsune::score_packets(std::span<const netio::PacketView> packets,

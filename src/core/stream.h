@@ -34,7 +34,9 @@ class OnlineKitsune {
   double threshold() const { return threshold_; }
 
   /// Process one live packet: updates the streaming statistics, scores the
-  /// packet, and returns its anomaly score (RMSE of the output AE).
+  /// packet, and returns its anomaly score (RMSE of the output AE). Scores
+  /// through the same fused path as score_packets (a one-row block), so
+  /// single-packet and micro-batched scoring are bit-identical.
   double score_packet(const netio::PacketView& v);
 
   /// Micro-batched hot path: extract each packet in capture order (the
@@ -44,9 +46,10 @@ class OnlineKitsune {
   /// packets.size() scores. Guarantee: splitting the same packet sequence
   /// into different batch sizes yields bit-identical scores (the
   /// score_rows / PackedDense contract), so alert sets do not depend on
-  /// how the consumer chops the stream. Note the fused path may differ
-  /// from score_packet's gemv math by ulps — compare batchings against
-  /// score_packets with single-packet spans, not against score_packet.
+  /// how the consumer chops the stream. score_packet rides the same fused
+  /// kernel as a one-row block, so it agrees bitwise too (resolved: this
+  /// used to go through per-row gemv math that could differ by ulps —
+  /// pinned by stream_test's single-vs-micro-batch case).
   void score_packets(std::span<const netio::PacketView> packets, double* out);
 
   /// Convenience: score and compare against the calibrated threshold.
@@ -66,7 +69,6 @@ class OnlineKitsune {
   double threshold_ = 0.0;
   bool trained_ = false;
   std::vector<double> row_;
-  ml::KitNet::ScoreScratch scratch_;
   std::vector<double> rows_block_;  // staged m x dim block for score_packets
   ml::KitNet::RowsScratch rows_scratch_;
 };

@@ -17,6 +17,13 @@ double entropy_bits(const std::vector<double>& counts) {
 
 double percentile(std::vector<double>& values, double p) {
   if (values.empty()) return 0.0;
+  // Clamp p into [0, 100] before computing the rank: p < 0 would cast a
+  // negative rank to a huge size_t and p > 100 would index past the end —
+  // both out-of-range iterator arithmetic. The !(p > 0) form also routes
+  // NaN to the minimum instead of through the rank math. p == 0 / p == 100
+  // are exact (no interpolation): the sample min / max.
+  if (!(p > 0.0)) return *std::min_element(values.begin(), values.end());
+  if (p >= 100.0) return *std::max_element(values.begin(), values.end());
   const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
   const size_t lo = static_cast<size_t>(rank);
   const double frac = rank - static_cast<double>(lo);

@@ -181,9 +181,11 @@ class DampedStat2D {
 /// Shannon entropy (bits) of a discrete distribution given by counts.
 double entropy_bits(const std::vector<double>& counts);
 
-/// Percentile with linear interpolation; `values` is modified (partially
-/// reordered by nth_element-based selection — contents preserved, order
-/// not).
+/// Percentile with linear interpolation between the two nearest ranks
+/// (rank = p/100 * (n-1)); `values` is modified (partially reordered by
+/// nth_element-based selection — contents preserved, order not). Boundary
+/// semantics: empty input -> 0.0; p <= 0 (or NaN) -> the minimum; p >= 100
+/// -> the maximum; a single element is every percentile of itself.
 double percentile(std::vector<double>& values, double p);
 
 /// Median convenience wrapper over percentile(50).

@@ -432,11 +432,20 @@ void AutoEncoderCore::score_batch(const double* x, size_t m, size_t ldx,
   scratch.h.resize(m * hidden_);
   dense::gemm_nt(m, hidden_, dim_, scratch.z.data(), dim_, w1_.data(), dim_,
                  b1_.data(), 0.0, scratch.h.data(), hidden_);
-  dense::sigmoid_sweep(m * hidden_, scratch.h.data());
+  // Sweep activations per row, not over the whole m x hidden_ block: the
+  // sweep kernels' vector/scalar split depends on the sweep length, so a
+  // block-wide sweep makes each row's score depend on the batch size m.
+  // Per-row sweeps keep score_batch bit-identical across any partitioning
+  // of the same rows (whole-table batch run vs per-epoch streaming run).
+  for (size_t i = 0; i < m; ++i) {
+    dense::sigmoid_sweep(hidden_, scratch.h.data() + i * hidden_);
+  }
   scratch.y.resize(m * dim_);
   dense::gemm_nt(m, dim_, hidden_, scratch.h.data(), hidden_, w2_.data(),
                  hidden_, b2_.data(), 0.0, scratch.y.data(), dim_);
-  dense::sigmoid_sweep(m * dim_, scratch.y.data());
+  for (size_t i = 0; i < m; ++i) {
+    dense::sigmoid_sweep(dim_, scratch.y.data() + i * dim_);
+  }
   for (size_t i = 0; i < m; ++i) {
     const double* zi = scratch.z.data() + i * dim_;
     const double* yi = scratch.y.data() + i * dim_;

@@ -16,6 +16,11 @@ std::vector<size_t> benign_rows(const FeatureTable& X) {
 double quantile_threshold(std::vector<double> scores, double quantile) {
   if (scores.empty()) return 0.0;
   std::sort(scores.begin(), scores.end());
+  // Clamp like features::percentile: q outside [0, 1] (possible from a
+  // miswritten template) must not index outside the sorted array, and NaN
+  // routes to the minimum.
+  if (!(quantile > 0.0)) return scores.front();
+  if (quantile >= 1.0) return scores.back();
   const double rank =
       quantile * static_cast<double>(scores.size() - 1);
   const size_t lo = static_cast<size_t>(rank);

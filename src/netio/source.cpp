@@ -123,4 +123,45 @@ bool FaultInjectingSource::reset() {
   return true;
 }
 
+LoopingSource::LoopingSource(PacketSource& inner, LoopOptions opts)
+    : inner_(&inner), opts_(opts) {
+  if (opts_.loops == 0) opts_.loops = 1;
+  period_ = opts_.period;
+}
+
+bool LoopingSource::next(SourcePacket& out) {
+  while (true) {
+    if (inner_->next(out)) {
+      if (loop_ == 0) {
+        if (seen_ == 0) first_ts_ = out.pkt.ts;
+        last_ts_ = out.pkt.ts;
+        ++seen_;
+      }
+      out.pkt.ts += shift_;
+      return true;
+    }
+    if (loop_ + 1 >= opts_.loops || !inner_->reset()) return false;
+    if (loop_ == 0 && opts_.period <= 0.0) {
+      // Derive the per-loop shift from the first pass: span plus the mean
+      // inter-packet gap (a typical spacing into the next pass; 1 ms when
+      // the pass had fewer than two packets).
+      const double span = last_ts_ - first_ts_;
+      const double mean_gap =
+          seen_ >= 2 ? span / static_cast<double>(seen_ - 1) : 1e-3;
+      period_ = span + (mean_gap > 0.0 ? mean_gap : 1e-3);
+    }
+    ++loop_;
+    shift_ += period_;
+  }
+}
+
+bool LoopingSource::reset() {
+  if (!inner_->reset()) return false;
+  loop_ = 0;
+  shift_ = 0.0;
+  period_ = opts_.period;
+  seen_ = 0;
+  return true;
+}
+
 }  // namespace lumen::netio

@@ -129,4 +129,39 @@ class FaultInjectingSource : public PacketSource {
   std::optional<SourcePacket> held_;  // delayed packet during a reorder
 };
 
+/// Options for LoopingSource. With period = 0 the shift between loops is
+/// derived from the inner stream on the first wrap: its timestamp span plus
+/// the mean inter-packet gap (so loop k+1's first packet follows loop k's
+/// last by a typical gap instead of colliding with it).
+struct LoopOptions {
+  size_t loops = 2;     // total passes over the inner source (>= 1)
+  double period = 0.0;  // seconds added to ts per loop; 0 = derive from span
+};
+
+/// Replays a resettable inner source `loops` times, shifting capture
+/// timestamps forward by one period per pass so the stream looks like a
+/// longer continuous capture — the soak harness for bounded-memory checks
+/// on streaming chains (state must stop growing once the loop's group
+/// population has been seen). Capture indices repeat across passes
+/// unchanged, like a traffic generator replaying the same flows.
+class LoopingSource : public PacketSource {
+ public:
+  LoopingSource(PacketSource& inner, LoopOptions opts);
+
+  bool next(SourcePacket& out) override;
+  LinkType link() const override { return inner_->link(); }
+  bool reset() override;
+
+ private:
+  PacketSource* inner_;
+  LoopOptions opts_;
+  size_t loop_ = 0;
+  double shift_ = 0.0;
+  double period_ = 0.0;  // resolved on the first wrap when opts_.period == 0
+  // First-pass observations for deriving the period.
+  double first_ts_ = 0.0;
+  double last_ts_ = 0.0;
+  uint64_t seen_ = 0;
+};
+
 }  // namespace lumen::netio

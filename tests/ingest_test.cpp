@@ -564,6 +564,78 @@ TEST(Runtime, NullRegistryStillAccounts) {
             nullptr);
 }
 
+// Regression: back-to-back runs against one shared registry used to leak
+// the previous run's queue.high_water gauge (and with it the stats façade's
+// queue numbers) into the next run, because gauges — unlike counters — are
+// absolute and were never re-zeroed when a queue re-attached. Force drops
+// in every run and check each run's accounting closes on its own numbers.
+TEST(Runtime, TwoRunsOneRegistryKeepDropAccountingExact) {
+  Trace t = make_trace(160);
+  telemetry::Registry reg;
+  IngestRuntime::Options opts;
+  opts.consumers = 1;
+  opts.queue_capacity = 4;
+  opts.overflow = OverflowPolicy::kDropOldest;
+  opts.registry = &reg;
+  opts.instrument_prefix = "shared.";
+  auto slow = [](size_t) {
+    return std::make_unique<FnScorer>(
+        [](const netio::PacketView&) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          return 0.0;
+        },
+        1.0);
+  };
+
+  // Same runtime, reused; then a second runtime on the same registry and
+  // prefix (the "fleet of gateways sharing one exporter" shape).
+  uint64_t total_enqueued = 0, total_dropped = 0, total_scored = 0,
+           total_skipped = 0;
+  IngestStats last{};
+  IngestRuntime reused(opts, slow, nullptr);
+  for (int run = 0; run < 2; ++run) {
+    TraceReplaySource src(t);
+    auto stats = reused.run(src);
+    ASSERT_TRUE(stats.ok());
+    const IngestStats& s = stats.value();
+    EXPECT_EQ(s.enqueued, 160u) << "run " << run;
+    EXPECT_EQ(s.scored + s.parse_skipped + s.dropped, s.enqueued)
+        << "run " << run;
+    EXPECT_GT(s.dropped, 0u) << "run " << run;  // the tiny queue overflowed
+    EXPECT_LE(s.queue_high_water, 4u) << "run " << run;
+    total_enqueued += s.enqueued;
+    total_dropped += s.dropped;
+    total_scored += s.scored;
+    total_skipped += s.parse_skipped;
+    last = s;
+  }
+  {
+    IngestRuntime second(opts, slow, nullptr);
+    TraceReplaySource src(t);
+    auto stats = second.run(src);
+    ASSERT_TRUE(stats.ok());
+    const IngestStats& s = stats.value();
+    EXPECT_EQ(s.scored + s.parse_skipped + s.dropped, s.enqueued);
+    EXPECT_GT(s.dropped, 0u);
+    total_enqueued += s.enqueued;
+    total_dropped += s.dropped;
+    total_scored += s.scored;
+    total_skipped += s.parse_skipped;
+    last = s;
+  }
+
+  // The shared registry accumulated across all three runs; the gauge is
+  // absolute and must reflect only the LAST run (the regression fixed).
+  const telemetry::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("shared.enqueued"), total_enqueued);
+  EXPECT_EQ(snap.counter_value("shared.dropped"), total_dropped);
+  EXPECT_EQ(snap.counter_value("shared.scored"), total_scored);
+  EXPECT_EQ(snap.counter_value("shared.parse_skipped"), total_skipped);
+  EXPECT_EQ(static_cast<size_t>(snap.gauge_value("shared.queue.high_water")),
+            last.queue_high_water);
+  EXPECT_DOUBLE_EQ(snap.gauge_value("shared.queue.depth"), 0.0);
+}
+
 TEST(Runtime, ConsumerExceptionPropagatesToCaller) {
   Trace t = make_trace(50);
   TraceReplaySource src(t);

@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "features/stats.h"
+#include "ml/model.h"
 
 namespace lumen::features {
 namespace {
@@ -146,6 +147,99 @@ TEST(Percentile, InterpolatesLinearly) {
 TEST(Percentile, MedianOddCount) {
   std::vector<double> v = {5.0, 1.0, 3.0};
   EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+// Reference implementation for the property sweep: full sort, then the
+// linear-interpolation formula percentile() documents.
+double percentile_by_full_sort(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (!(p > 0.0)) return values.front();
+  if (p >= 100.0) return values.back();
+  const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+TEST(Percentile, BoundarySemantics) {
+  std::vector<double> empty;
+  EXPECT_EQ(percentile(empty, 50.0), 0.0);
+
+  std::vector<double> one = {7.5};
+  for (double p : {-10.0, 0.0, 37.0, 50.0, 100.0, 250.0}) {
+    std::vector<double> v = one;
+    EXPECT_DOUBLE_EQ(percentile(v, p), 7.5) << "p=" << p;
+  }
+
+  // Out-of-range and NaN p clamp to the min/max instead of indexing out of
+  // bounds (the regression this satellite pins).
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  std::vector<double> w = v;
+  EXPECT_DOUBLE_EQ(percentile(w, -5.0), 1.0);
+  w = v;
+  EXPECT_DOUBLE_EQ(percentile(w, 0.0), 1.0);
+  w = v;
+  EXPECT_DOUBLE_EQ(percentile(w, 100.0), 4.0);
+  w = v;
+  EXPECT_DOUBLE_EQ(percentile(w, 1e9), 4.0);
+  w = v;
+  EXPECT_DOUBLE_EQ(percentile(w, std::nan("")), 1.0);
+}
+
+// Property sweep: the two-selection implementation must equal the
+// full-sort reference on random inputs (with duplicates) at arbitrary p,
+// including p values that land exactly on a rank.
+TEST(Percentile, MatchesFullSortReferenceOnRandomInputs) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.below(40);
+    std::vector<double> values(n);
+    for (double& x : values) {
+      // Small integer support forces duplicated values.
+      x = static_cast<double>(rng.below(8)) * 1.5 - 3.0;
+    }
+    const double p = rng.uniform() * 120.0 - 10.0;  // sweep past both ends
+    std::vector<double> scratch = values;
+    EXPECT_DOUBLE_EQ(percentile(scratch, p),
+                     percentile_by_full_sort(values, p))
+        << "n=" << n << " p=" << p;
+    // Exact-rank p: frac == 0, no interpolation partner needed.
+    const double exact_p =
+        100.0 * static_cast<double>(rng.below(n)) / static_cast<double>(n - 1 == 0 ? 1 : n - 1);
+    scratch = values;
+    EXPECT_DOUBLE_EQ(percentile(scratch, exact_p),
+                     percentile_by_full_sort(values, exact_p))
+        << "n=" << n << " exact p=" << exact_p;
+  }
+}
+
+// Model threshold calibration shares percentile's boundary semantics
+// (clamp out-of-range quantiles, NaN routes to the minimum) and its linear
+// interpolation — quantile_threshold(s, q) == percentile(s, 100q).
+TEST(QuantileThreshold, ClampsAndAgreesWithPercentile) {
+  const std::vector<double> scores = {0.3, 0.1, 0.4, 0.2};
+  EXPECT_DOUBLE_EQ(ml::quantile_threshold(scores, -1.0), 0.1);
+  EXPECT_DOUBLE_EQ(ml::quantile_threshold(scores, 0.0), 0.1);
+  EXPECT_DOUBLE_EQ(ml::quantile_threshold(scores, 1.0), 0.4);
+  EXPECT_DOUBLE_EQ(ml::quantile_threshold(scores, 2.0), 0.4);
+  EXPECT_DOUBLE_EQ(ml::quantile_threshold(scores, std::nan("")), 0.1);
+  EXPECT_DOUBLE_EQ(ml::quantile_threshold({}, 0.5), 0.0);
+
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> s(1 + rng.below(30));
+    for (double& x : s) x = rng.uniform(-5.0, 5.0);
+    const double q = rng.uniform();
+    std::vector<double> copy = s;
+    // Not bit-identical: quantile_threshold computes the rank from q while
+    // percentile computes it from 100q/100, which can differ by an ulp in
+    // the interpolation fraction.
+    EXPECT_NEAR(ml::quantile_threshold(s, q), percentile(copy, q * 100.0),
+                1e-12)
+        << "q=" << q;
+  }
 }
 
 }  // namespace

@@ -92,5 +92,48 @@ TEST(OnlineKitsune, DetectsPostTrainingAttackStream) {
   EXPECT_GT(ml::auc(y_true, scores), 0.8);
 }
 
+// Pin the online scoring contract: score_packet rides the same fused
+// PackedDense block path as score_packets, so scoring packets one at a
+// time, in micro-batches of 64, or in ragged chunks yields bit-identical
+// scores (EXPECT_EQ on doubles — not merely near). This is what lets the
+// ingestion runtime chop the stream into arbitrary batches without the
+// alert set depending on the chop.
+TEST(OnlineKitsune, SinglePacketMatchesMicroBatchedExactly) {
+  const trace::Dataset& ds = p1();
+  const size_t grace = ds.trace.view.size() * 45 / 100;
+  ASSERT_GT(grace, 300u);
+  const std::span<const netio::PacketView> prefix(ds.trace.view.data(),
+                                                  grace);
+  const std::span<const netio::PacketView> live(ds.trace.view.data() + grace,
+                                                ds.trace.view.size() - grace);
+
+  const auto run = [&](size_t chunk) {
+    OnlineKitsune det;
+    det.train(prefix);
+    EXPECT_TRUE(det.trained());
+    std::vector<double> scores(live.size(), 0.0);
+    if (chunk == 1) {
+      for (size_t i = 0; i < live.size(); ++i) {
+        scores[i] = det.score_packet(live[i]);
+      }
+    } else {
+      for (size_t lo = 0; lo < live.size(); lo += chunk) {
+        const size_t n = std::min(chunk, live.size() - lo);
+        det.score_packets(live.subspan(lo, n), scores.data() + lo);
+      }
+    }
+    return scores;
+  };
+
+  const std::vector<double> one_by_one = run(1);
+  const std::vector<double> batched = run(64);
+  const std::vector<double> ragged = run(7);
+  ASSERT_EQ(one_by_one.size(), batched.size());
+  for (size_t i = 0; i < one_by_one.size(); ++i) {
+    EXPECT_EQ(one_by_one[i], batched[i]) << "packet " << i;
+    EXPECT_EQ(one_by_one[i], ragged[i]) << "packet " << i;
+  }
+}
+
 }  // namespace
 }  // namespace lumen::core

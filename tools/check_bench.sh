@@ -9,6 +9,9 @@
 #    slower than the pre-PR per-row path it replaced.
 #  * bench_telemetry — fail if full instrumentation costs the ingest
 #    runtime more than 2% of its uninstrumented drain throughput.
+#  * bench_stream — fail if the compiled per-packet streaming chain costs
+#    more than 1.3x the bare KitsuneScorer path on the same stream (the
+#    operator plumbing must stay a thin wrapper around the model math).
 # Usage:
 #   tools/check_bench.sh [build-dir]
 set -euo pipefail
@@ -111,7 +114,7 @@ selftest
 echo "check_bench: JSON parser self-test passed"
 
 cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j --target bench_ingest bench_ml bench_telemetry
+cmake --build "$BUILD" -j --target bench_ingest bench_ml bench_telemetry bench_stream
 
 "$BUILD/bench/bench_ingest"
 
@@ -205,3 +208,25 @@ if awk -v o="$OVERHEAD" 'BEGIN { exit !(o > 2.0) }'; then
 fi
 
 echo "check_bench: telemetry overhead ${OVERHEAD}% within the 2% budget"
+
+# --- bench_stream: compiled chain within 1.3x of the bare scorer ---------
+"$BUILD/bench/bench_stream"
+
+STREAM_JSON="BENCH_stream.json"
+[ -f "$STREAM_JSON" ] || {
+  echo "check_bench: $STREAM_JSON not produced" >&2
+  exit 1
+}
+
+RATIO="$(json_num "$STREAM_JSON" chain_vs_scorer)"
+[ -n "$RATIO" ] || {
+  echo "check_bench: could not parse chain_vs_scorer from $STREAM_JSON" >&2
+  exit 1
+}
+
+if awk -v r="$RATIO" 'BEGIN { exit !(r > 1.3) }'; then
+  echo "check_bench: FAIL — streaming chain at ${RATIO}x of the bare scorer (budget 1.3x)" >&2
+  exit 1
+fi
+
+echo "check_bench: streaming chain at ${RATIO}x of the bare scorer, within 1.3x"
