@@ -1,0 +1,144 @@
+// Lock-free hot-swap slot for live model deployment: readers (shard
+// consumers on the packet path) pin the current value with two atomic
+// loads and one store — wait-free, no retry loop — while a writer
+// publishes a replacement without draining traffic.
+//
+// This is the epoch variant of the classic seqlock swap. A seqlock
+// copy-out would force readers to retry while a writer is mid-publish and
+// to memcpy the protected value; here the protected value is a pointer,
+// so readers only need a guarantee that the pointee outlives their use of
+// it. Each reader owns a padded epoch cell:
+//
+//   publish (writer, serialized by mu_):
+//     node = retain(value, v+1)
+//     current_.store(node->value, release)     // (1)
+//     version_.store(v+1, release)             // (2)
+//
+//   pin (reader r):
+//     v = version_.load(acquire)               // (3)
+//     p = current_.load(acquire)               // (4)
+//     readers_[r].seen.store(v, release)       // (5)
+//     return p
+//
+// Invariant: the pointer returned at (4) has version >= the epoch
+// announced at (5). If (3) observed version v, the acquire pairs with the
+// release at (2), making the store at (1) visible — so (4) returns the
+// version-v pointer or a newer one, never older. The writer reclaims a
+// retired node only when every reader's announced epoch is above the
+// node's version (readers that never pinned announce 0, which blocks
+// reclamation entirely — conservative, never unsafe; the ingest runtime
+// sizes the slot to its consumer count and every consumer pins per
+// batch, so epochs advance as long as traffic flows).
+//
+// Lifetime: destroying the slot frees every node; callers must stop all
+// readers first (the ingest runtime joins its consumers before the slot
+// goes away).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace lumen {
+
+template <typename T>
+class ModelSlot {
+ public:
+  /// max_readers fixes the reader-epoch table size; reader ids at pin()
+  /// time are taken modulo this count.
+  ModelSlot(std::unique_ptr<T> initial, size_t max_readers)
+      : readers_(max_readers == 0 ? 1 : max_readers) {
+    nodes_.push_back(Node{std::move(initial), 1});
+    current_.store(nodes_.back().value.get(), std::memory_order_release);
+    version_.store(1, std::memory_order_release);
+  }
+
+  ModelSlot(const ModelSlot&) = delete;
+  ModelSlot& operator=(const ModelSlot&) = delete;
+
+  struct Pinned {
+    const T* value;
+    /// Observed epoch: changes whenever a newer publish became visible.
+    /// Compare versions (not pointers) to detect a swap — a reclaimed
+    /// node's allocation can be reused, so pointer equality is ABA-unsafe.
+    uint64_t version;
+  };
+
+  /// Wait-free snapshot for reader `reader`: returns the current value and
+  /// announces this reader's epoch. The pointer stays valid until the same
+  /// reader's next pin() (or until all readers stop and the slot dies).
+  Pinned pin(size_t reader) {
+    const uint64_t v = version_.load(std::memory_order_acquire);
+    const T* p = current_.load(std::memory_order_acquire);
+    readers_[reader % readers_.size()].seen.store(v,
+                                                  std::memory_order_release);
+    return {p, v};
+  }
+
+  /// Swap in a replacement value. Readers switch at their next pin();
+  /// superseded values are reclaimed once no announced epoch can still
+  /// reach them. Writers are serialized; the packet path never blocks.
+  void publish(std::unique_ptr<T> next) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t v = version_.load(std::memory_order_relaxed) + 1;
+    nodes_.push_back(Node{std::move(next), v});
+    current_.store(nodes_.back().value.get(), std::memory_order_release);
+    version_.store(v, std::memory_order_release);
+    reclaim_locked();
+  }
+
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Retired-but-unreclaimed node count plus the live one (telemetry/test
+  /// hook for the reclamation path).
+  size_t live_nodes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return nodes_.size();
+  }
+
+  /// Opportunistic reclamation without publishing (e.g. between runs).
+  void reclaim() {
+    std::lock_guard<std::mutex> lock(mu_);
+    reclaim_locked();
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<T> value;
+    uint64_t version;
+  };
+  struct alignas(64) ReaderEpoch {
+    std::atomic<uint64_t> seen{0};
+  };
+
+  void reclaim_locked() {
+    uint64_t min_seen = UINT64_MAX;
+    for (const ReaderEpoch& r : readers_) {
+      min_seen = std::min(min_seen, r.seen.load(std::memory_order_acquire));
+    }
+    // A stale epoch read only keeps nodes alive longer — never frees early.
+    // The current node always survives: its version equals version_, and
+    // no announced epoch exceeds version_.
+    size_t keep = 0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const bool last = i + 1 == nodes_.size();
+      if (last || nodes_[i].version >= min_seen) {
+        if (keep != i) nodes_[keep] = std::move(nodes_[i]);
+        ++keep;
+      }
+    }
+    nodes_.resize(keep);
+  }
+
+  std::vector<ReaderEpoch> readers_;
+  alignas(64) std::atomic<uint64_t> version_{0};
+  std::atomic<const T*> current_{nullptr};
+  mutable std::mutex mu_;
+  std::vector<Node> nodes_;  // guarded by mu_; oldest first
+};
+
+}  // namespace lumen

@@ -1,10 +1,16 @@
 #include "core/ingest.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
+#include <iostream>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
+#include "common/flat_map.h"
+#include "common/spsc_ring.h"
 #include "core/stream_op.h"
 #include "netio/parse.h"
 
@@ -22,8 +28,7 @@ bool BoundedPacketQueue::push(netio::SourcePacket p) {
   } else if (q_.size() >= capacity_) {
     if (closed_) return false;
     q_.pop_front();
-    ++dropped_;
-    if (dropped_counter_ != nullptr) dropped_counter_->add(1);
+    note_drop_locked();
   } else if (closed_) {
     return false;
   }
@@ -93,6 +98,14 @@ void BoundedPacketQueue::attach_telemetry(telemetry::Gauge* depth,
   depth_gauge_ = depth;
   high_water_gauge_ = high_water;
   dropped_counter_ = dropped;
+  // Catch the mirror up with drops that predate attachment; from here on
+  // note_drop_locked keeps counter and dropped_ in lockstep. Without this,
+  // pre-attach drops were lost from the mirror for good and dropped() and
+  // the counter disagreed for the rest of the queue's life.
+  if (dropped_counter_ != nullptr && mirrored_dropped_ < dropped_) {
+    dropped_counter_->add(dropped_ - mirrored_dropped_);
+    mirrored_dropped_ = dropped_;
+  }
   note_size_locked();
 }
 
@@ -102,6 +115,17 @@ void BoundedPacketQueue::note_size_locked() {
   }
   if (high_water_gauge_ != nullptr) {
     high_water_gauge_->update_max(static_cast<double>(high_water_));
+  }
+}
+
+void BoundedPacketQueue::note_drop_locked() {
+  // Counter bump and dropped_ increment share the critical section of the
+  // drop itself, so a scraper can never observe the mirror ahead of the
+  // authoritative count (it may lag by at most the in-flight push).
+  ++dropped_;
+  if (dropped_counter_ != nullptr) {
+    dropped_counter_->add(1);
+    ++mirrored_dropped_;
   }
 }
 
@@ -115,12 +139,111 @@ size_t BoundedPacketQueue::high_water() const {
   return high_water_;
 }
 
+uint64_t FlowShardRouter::flow_hash(const netio::RawPacket& pkt) const {
+  const uint8_t* b = pkt.data.data();
+  const size_t n = pkt.data.size();
+  const auto be16 = [b](size_t off) {
+    return (uint64_t{b[off]} << 8) | b[off + 1];
+  };
+  const auto be32 = [b](size_t off) {
+    return (uint32_t{b[off]} << 24) | (uint32_t{b[off + 1]} << 16) |
+           (uint32_t{b[off + 2]} << 8) | b[off + 3];
+  };
+  const auto mac48 = [b](size_t off) {
+    uint64_t v = 0;
+    for (size_t i = 0; i < 6; ++i) v = (v << 8) | b[off + i];
+    return v;
+  };
+  if (link_ == netio::LinkType::kEthernet) {
+    // IPv4 frame: the order-independent IP-pair channel key, canonicalized
+    // exactly like core/kitsune_extractor.cpp (low address first), hashed
+    // with FlatMap's splitmix64 finalizer. Byte offsets per netio/parse.cpp:
+    // ether_type at 12, IPv4 src/dst at 26/30 (14-byte Ethernet header).
+    if (n >= 34 && be16(12) == 0x0800) {
+      const uint32_t src = be32(26);
+      const uint32_t dst = be32(30);
+      const bool fwd = src <= dst;
+      const uint32_t ip_a = fwd ? src : dst;
+      const uint32_t ip_b = fwd ? dst : src;
+      return hash_u64((uint64_t{ip_a} << 32) | ip_b);
+    }
+    // Non-IP frame: the extractor only keeps MAC-level context for these,
+    // so the source MAC (bytes 6..11) is their whole flow identity.
+    if (n >= 12) return hash_u64(mac48(6));
+    return 0;  // too short to parse; lands on shard 0 and is skipped there
+  }
+  // 802.11: the transmitter address (addr2, bytes 10..15) is what
+  // netio/parse.cpp reports as the source MAC.
+  if (n >= 16) return hash_u64(mac48(10));
+  return 0;
+}
+
+IngestRuntime::Options IngestRuntime::Options::normalized(
+    Options opts, std::string* diagnostic) {
+  std::string adjustments;
+  const auto clamp_field = [&adjustments](size_t& v, size_t lo, size_t hi,
+                                          const char* name) {
+    const size_t was = v;
+    v = std::clamp(v, lo, hi);
+    if (v == was) return;
+    if (!adjustments.empty()) adjustments += ", ";
+    adjustments += std::string(name) + " " + std::to_string(was) + " -> " +
+                   std::to_string(v);
+  };
+  clamp_field(opts.queue_capacity, 1, size_t{1} << 24, "queue_capacity");
+  clamp_field(opts.consumers, 1, 256, "consumers");
+  // shards = 0 selects single-queue mode, so only the upper bound applies.
+  clamp_field(opts.shards, 0, 256, "shards");
+  clamp_field(opts.consumer_batch, 1, 65536, "consumer_batch");
+  clamp_field(opts.score_batch, 1, 65536, "score_batch");
+  if (diagnostic != nullptr) {
+    *diagnostic =
+        adjustments.empty() ? "" : "ingest: Options clamped: " + adjustments;
+  }
+  return opts;
+}
+
+namespace {
+
+/// PacketFeed over the shared mutex+condvar queue (single-queue mode).
+class QueueFeed : public PacketFeed {
+ public:
+  explicit QueueFeed(BoundedPacketQueue& q) : q_(q) {}
+  size_t claim(std::vector<netio::SourcePacket>& out, size_t max) override {
+    return q_.pop_batch(out, max);
+  }
+
+ private:
+  BoundedPacketQueue& q_;
+};
+
+/// PacketFeed over one shard's private SPSC ring (sharded mode).
+class RingFeed : public PacketFeed {
+ public:
+  explicit RingFeed(SpscRing<netio::SourcePacket>& r) : r_(r) {}
+  size_t claim(std::vector<netio::SourcePacket>& out, size_t max) override {
+    for (;;) {
+      if (!r_.wait_nonempty()) return 0;  // closed and drained
+      const size_t n = r_.try_pop(out, max == 0 ? 1 : max);
+      if (n != 0) return n;
+    }
+  }
+
+ private:
+  SpscRing<netio::SourcePacket>& r_;
+};
+
+}  // namespace
+
 IngestRuntime::IngestRuntime(Options opts, ScorerFactory factory,
                              AlertSink* sink)
-    : opts_(std::move(opts)), factory_(std::move(factory)), sink_(sink) {
-  if (opts_.consumers == 0) opts_.consumers = 1;
-  if (opts_.consumer_batch == 0) opts_.consumer_batch = 1;
-  if (opts_.score_batch == 0) opts_.score_batch = 1;
+    : sink_(sink) {
+  std::string diag;
+  opts_ = Options::normalized(std::move(opts), &diag);
+  if (!diag.empty()) std::cerr << diag << "\n";
+  scorer_slot_ = std::make_unique<ModelSlot<ScorerFactory>>(
+      std::make_unique<ScorerFactory>(std::move(factory)),
+      effective_consumers());
   // Core accounting always lives in registry counters (the IngestStats
   // façade reads them back); the extended instruments — queue gauges and
   // per-stage latency histograms, with their clock reads — only run when
@@ -133,6 +256,7 @@ IngestRuntime::IngestRuntime(Options opts, ScorerFactory factory,
   parse_skipped_ = &reg_->counter(p + "parse_skipped");
   scored_ = &reg_->counter(p + "scored");
   alerted_ = &reg_->counter(p + "alerted");
+  swaps_applied_ = &reg_->counter(p + "swaps_applied");
   if (extended_) {
     queue_depth_ = &reg_->gauge(p + "queue.depth");
     queue_high_water_ = &reg_->gauge(p + "queue.high_water");
@@ -140,6 +264,18 @@ IngestRuntime::IngestRuntime(Options opts, ScorerFactory factory,
     score_ns_ = &reg_->histogram(p + "stage.score_ns");
     flush_ns_ = &reg_->histogram(p + "stage.flush_ns");
     score_batch_rows_ = &reg_->histogram(p + "score.batch_rows");
+    if (opts_.shards > 0) {
+      shard_instruments_.resize(opts_.shards);
+      for (size_t i = 0; i < opts_.shards; ++i) {
+        const std::string sp = p + "shard" + std::to_string(i) + ".";
+        shard_instruments_[i] =
+            ShardInstruments{&reg_->counter(sp + "routed"),
+                             &reg_->counter(sp + "scored"),
+                             &reg_->counter(sp + "alerted"),
+                             &reg_->counter(sp + "parse_skipped"),
+                             &reg_->gauge(sp + "ring.high_water")};
+      }
+    }
   }
   // stats() before the first run() must read zero even when another
   // runtime already bumped these (shared registry, shared prefix).
@@ -155,14 +291,20 @@ IngestRuntime::IngestRuntime(Options opts, StreamPipelineFactory factory,
   epoch_sink_ = sink;
 }
 
-void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
-                            PacketScorer& scorer, netio::LinkType link) {
+void IngestRuntime::deploy(ScorerFactory factory) {
+  scorer_slot_->publish(std::make_unique<ScorerFactory>(std::move(factory)));
+}
+
+void IngestRuntime::consume(size_t id, PacketFeed& feed,
+                            std::unique_ptr<PacketScorer> scorer,
+                            uint64_t scorer_version, netio::LinkType link) {
   // Everything below is consumer-local until the per-batch flush: packets
-  // are claimed in batches (one queue lock per batch), scored without any
-  // shared state, and sink records plus stats counters are published once
-  // per batch. Buffers are reused across batches, so the steady-state loop
-  // performs no allocation. Telemetry is also per-batch — four clock reads
-  // and a handful of relaxed adds per batch, never per packet.
+  // are claimed in batches (one queue lock / ring publication per batch),
+  // scored without any shared state, and sink records plus stats counters
+  // are published once per batch. Buffers are reused across batches, so
+  // the steady-state loop performs no allocation. Telemetry is also
+  // per-batch — four clock reads and a handful of relaxed adds per batch,
+  // never per packet.
   using Clock = std::chrono::steady_clock;
   const auto ns_between = [](Clock::time_point a, Clock::time_point b) {
     return std::chrono::duration<double, std::nano>(b - a).count();
@@ -173,6 +315,8 @@ void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
     double threshold = 0.0;
     bool alerted = false;
   };
+  ShardInstruments* si =
+      id < shard_instruments_.size() ? &shard_instruments_[id] : nullptr;
   std::vector<netio::SourcePacket> batch;
   std::vector<netio::PacketView> parsed;
   std::vector<double> scores;
@@ -181,7 +325,25 @@ void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
   parsed.reserve(opts_.consumer_batch);
   scores.reserve(opts_.consumer_batch);
   pending.reserve(opts_.consumer_batch);
-  while (queue.pop_batch(batch, opts_.consumer_batch) > 0) {
+  while (feed.claim(batch, opts_.consumer_batch) > 0) {
+    // Hot-swap check at the batch boundary: a ModelSlot pin is two atomic
+    // loads plus one store — the cost of noticing a deploy() — and the
+    // rebuild itself only runs when the observed epoch moved.
+    {
+      const auto pinned = scorer_slot_->pin(id);
+      if (pinned.version != scorer_version) {
+        auto next = (*pinned.value)(id);
+        if (!next) {
+          throw std::runtime_error(
+              "ingest: hot-swapped scorer factory returned null for "
+              "consumer " +
+              std::to_string(id));
+        }
+        scorer = std::move(next);
+        scorer_version = pinned.version;
+        swaps_applied_->add(1);
+      }
+    }
     uint64_t skipped = 0, scored = 0, alerted = 0;
     Clock::time_point t0, t1, t2;
     // Stage 1 — extract: parse the whole batch (views borrow the packet
@@ -207,12 +369,12 @@ void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
     scores.resize(parsed.size());
     for (size_t lo = 0; lo < parsed.size(); lo += opts_.score_batch) {
       const size_t n = std::min(opts_.score_batch, parsed.size() - lo);
-      scorer.score_batch(
+      scorer->score_batch(
           std::span<const netio::PacketView>(parsed.data() + lo, n),
           scores.data() + lo);
       if (extended_) score_batch_rows_->record(static_cast<double>(n));
     }
-    const double threshold = scorer.threshold();
+    const double threshold = scorer->threshold();
     for (size_t i = 0; i < parsed.size(); ++i) {
       const netio::PacketView& view = parsed[i];
       const double score = scores[i];
@@ -227,6 +389,11 @@ void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
     if (skipped != 0) parse_skipped_->add(skipped);
     if (scored != 0) scored_->add(scored);
     if (alerted != 0) alerted_->add(alerted);
+    if (si != nullptr) {
+      if (skipped != 0) si->parse_skipped->add(skipped);
+      if (scored != 0) si->scored->add(scored);
+      if (alerted != 0) si->alerted->add(alerted);
+    }
     // Stage 3 — flush the batch's sink records.
     if (!pending.empty()) {
       std::lock_guard<std::mutex> lock(sink_mu_);
@@ -256,7 +423,7 @@ void IngestRuntime::consume(size_t id, BoundedPacketQueue& queue,
   }
 }
 
-void IngestRuntime::consume_pipeline(size_t id, BoundedPacketQueue& queue,
+void IngestRuntime::consume_pipeline(size_t id, PacketFeed& feed,
                                      StreamPipeline& pipe,
                                      netio::LinkType link) {
   // Same staged batch loop as consume(), but the scoring stage feeds the
@@ -268,11 +435,13 @@ void IngestRuntime::consume_pipeline(size_t id, BoundedPacketQueue& queue,
   const auto ns_between = [](Clock::time_point a, Clock::time_point b) {
     return std::chrono::duration<double, std::nano>(b - a).count();
   };
+  ShardInstruments* si =
+      id < shard_instruments_.size() ? &shard_instruments_[id] : nullptr;
   std::vector<netio::SourcePacket> batch;
   std::vector<netio::PacketView> parsed;
   batch.reserve(opts_.consumer_batch);
   parsed.reserve(opts_.consumer_batch);
-  while (queue.pop_batch(batch, opts_.consumer_batch) > 0) {
+  while (feed.claim(batch, opts_.consumer_batch) > 0) {
     uint64_t skipped = 0;
     Clock::time_point t0, t1, t2;
     if (extended_) t0 = Clock::now();
@@ -290,6 +459,10 @@ void IngestRuntime::consume_pipeline(size_t id, BoundedPacketQueue& queue,
     if (extended_) t2 = Clock::now();
     if (skipped != 0) parse_skipped_->add(skipped);
     if (!parsed.empty()) scored_->add(parsed.size());
+    if (si != nullptr) {
+      if (skipped != 0) si->parse_skipped->add(skipped);
+      if (!parsed.empty()) si->scored->add(parsed.size());
+    }
     if (extended_) {
       if (!batch.empty()) {
         extract_ns_->record(ns_between(t0, t1) /
@@ -307,7 +480,7 @@ void IngestRuntime::consume_pipeline(size_t id, BoundedPacketQueue& queue,
 
 Result<IngestStats> IngestRuntime::drive(
     netio::PacketSource& source,
-    const std::function<void(size_t, BoundedPacketQueue&, netio::LinkType)>&
+    const std::function<void(size_t, PacketFeed&, netio::LinkType)>&
         consumer_body) {
   // Per-run façade semantics over cumulative instruments: re-baseline now.
   base_ = Baseline{enqueued_->value(), dropped_->value(),
@@ -315,7 +488,14 @@ Result<IngestStats> IngestRuntime::drive(
                    alerted_->value()};
   high_water_snapshot_ = 0;
   stop_.store(false);
+  if (opts_.shards > 0) return drive_sharded(source, consumer_body);
+  return drive_single_queue(source, consumer_body);
+}
 
+Result<IngestStats> IngestRuntime::drive_single_queue(
+    netio::PacketSource& source,
+    const std::function<void(size_t, PacketFeed&, netio::LinkType)>&
+        consumer_body) {
   BoundedPacketQueue queue(opts_.queue_capacity, opts_.overflow);
   if (extended_) {
     // The queue gauges describe THIS run's queue: reset them before
@@ -330,6 +510,7 @@ Result<IngestStats> IngestRuntime::drive(
     queue.attach_telemetry(queue_depth_, queue_high_water_, dropped_);
   }
   const netio::LinkType link = source.link();
+  QueueFeed feed(queue);
 
   // Consumers follow the parallel.h exception convention: the first failure
   // is captured and rethrown on the caller once every thread has joined.
@@ -337,9 +518,9 @@ Result<IngestStats> IngestRuntime::drive(
   std::vector<std::thread> threads;
   threads.reserve(opts_.consumers);
   for (size_t c = 0; c < opts_.consumers; ++c) {
-    threads.emplace_back([c, &queue, &errors, link, &consumer_body] {
+    threads.emplace_back([c, &queue, &feed, &errors, link, &consumer_body] {
       try {
-        consumer_body(c, queue, link);
+        consumer_body(c, feed, link);
       } catch (...) {
         errors[c] = std::current_exception();
         queue.close();  // don't leave the producer blocked on a dead run
@@ -366,11 +547,115 @@ Result<IngestStats> IngestRuntime::drive(
   return stats();
 }
 
+Result<IngestStats> IngestRuntime::drive_sharded(
+    netio::PacketSource& source,
+    const std::function<void(size_t, PacketFeed&, netio::LinkType)>&
+        consumer_body) {
+  const size_t n_shards = opts_.shards;
+  const netio::LinkType link = source.link();
+  FlowShardRouter router(n_shards, link);
+
+  std::vector<std::unique_ptr<SpscRing<netio::SourcePacket>>> rings;
+  std::vector<RingFeed> feeds;
+  rings.reserve(n_shards);
+  feeds.reserve(n_shards);
+  for (size_t i = 0; i < n_shards; ++i) {
+    rings.push_back(
+        std::make_unique<SpscRing<netio::SourcePacket>>(opts_.queue_capacity));
+    feeds.emplace_back(*rings.back());
+  }
+  if (extended_) {
+    // Same reset-before-run contract as the single-queue gauges; in this
+    // mode queue.high_water reports the max ring high-water across shards.
+    queue_depth_->set(0.0);
+    queue_high_water_->set(0.0);
+    for (ShardInstruments& si : shard_instruments_) {
+      si.ring_high_water->set(0.0);
+    }
+  }
+
+  std::vector<std::exception_ptr> errors(n_shards);
+  std::vector<std::thread> threads;
+  threads.reserve(n_shards);
+  for (size_t c = 0; c < n_shards; ++c) {
+    threads.emplace_back([c, &feeds, &rings, &errors, link, &consumer_body] {
+      try {
+        consumer_body(c, feeds[c], link);
+      } catch (...) {
+        errors[c] = std::current_exception();
+        // Close every ring: siblings drain and exit, and the producer
+        // stops instead of feeding a dead run (mirrors queue.close()).
+        for (auto& r : rings) r->close();
+      }
+    });
+  }
+
+  // Producer loop: route by flow hash, push into the owning shard's ring.
+  // Per-shard routed counts and ring high-water marks are mirrored into
+  // telemetry in periodic flushes, never per packet.
+  std::vector<uint64_t> routed(n_shards, 0);
+  std::vector<uint64_t> routed_flushed(n_shards, 0);
+  const auto flush_shard_telemetry = [&] {
+    for (size_t i = 0; i < shard_instruments_.size(); ++i) {
+      if (routed[i] != routed_flushed[i]) {
+        shard_instruments_[i].routed->add(routed[i] - routed_flushed[i]);
+        routed_flushed[i] = routed[i];
+      }
+      shard_instruments_[i].ring_high_water->update_max(
+          static_cast<double>(rings[i]->high_water()));
+    }
+  };
+  netio::SourcePacket sp;
+  uint64_t since_flush = 0;
+  while (!stop_.load(std::memory_order_relaxed) && source.next(sp)) {
+    const size_t s = router.shard_of(sp.pkt);
+    SpscRing<netio::SourcePacket>& ring = *rings[s];
+    bool accepted = ring.try_push(&sp, 1) == 1;
+    if (!accepted) {
+      if (ring.closed()) break;  // consumer died: wind down the run
+      if (opts_.overflow == OverflowPolicy::kDropOldest) {
+        // An SPSC producer cannot evict the head (the consumer owns it),
+        // so the policy degrades to shedding the incoming packet. It is
+        // still counted enqueued below, preserving the invariant
+        // scored + parse_skipped == enqueued - dropped.
+        dropped_->add(1);
+      } else {
+        while (ring.wait_notfull()) {
+          if (ring.try_push(&sp, 1) == 1) {
+            accepted = true;
+            break;
+          }
+        }
+        if (!accepted) break;  // closed while blocked: consumer died
+      }
+    }
+    enqueued_->add(1);
+    ++routed[s];
+    if (++since_flush >= 8192) {
+      since_flush = 0;
+      flush_shard_telemetry();
+    }
+  }
+  for (auto& r : rings) r->close();
+  for (auto& t : threads) t.join();
+
+  size_t hw = 0;
+  for (const auto& r : rings) hw = std::max(hw, r->high_water());
+  high_water_snapshot_ = hw;
+  flush_shard_telemetry();
+  if (extended_) queue_high_water_->update_max(static_cast<double>(hw));
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  return stats();
+}
+
 Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
+  const size_t n_consumers = effective_consumers();
   if (pipeline_factory_) {
     std::vector<std::unique_ptr<StreamPipeline>> pipes;
-    pipes.reserve(opts_.consumers);
-    for (size_t c = 0; c < opts_.consumers; ++c) {
+    pipes.reserve(n_consumers);
+    for (size_t c = 0; c < n_consumers; ++c) {
       pipes.push_back(pipeline_factory_(c));
       if (!pipes.back()) {
         return Error::make(
@@ -380,7 +665,12 @@ Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
       pipes.back()->set_callback([this, c](EpochBatch&& b) {
         uint64_t alerts = 0;
         for (const int p : b.predictions) alerts += p != 0 ? 1 : 0;
-        if (alerts != 0) alerted_->add(alerts);
+        if (alerts != 0) {
+          alerted_->add(alerts);
+          if (c < shard_instruments_.size()) {
+            shard_instruments_[c].alerted->add(alerts);
+          }
+        }
         if (epoch_sink_ != nullptr) {
           std::lock_guard<std::mutex> lock(sink_mu_);
           epoch_sink_->on_epoch(b, c);
@@ -388,25 +678,32 @@ Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
       });
     }
     return drive(source,
-                 [this, &pipes](size_t id, BoundedPacketQueue& q,
+                 [this, &pipes](size_t id, PacketFeed& feed,
                                 netio::LinkType link) {
-                   consume_pipeline(id, q, *pipes[id], link);
+                   consume_pipeline(id, feed, *pipes[id], link);
                  });
   }
 
+  // Build each consumer's initial scorer from the currently-deployed
+  // factory, announcing the build epoch so consume() only rebuilds when
+  // deploy() publishes something newer.
   std::vector<std::unique_ptr<PacketScorer>> scorers;
-  scorers.reserve(opts_.consumers);
-  for (size_t c = 0; c < opts_.consumers; ++c) {
-    scorers.push_back(factory_(c));
+  std::vector<uint64_t> versions;
+  scorers.reserve(n_consumers);
+  versions.reserve(n_consumers);
+  for (size_t c = 0; c < n_consumers; ++c) {
+    const auto pinned = scorer_slot_->pin(c);
+    scorers.push_back((*pinned.value)(c));
+    versions.push_back(pinned.version);
     if (!scorers.back()) {
       return Error::make("ingest", "scorer factory returned null for consumer " +
                                        std::to_string(c));
     }
   }
   return drive(source,
-               [this, &scorers](size_t id, BoundedPacketQueue& q,
-                                netio::LinkType link) {
-                 consume(id, q, *scorers[id], link);
+               [this, &scorers, &versions](size_t id, PacketFeed& feed,
+                                           netio::LinkType link) {
+                 consume(id, feed, std::move(scorers[id]), versions[id], link);
                });
 }
 

@@ -1,5 +1,7 @@
 // Gateway ingestion runtime: decouples packet capture from detection.
 //
+// Single-queue mode (the default):
+//
 //   PacketSource -> BoundedPacketQueue -> N consumer threads -> AlertSink
 //
 // One producer (the calling thread) pulls packets from a netio::PacketSource
@@ -10,6 +12,20 @@
 // the queue at end of stream, consumers drain what is left and join. The
 // runtime exports ingest statistics (enqueued, dropped, parse-skipped,
 // scored, alerted, queue high-water mark).
+//
+// Flow-sharded mode (Options::shards > 0):
+//
+//   PacketSource -> FlowShardRouter -> SpscRing[shard] -> shard consumer
+//
+// The producer hashes each frame's canonical flow identity (the same
+// IP-pair channel key the Kitsune feature extractor groups by, falling
+// back to the source MAC for non-IPv4 frames) and routes it to one of N
+// single-producer/single-consumer rings. Each shard consumer owns a
+// private scorer or operator chain, so its FlatMap arenas are touched by
+// exactly one thread and the hot path crosses no mutex at all. A live
+// ModelSlot lets deploy() hot-swap a retrained scorer into running shards
+// without draining traffic. See docs/framework.md "Sharded ingestion &
+// hot-swap" for the memory-order and equivalence arguments.
 //
 // Threading follows common/parallel.h conventions: consumers are dedicated
 // threads (they are long-running, so they must not occupy the shared
@@ -26,8 +42,10 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/model_slot.h"
 #include "common/telemetry.h"
 #include "core/stream.h"
 #include "netio/source.h"
@@ -71,7 +89,11 @@ class BoundedPacketQueue {
   /// drop-oldest evictions — all updated under the queue lock the operation
   /// already holds, so scrapers see them while a run is in flight (the old
   /// IngestStats snapshots only updated after the run finished). Any
-  /// pointer may be null.
+  /// pointer may be null. Drops that happened before attachment are folded
+  /// into the counter on attach, so mirror and dropped() agree from that
+  /// point on no matter when telemetry arrived relative to traffic — the
+  /// same locked bookkeeping (note_drop_locked) serves both, making the
+  /// mirror update atomic with the drop decision.
   void attach_telemetry(telemetry::Gauge* depth, telemetry::Gauge* high_water,
                         telemetry::Counter* dropped);
 
@@ -81,6 +103,7 @@ class BoundedPacketQueue {
 
  private:
   void note_size_locked();  // update depth/high-water mirrors under mu_
+  void note_drop_locked();  // count a drop + mirror it, atomically under mu_
 
   const size_t capacity_;
   const OverflowPolicy policy_;
@@ -89,11 +112,57 @@ class BoundedPacketQueue {
   std::condition_variable not_empty_;
   std::deque<netio::SourcePacket> q_;
   uint64_t dropped_ = 0;
+  uint64_t mirrored_dropped_ = 0;  // drops already forwarded to the counter
   size_t high_water_ = 0;
   bool closed_ = false;
   telemetry::Gauge* depth_gauge_ = nullptr;
   telemetry::Gauge* high_water_gauge_ = nullptr;
   telemetry::Counter* dropped_counter_ = nullptr;
+};
+
+/// Uniform consumer-side view over the two packet conduits — the shared
+/// BoundedPacketQueue and a shard's private SpscRing — so the consume
+/// loops are written once against claim() semantics.
+class PacketFeed {
+ public:
+  virtual ~PacketFeed() = default;
+
+  /// Claim up to `max` packets into `out` (cleared first), blocking while
+  /// the conduit is open and empty. Returns the number claimed; 0 only at
+  /// end-of-stream (closed and fully drained).
+  virtual size_t claim(std::vector<netio::SourcePacket>& out, size_t max) = 0;
+};
+
+/// Routes raw frames to shards by their canonical flow identity, computed
+/// from a light header peek (no full parse): for IPv4-over-Ethernet the
+/// order-independent IP-pair channel key — exactly the `chan` key
+/// core/kitsune_extractor.cpp groups flow state by — hashed with the same
+/// splitmix64 finalizer FlatMap uses (common/flat_map.h); non-IP Ethernet
+/// frames fall back to the source MAC (their only extractor context);
+/// 802.11 frames use the transmitter address (addr2); frames too short to
+/// carry either land on shard 0 (they fail the full parse downstream
+/// anyway). shard_of() is a pure function of (frame bytes, link type,
+/// shard count): the partition is deterministic across runs, ring sizes,
+/// and pacing — the invariant the sharded equivalence tests build on.
+class FlowShardRouter {
+ public:
+  FlowShardRouter(size_t shards, netio::LinkType link)
+      : shards_(shards == 0 ? 1 : shards), link_(link) {}
+
+  size_t shards() const { return shards_; }
+
+  size_t shard_of(const netio::RawPacket& pkt) const {
+    if (shards_ <= 1) return 0;
+    // Multiply-shift range reduction on the high hash bits (no modulo).
+    return static_cast<size_t>(((flow_hash(pkt) >> 32) * shards_) >> 32);
+  }
+
+  /// The 64-bit flow hash shard_of() reduces; exposed for balance tests.
+  uint64_t flow_hash(const netio::RawPacket& pkt) const;
+
+ private:
+  size_t shards_;
+  netio::LinkType link_;
 };
 
 /// Counters exported by a runtime run. `enqueued` counts packets accepted
@@ -250,9 +319,25 @@ using StreamPipelineFactory =
 class IngestRuntime {
  public:
   struct Options {
+    /// Slots in the shared queue (single-queue mode) or in EACH shard ring
+    /// (sharded mode; rounded up to a power of two by SpscRing).
     size_t queue_capacity = 4096;
+    /// In sharded mode an SPSC ring's producer cannot evict (the consumer
+    /// owns the head), so kDropOldest degrades to dropping the INCOMING
+    /// packet when its shard ring is full. The accounting invariant
+    /// (scored + parse_skipped == enqueued - dropped) holds either way;
+    /// kBlock is identical in both modes.
     OverflowPolicy overflow = OverflowPolicy::kBlock;
+    /// Consumer threads in single-queue mode. Ignored when shards > 0
+    /// (sharded mode runs exactly one consumer per shard).
     size_t consumers = 1;
+    /// 0 = single-queue mode (the default, behavior unchanged). N > 0 =
+    /// flow-sharded mode: the producer routes every frame through a
+    /// FlowShardRouter into N private SPSC rings, each drained by its own
+    /// consumer thread with its own scorer/chain. Because the partition is
+    /// by flow hash, a device's conversations stay on one shard and each
+    /// shard's detector state is single-threaded by construction.
+    size_t shards = 0;
     /// Packets a consumer claims per queue lock, and the flush threshold
     /// for its locally-buffered sink records. 1 reproduces the historic
     /// packet-at-a-time behaviour (same alerts either way; only lock
@@ -275,6 +360,21 @@ class IngestRuntime {
     /// Prepended to every instrument name this runtime records. Give each
     /// embedded runtime its own prefix if several share one registry.
     std::string instrument_prefix = "ingest.";
+
+    /// Clamp every field into its sane range in one pass, recording each
+    /// adjustment in `*diagnostic` as one human-readable line (set to ""
+    /// when nothing was clamped). The runtime normalizes exactly once at
+    /// construction and emits the diagnostic to stderr — there are no
+    /// scattered silent per-field clamps. Ranges: consumers/shards <= 256
+    /// (threads, not pool workers), consumer_batch/score_batch in
+    /// [1, 65536], queue_capacity in [1, 1 << 24].
+    ///
+    /// LUMEN_THREADS interaction: that variable sizes the shared
+    /// common/parallel.h ThreadPool used INSIDE scorers (e.g. parallel
+    /// dense kernels); it does not limit consumers/shards, which are
+    /// dedicated long-running threads outside the pool. Oversubscription
+    /// guidance: shards + LUMEN_THREADS should stay near the core count.
+    static Options normalized(Options opts, std::string* diagnostic);
   };
 
   IngestRuntime(Options opts, ScorerFactory factory, AlertSink* sink);
@@ -298,6 +398,24 @@ class IngestRuntime {
   /// The queue is closed; consumers drain what is already buffered.
   void request_stop() { stop_.store(true, std::memory_order_relaxed); }
 
+  /// Hot-swap the scorer factory (callable from any thread, including
+  /// while run() is in flight): each consumer rebuilds its scorer from the
+  /// new factory at its next batch boundary, so a retrained model rolls
+  /// into running shards without draining traffic. The packet path stays
+  /// wait-free — detecting a deploy costs two atomic loads per batch (a
+  /// ModelSlot epoch pin); the swap itself never blocks the producer or
+  /// sibling consumers. Counted under `<prefix>swaps_applied` (one per
+  /// consumer that rebuilt). Scorer mode only: pipeline-mode chains carry
+  /// irreplaceable window state mid-stream, so there deploys only take
+  /// effect for the next run().
+  void deploy(ScorerFactory factory);
+
+  /// Consumer threads a run spawns: shards (one per shard) in sharded
+  /// mode, else Options::consumers.
+  size_t effective_consumers() const {
+    return opts_.shards > 0 ? opts_.shards : opts_.consumers;
+  }
+
   /// Statistics of the current (or last finished) run, read back from the
   /// registry instruments as deltas against the run-start baseline (see the
   /// IngestStats deprecation note).
@@ -308,23 +426,46 @@ class IngestRuntime {
   telemetry::Registry& registry() const { return *reg_; }
 
  private:
-  void consume(size_t id, BoundedPacketQueue& queue, PacketScorer& scorer,
+  /// Per-shard instruments (`ingest.shard<i>.*`), resolved when extended
+  /// telemetry is on and shards > 0.
+  struct ShardInstruments {
+    telemetry::Counter* routed = nullptr;
+    telemetry::Counter* scored = nullptr;
+    telemetry::Counter* alerted = nullptr;
+    telemetry::Counter* parse_skipped = nullptr;
+    telemetry::Gauge* ring_high_water = nullptr;
+  };
+
+  void consume(size_t id, PacketFeed& feed,
+               std::unique_ptr<PacketScorer> scorer, uint64_t scorer_version,
                netio::LinkType link);
-  void consume_pipeline(size_t id, BoundedPacketQueue& queue,
-                        StreamPipeline& pipe, netio::LinkType link);
-  /// Shared run skeleton: queue + producer loop + consumer threads running
-  /// `consumer_body(id, queue, link)` + graceful drain/join/rethrow. The
-  /// two public modes only differ in what the body does per batch.
+  void consume_pipeline(size_t id, PacketFeed& feed, StreamPipeline& pipe,
+                        netio::LinkType link);
+  /// Shared run skeleton: conduits + producer loop + consumer threads
+  /// running `consumer_body(id, feed, link)` + graceful drain/join/rethrow.
+  /// Picks single-queue or sharded plumbing off opts_.shards; the two
+  /// public modes only differ in what the body does per batch.
   Result<IngestStats> drive(
       netio::PacketSource& source,
-      const std::function<void(size_t, BoundedPacketQueue&, netio::LinkType)>&
+      const std::function<void(size_t, PacketFeed&, netio::LinkType)>&
+          consumer_body);
+  Result<IngestStats> drive_single_queue(
+      netio::PacketSource& source,
+      const std::function<void(size_t, PacketFeed&, netio::LinkType)>&
+          consumer_body);
+  Result<IngestStats> drive_sharded(
+      netio::PacketSource& source,
+      const std::function<void(size_t, PacketFeed&, netio::LinkType)>&
           consumer_body);
 
   Options opts_;
-  ScorerFactory factory_;
   AlertSink* sink_;
   StreamPipelineFactory pipeline_factory_;  // pipeline mode (else empty)
   EpochSink* epoch_sink_ = nullptr;
+  /// The scorer factory lives behind a hot-swap slot so deploy() can
+  /// replace it while consumers run (see deploy()). Sized to
+  /// effective_consumers(); consumers pin it once per batch.
+  std::unique_ptr<ModelSlot<ScorerFactory>> scorer_slot_;
   std::atomic<bool> stop_{false};
   std::mutex sink_mu_;
 
@@ -337,8 +478,10 @@ class IngestRuntime {
   telemetry::Counter* parse_skipped_ = nullptr;
   telemetry::Counter* scored_ = nullptr;
   telemetry::Counter* alerted_ = nullptr;
+  telemetry::Counter* swaps_applied_ = nullptr;
   telemetry::Gauge* queue_depth_ = nullptr;
   telemetry::Gauge* queue_high_water_ = nullptr;
+  std::vector<ShardInstruments> shard_instruments_;  // extended_ && sharded
   telemetry::Histogram* extract_ns_ = nullptr;
   telemetry::Histogram* score_ns_ = nullptr;
   telemetry::Histogram* flush_ns_ = nullptr;

@@ -96,6 +96,58 @@ TEST(BoundedQueue, DropOldestEvictsAndCounts) {
   EXPECT_EQ(out.capture_index, 3u);
 }
 
+TEST(BoundedQueue, LateAttachedMirrorCatchesUpOnPreAttachDrops) {
+  // Regression: drops that happened before attach_telemetry used to be
+  // lost from the mirror forever — the counter and dropped() disagreed for
+  // the rest of the queue's life. Attachment now folds them in, and the
+  // shared locked bookkeeping keeps the two in lockstep afterwards.
+  BoundedPacketQueue q(2, OverflowPolicy::kDropOldest);
+  for (uint32_t i = 0; i < 5; ++i) ASSERT_TRUE(q.push(sp(i)));
+  EXPECT_EQ(q.dropped(), 3u);
+
+  telemetry::Registry reg;
+  telemetry::Counter& dropped = reg.counter("q.dropped");
+  q.attach_telemetry(nullptr, nullptr, &dropped);
+  EXPECT_EQ(dropped.value(), 3u);  // pre-attach drops folded in
+
+  ASSERT_TRUE(q.push(sp(5)));  // evicts one more
+  EXPECT_EQ(q.dropped(), 4u);
+  EXPECT_EQ(dropped.value(), 4u);  // mirror moved with the drop decision
+}
+
+TEST(BoundedQueue, DropMirrorNeverRunsAheadUnderConcurrentPops) {
+  // The counter bump shares the drop's critical section, so a scraper that
+  // samples the mirror first and the authoritative count second must never
+  // see mirror > dropped() — the one-batch divergence this ordering
+  // forbids. Hammered from three sides to give TSan something to chew on.
+  BoundedPacketQueue q(4, OverflowPolicy::kDropOldest);
+  telemetry::Registry reg;
+  telemetry::Counter& mirror = reg.counter("q.dropped");
+  q.attach_telemetry(nullptr, nullptr, &mirror);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ordered{true};
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      const uint64_t mirrored = mirror.value();
+      const uint64_t authoritative = q.dropped();  // sampled after
+      if (mirrored > authoritative) ordered.store(false);
+    }
+  });
+  std::thread consumer([&] {
+    std::vector<SourcePacket> batch;
+    for (int i = 0; i < 200; ++i) q.pop_batch(batch, 3);
+  });
+  for (uint32_t i = 0; i < 4000; ++i) ASSERT_TRUE(q.push(sp(i)));
+  stop.store(true);
+  scraper.join();
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(ordered.load());
+  EXPECT_GT(q.dropped(), 0u);
+  EXPECT_EQ(mirror.value(), q.dropped());
+}
+
 TEST(BoundedQueue, CloseDrainsThenStops) {
   BoundedPacketQueue q(4, OverflowPolicy::kBlock);
   ASSERT_TRUE(q.push(sp(0)));

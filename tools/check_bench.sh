@@ -4,7 +4,12 @@
 #    packets per second than the 1-consumer one (the de-serialized ingest
 #    path must never make adding consumers a loss); fail if the
 #    micro-batched online scoring path is slower than the row-at-a-time
-#    baseline, or if its alert set diverged from the row-at-a-time run.
+#    baseline, or if its alert set diverged from the row-at-a-time run;
+#    fail the shard-scaling gate if the sharded path regresses (multi-core
+#    hosts: 4-shard drain must reach 2x the 1-shard drain; single-core
+#    hosts: the 1-shard drain must stay within 10% of the single-queue
+#    drain), if the sharded record stream diverged from the single-queue
+#    one, or if the hot-swap run lost packets or never applied a swap.
 #  * bench_ml — fail if any model's batched dense-kernel scoring path is
 #    slower than the pre-PR per-row path it replaced.
 #  * bench_telemetry — fail if full instrumentation costs the ingest
@@ -165,6 +170,51 @@ if [ "$(json_num "$JSON" alerts_identical)" != "true" ]; then
 fi
 
 echo "check_bench: online micro-batched $BATCHED_NS ns/pkt <= row-at-a-time $ROW_NS ns/pkt, alerts identical"
+
+# --- sharded ingestion: scaling, equivalence, hot swap -------------------
+SHARD_VS_SQ="$(json_num "$JSON" sharded_vs_single_queue)"
+SCALING="$(json_num "$JSON" scaling_4shard_vs_1shard)"
+MULTI_CORE="$(json_num "$JSON" multi_core)"
+[ -n "$SHARD_VS_SQ" ] && [ -n "$SCALING" ] && [ -n "$MULTI_CORE" ] || {
+  echo "check_bench: could not parse sharded section from $JSON" >&2
+  exit 1
+}
+
+if [ "$MULTI_CORE" = "true" ]; then
+  # With >= 4 hardware threads the shard consumers run in parallel, so the
+  # 4-shard unpaced drain must scale to at least 2x the 1-shard drain.
+  if awk -v s="$SCALING" 'BEGIN { exit !(s < 2.0) }'; then
+    echo "check_bench: FAIL — 4-shard drain only ${SCALING}x the 1-shard drain (need >= 2.0x on a multi-core host)" >&2
+    exit 1
+  fi
+  echo "check_bench: 4-shard drain ${SCALING}x the 1-shard drain (multi-core host)"
+else
+  # One core time-slices the shard threads, so scaling is meaningless;
+  # instead the routing layer itself must stay cheap: the 1-shard drain
+  # must hold at least 0.9x the single-queue drain.
+  if awk -v r="$SHARD_VS_SQ" 'BEGIN { exit !(r < 0.9) }'; then
+    echo "check_bench: FAIL — sharded drain at ${SHARD_VS_SQ}x of single-queue (need >= 0.9x on a single-core host)" >&2
+    exit 1
+  fi
+  echo "check_bench: sharded drain ${SHARD_VS_SQ}x of single-queue (single-core host)"
+fi
+
+if [ "$(json_num "$JSON" sharded_alerts_identical)" != "true" ]; then
+  echo "check_bench: FAIL — sharded record stream diverged from the single-queue run" >&2
+  exit 1
+fi
+
+SWAPS="$(json_num "$JSON" swaps_applied)"
+if [ "$(json_num "$JSON" hot_swap_accounted)" != "true" ]; then
+  echo "check_bench: FAIL — hot-swap run lost packets" >&2
+  exit 1
+fi
+if awk -v s="${SWAPS:-0}" 'BEGIN { exit !(s < 1) }'; then
+  echo "check_bench: FAIL — hot-swap run never applied a deployed scorer (swaps_applied=${SWAPS:-0})" >&2
+  exit 1
+fi
+
+echo "check_bench: sharded records identical, hot swap applied ${SWAPS}x and accounted"
 
 # --- bench_ml: batched scoring must not lose to the per-row path ---------
 "$BUILD/bench/bench_ml"
