@@ -6,6 +6,7 @@
 // multi-consumer run over a fault-injecting source. Emits BENCH_ingest.json.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -18,6 +19,13 @@
 #include "core/ingest.h"
 #include "core/kitsune_extractor.h"
 #include "core/stream.h"
+#include "features/table.h"
+#include "ml/compiled.h"
+#include "ml/forest.h"
+#include "ml/gmm.h"
+#include "ml/kernel.h"
+#include "ml/knn.h"
+#include "ml/linear.h"
 #include "netio/parse.h"
 #include "netio/source.h"
 #include "trace/registry.h"
@@ -184,15 +192,108 @@ int main() {
                 batched_score_ns > 0.0 ? score_ns / batched_score_ns : 0.0);
   }
 
+  // Compiled-plan online sweep: the same micro-batched score_packets loop
+  // with the detector lowered through OnlineKitsune::compile() at each
+  // precision. f64 plans must be bit-identical to the reference fused path
+  // (same kernels replayed in the same order); f32/i8 trade a bounded score
+  // divergence for speed. ns/pkt is the score-only marginal, like the sweep
+  // above; divergence and alert identity are measured against the reference
+  // path over the whole sweep stream at the calibrated threshold.
+  struct CompiledPoint {
+    const char* precision = nullptr;
+    double ns = 0.0;
+    double max_rel = 0.0;            // max relative score divergence vs ref
+    bool alerts_identical = false;   // same alert set at proto threshold
+    double speedup = 0.0;            // reference batched ns / compiled ns
+  };
+  std::vector<CompiledPoint> compiled_online;
+  bool compiled_f64_identical = false;
+  {
+    const double thr = proto.threshold();
+    std::vector<double> ref_scores(sweep_packets, 0.0);
+    {
+      core::OnlineKitsune det = proto;
+      for (size_t lo = 0; lo < big.view.size(); lo += default_score_batch) {
+        const size_t n = std::min(default_score_batch, big.view.size() - lo);
+        det.score_packets({big.view.data() + lo, n}, ref_scores.data() + lo);
+      }
+    }
+    std::vector<double> scores(default_score_batch, 0.0);
+    std::vector<double> cmp_scores(sweep_packets, 0.0);
+    std::printf("compiled online scoring (score-only ns/pkt, batch=%zu):\n",
+                default_score_batch);
+    for (ml::compiled::Precision p : {ml::compiled::Precision::kF64,
+                                      ml::compiled::Precision::kF32,
+                                      ml::compiled::Precision::kI8}) {
+      CompiledPoint cp;
+      cp.precision = ml::compiled::precision_name(p);
+      double best = 1e30;
+      for (int rep = 0; rep < kReps; ++rep) {
+        core::OnlineKitsune det = proto;
+        if (auto c = det.compile(p); !c.ok()) {
+          std::fprintf(stderr, "compile(%s): %s\n", cp.precision,
+                       c.error().message.c_str());
+          return 1;
+        }
+        const Clock::time_point t0 = Clock::now();
+        for (size_t lo = 0; lo < big.view.size(); lo += default_score_batch) {
+          const size_t n = std::min(default_score_batch, big.view.size() - lo);
+          det.score_packets({big.view.data() + lo, n}, scores.data());
+        }
+        best = std::min(best, seconds_since(t0));
+      }
+      cp.ns = std::max(
+          0.0, (best - extract_s_best) / static_cast<double>(sweep_packets) *
+                   1e9);
+      cp.speedup = cp.ns > 0.0 ? batched_score_ns / cp.ns : 0.0;
+      {
+        core::OnlineKitsune det = proto;
+        (void)det.compile(p);
+        for (size_t lo = 0; lo < big.view.size(); lo += default_score_batch) {
+          const size_t n = std::min(default_score_batch, big.view.size() - lo);
+          det.score_packets({big.view.data() + lo, n}, cmp_scores.data() + lo);
+        }
+      }
+      cp.alerts_identical = true;
+      for (size_t i = 0; i < sweep_packets; ++i) {
+        const double denom = std::max(std::abs(ref_scores[i]), 1e-12);
+        cp.max_rel = std::max(cp.max_rel,
+                              std::abs(cmp_scores[i] - ref_scores[i]) / denom);
+        if ((cmp_scores[i] > thr) != (ref_scores[i] > thr)) {
+          cp.alerts_identical = false;
+        }
+      }
+      if (p == ml::compiled::Precision::kF64) {
+        compiled_f64_identical = cp.max_rel == 0.0 && cp.alerts_identical;
+      }
+      std::printf("  %-4s %.0f ns/pkt (%.2fx vs reference batched), "
+                  "max rel divergence %.2e, alerts %s\n",
+                  cp.precision, cp.ns, cp.speedup, cp.max_rel,
+                  cp.alerts_identical ? "identical" : "DIVERGED");
+      compiled_online.push_back(cp);
+    }
+    std::printf("  f64 plan %s\n\n", compiled_f64_identical
+                                         ? "bit-identical to reference"
+                                         : "NOT bit-identical (BUG)");
+  }
+
   // Per-model online breakdown over the pre-extracted feature matrix:
   // row-at-a-time scoring vs the fused score_rows path at the default
-  // micro-batch, model math only (no extraction in either number).
+  // micro-batch, model math only (no extraction in either number) — plus
+  // the compiled-plan path for every deployable scorer. The online pair
+  // (KitNET, AutoEncoder) compiles at f32 (the deployment precision the
+  // headline gate tracks); the table models compile at f64, where the plan
+  // is exact by construction.
   struct ModelOnline {
     const char* name = nullptr;
-    double row_ns = 0.0;
-    double batched_ns = 0.0;
+    double row_ns = 0.0;       // reference row-at-a-time (0 = no row path)
+    double batched_ns = 0.0;   // reference batched path (0 = no such path)
+    double reference_ns = 0.0; // best reference path, the compiled baseline
+    double compiled_ns = 0.0;  // compiled plan, same batching as reference
+    const char* precision = "f64";
   };
   std::vector<ModelOnline> online_models;
+  bool table_compile_ok = true;
   {
     core::KitsuneExtractor ex;
     const size_t fdim = ex.dim();
@@ -227,6 +328,22 @@ int main() {
       return {row_s / n * 1e9, rows_s / n * 1e9};
     };
 
+    // Time a compiled plan over the same feature matrix at the same
+    // micro-batch as the fused reference path.
+    const auto time_plan = [&](const ml::compiled::PlanPtr& plan) -> double {
+      ml::compiled::Scratch ps;
+      double best = 1e30;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const Clock::time_point t0 = Clock::now();
+        for (size_t lo = 0; lo < sweep_packets; lo += default_score_batch) {
+          const size_t m = std::min(default_score_batch, sweep_packets - lo);
+          plan->score_rows(feats.data() + lo * fdim, m, fdim, out.data(), ps);
+        }
+        best = std::min(best, seconds_since(t0));
+      }
+      return best / n * 1e9;
+    };
+
     {
       const ml::KitNet& kn = proto.detector();
       ml::KitNet::ScoreScratch rs;
@@ -238,7 +355,16 @@ int main() {
           [&](const double* x, size_t m, double* o) {
             kn.score_rows(x, m, fdim, o, bs);
           });
-      online_models.push_back(ModelOnline{"KitNET", row_ns, rows_ns});
+      double comp_ns = 0.0;
+      auto plan = ml::compiled::compile_kitnet(
+          kn, {ml::compiled::Precision::kF32});
+      if (plan.ok()) {
+        comp_ns = time_plan(plan.value());
+      } else {
+        table_compile_ok = false;
+      }
+      online_models.push_back(
+          ModelOnline{"KitNET", row_ns, rows_ns, rows_ns, comp_ns, "f32"});
     }
     {
       // A single full-width autoencoder (the other online-capable model),
@@ -258,13 +384,99 @@ int main() {
           [&](const double* x, size_t m, double* o) {
             ae.score_rows(x, m, fdim, o, bs);
           });
-      online_models.push_back(ModelOnline{"AutoEncoder", row_ns, rows_ns});
+      double comp_ns = 0.0;
+      auto plan = ml::compiled::compile_autoencoder(
+          ae, 0.0, {ml::compiled::Precision::kF32});
+      if (plan.ok()) {
+        comp_ns = time_plan(plan.value());
+      } else {
+        table_compile_ok = false;
+      }
+      online_models.push_back(ModelOnline{"AutoEncoder", row_ns, rows_ns,
+                                          rows_ns, comp_ns, "f32"});
     }
+
+    // Table-model scorers, trained on a labeled subsample of the streamed
+    // features and timed over a fixed eval slice through Model::score vs
+    // the wrapped compiled plan (both paths chunk internally). Labels map
+    // each sweep-stream row back to its original capture packet.
+    {
+      const size_t tail = ds.trace.raw.size() - grace;
+      auto label_of = [&](size_t view_i) -> int {
+        const size_t raw_j = big.view[view_i].index;
+        const size_t ci = grace + (raw_j % tail);
+        return ci < ds.pkt_label.size() ? ds.pkt_label[ci] : 0;
+      };
+      const size_t eval_rows = std::min<size_t>(sweep_packets, 4096);
+      const size_t train_rows = std::min<size_t>(sweep_packets, 2048);
+      features::FeatureTable Xe =
+          features::FeatureTable::make(eval_rows, ex.feature_names());
+      for (size_t i = 0; i < eval_rows; ++i) {
+        std::copy(feats.begin() + static_cast<std::ptrdiff_t>(i * fdim),
+                  feats.begin() + static_cast<std::ptrdiff_t>((i + 1) * fdim),
+                  Xe.row_mut(i).begin());
+        Xe.labels[i] = label_of(i);
+      }
+      features::FeatureTable Xt =
+          features::FeatureTable::make(train_rows, ex.feature_names());
+      const size_t stride = std::max<size_t>(1, sweep_packets / train_rows);
+      for (size_t i = 0; i < train_rows; ++i) {
+        const size_t src = std::min(i * stride, sweep_packets - 1);
+        std::copy(
+            feats.begin() + static_cast<std::ptrdiff_t>(src * fdim),
+            feats.begin() + static_cast<std::ptrdiff_t>((src + 1) * fdim),
+            Xt.row_mut(i).begin());
+        Xt.labels[i] = label_of(src);
+      }
+
+      constexpr int kTableReps = 3;
+      const auto add_table_model = [&](const char* mname, ml::Model& mdl) {
+        mdl.fit(Xt);
+        ml::ModelPtr compiled;
+        if (auto plan = ml::compiled::compile(mdl); plan.ok()) {
+          compiled = ml::compiled::wrap(std::move(plan).value(), mname);
+        } else {
+          std::fprintf(stderr, "compile(%s): %s\n", mname,
+                       plan.error().message.c_str());
+          table_compile_ok = false;
+          return;
+        }
+        double ref_s = 1e30, comp_s = 1e30;
+        for (int rep = 0; rep < kTableReps; ++rep) {
+          const Clock::time_point t0 = Clock::now();
+          (void)mdl.score(Xe);
+          ref_s = std::min(ref_s, seconds_since(t0));
+        }
+        for (int rep = 0; rep < kTableReps; ++rep) {
+          const Clock::time_point t0 = Clock::now();
+          (void)compiled->score(Xe);
+          comp_s = std::min(comp_s, seconds_since(t0));
+        }
+        const double ne = static_cast<double>(eval_rows);
+        online_models.push_back(ModelOnline{mname, 0.0, 0.0, ref_s / ne * 1e9,
+                                            comp_s / ne * 1e9, "f64"});
+      };
+
+      ml::RandomForest forest;
+      add_table_model("RandomForest", forest);
+      ml::Gmm::Config gc;
+      gc.components = 4;
+      ml::Gmm gmm(gc);
+      add_table_model("GMM", gmm);
+      ml::OneClassSvm ocsvm;
+      add_table_model("OCSVM", ocsvm);
+      ml::LinearSvm lsvm;
+      add_table_model("LinearSVM", lsvm);
+      ml::Knn knn;
+      add_table_model("KNN", knn);
+    }
+
     for (const ModelOnline& m : online_models) {
-      std::printf("online model %s: per-row %.0f ns, micro-batched %.0f ns "
-                  "(%.2fx)\n",
-                  m.name, m.row_ns, m.batched_ns,
-                  m.batched_ns > 0.0 ? m.row_ns / m.batched_ns : 0.0);
+      std::printf("online model %s: reference %.0f ns/row, compiled(%s) "
+                  "%.0f ns/row (%.2fx)%s\n",
+                  m.name, m.reference_ns, m.precision, m.compiled_ns,
+                  m.compiled_ns > 0.0 ? m.reference_ns / m.compiled_ns : 0.0,
+                  m.batched_ns > 0.0 ? "" : " [table path]");
     }
     std::printf("\n");
   }
@@ -641,6 +853,17 @@ int main() {
     w.end();
   }
   w.end();
+  w.begin_array("online_compiled");
+  for (const CompiledPoint& cp : compiled_online) {
+    w.begin_inline_object();
+    w.kv_str("precision", cp.precision);
+    w.kv_f("score_ns_per_pkt", cp.ns, 1);
+    w.kv_f("speedup_vs_reference", cp.speedup, 2);
+    w.kv_f("max_rel_divergence", cp.max_rel, 6);
+    w.kv_bool("alerts_identical", cp.alerts_identical);
+    w.end();
+  }
+  w.end();
   w.begin_array("online_models");
   for (const ModelOnline& m : online_models) {
     w.begin_inline_object();
@@ -648,6 +871,11 @@ int main() {
     w.kv_f("row_ns_per_row", m.row_ns, 1);
     w.kv_f("batched_ns_per_row", m.batched_ns, 1);
     w.kv_f("speedup", m.batched_ns > 0.0 ? m.row_ns / m.batched_ns : 0.0, 2);
+    w.kv_str("compiled_precision", m.precision);
+    w.kv_f("reference_ns_per_row", m.reference_ns, 1);
+    w.kv_f("compiled_ns_per_row", m.compiled_ns, 1);
+    w.kv_f("compiled_vs_reference",
+           m.compiled_ns > 0.0 ? m.reference_ns / m.compiled_ns : 0.0, 2);
     w.end();
   }
   w.end();
@@ -697,7 +925,8 @@ int main() {
     std::printf("[artifact] BENCH_ingest.json\n");
   }
   return (deterministic && fault_accounted && alerts_identical &&
-          sharded_alerts_identical && hot_swap_accounted)
+          sharded_alerts_identical && hot_swap_accounted &&
+          compiled_f64_identical && table_compile_ok)
              ? 0
              : 1;
 }

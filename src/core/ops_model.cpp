@@ -5,6 +5,7 @@
 #include "core/ops_common.h"
 #include "ml/automl.h"
 #include "ml/bayes.h"
+#include "ml/compiled.h"
 #include "ml/ensemble.h"
 #include "ml/forest.h"
 #include "ml/gmm.h"
@@ -200,8 +201,21 @@ Result<Value> run_predict(const OpSpec& spec,
 
   Predictions p;
   p.y_true = X.labels;
-  p.scores = mv.model->score(X);
-  p.y_pred = mv.model->predict(X);
+  // Score through a compiled f64 plan when the model has one — bit-identical
+  // to the reference score() (the plan replays the same kernels in the same
+  // order), one weight-marshalling pass cheaper. Fall back otherwise.
+  ml::ModelPtr scorer = mv.model;
+  if (auto plan = ml::compiled::compile(*mv.model); plan.ok()) {
+    scorer = ml::compiled::wrap(std::move(plan).value(), mv.model->name());
+  }
+  p.scores = scorer->score(X);
+  if (const auto* kit = dynamic_cast<const ml::KitNet*>(mv.model.get())) {
+    // KitNet::predict == threshold_predict(score(X), threshold()); reuse
+    // the scores instead of paying a second full scoring pass.
+    p.y_pred = ml::threshold_predict(p.scores, kit->threshold());
+  } else {
+    p.y_pred = mv.model->predict(X);
+  }
   p.attack = X.attack;
   return Value(std::move(p));
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "core/kitsune_extractor.h"
+#include "ml/compiled.h"
 #include "ml/kitnet.h"
 
 namespace lumen::core {
@@ -62,6 +63,19 @@ class OnlineKitsune {
   /// The trained detector (for benches that want to time the model alone).
   const ml::KitNet& detector() const { return detector_; }
 
+  /// Lower the trained detector into a compiled scoring plan
+  /// (ml/compiled.h) and route score_packet / score_packets through it.
+  /// Opt-in: without this call scoring stays on the reference fused path.
+  /// kF64 plans are bit-identical to the reference; kF32/kI8 trade bounded
+  /// score divergence for speed (see docs/framework.md). The plan is
+  /// immutable and shared by copies of this detector, so compiling once
+  /// before cloning per-consumer detectors compiles for all of them.
+  Result<void> compile(
+      ml::compiled::Precision precision = ml::compiled::Precision::kF64);
+
+  /// The active compiled plan (null when scoring the reference path).
+  const ml::compiled::PlanPtr& compiled_plan() const { return plan_; }
+
  private:
   Options opts_;
   KitsuneExtractor extractor_;
@@ -71,6 +85,8 @@ class OnlineKitsune {
   std::vector<double> row_;
   std::vector<double> rows_block_;  // staged m x dim block for score_packets
   ml::KitNet::RowsScratch rows_scratch_;
+  ml::compiled::PlanPtr plan_;          // null = reference scoring path
+  ml::compiled::Scratch plan_scratch_;  // per-instance (copies get their own)
 };
 
 }  // namespace lumen::core

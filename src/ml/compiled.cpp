@@ -1,0 +1,1092 @@
+// Compiled inference plans — see compiled.h for the layout and equivalence
+// contracts. The f64 neural plans reuse the dense f64 kernels with the exact
+// reference call shapes (bit-identity by construction); the f32 plans ride
+// the KernelsF32 table below; the i8 apply is portable scalar (the layers
+// KitNET compiles are ~10x8 — the int8 win is the 8x smaller panel, not
+// vector ALUs).
+#include "ml/compiled.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/parallel.h"
+#include "ml/dense.h"
+#include "ml/forest.h"
+#include "ml/gmm.h"
+#include "ml/kernel.h"
+#include "ml/kitnet.h"
+#include "ml/knn.h"
+#include "ml/linear.h"
+#include "ml/mlp.h"
+#include "ml/tree.h"
+
+namespace lumen::ml::compiled {
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kF64:
+      return "f64";
+    case Precision::kF32:
+      return "f32";
+    case Precision::kI8:
+      return "i8";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------- float32 kernels
+
+namespace {
+
+void packed_apply_f32_k(size_t m, size_t n_pad, size_t k, const float* x,
+                        size_t ldx, const float* wt, const float* bias,
+                        float* y, size_t ldy) {
+  // Reference semantics: per element, bias + sequential-k accumulation —
+  // batch-size independent, mirroring dense's scalar packed_apply.
+  for (size_t i = 0; i < m; ++i) {
+    const float* xi = x + i * ldx;
+    float* yi = y + i * ldy;
+    for (size_t o = 0; o < n_pad; ++o) yi[o] = bias[o];
+    for (size_t l = 0; l < k; ++l) {
+      const float xl = xi[l];
+      const float* wrow = wt + l * n_pad;
+      for (size_t o = 0; o < n_pad; ++o) yi[o] += xl * wrow[o];
+    }
+  }
+}
+
+void sigmoid_sweep_f32_k(size_t n, float* x) {
+  for (size_t i = 0; i < n; ++i) x[i] = 1.0f / (1.0f + std::exp(-x[i]));
+}
+
+}  // namespace
+
+const KernelsF32& scalar_kernels_f32() {
+  static const KernelsF32 k = {packed_apply_f32_k, sigmoid_sweep_f32_k};
+  return k;
+}
+
+#ifdef LUMEN_DENSE_HAVE_AVX2
+// Defined in compiled_avx2.cpp (the only TU built with -mavx2 -mfma).
+const KernelsF32& avx2_kernels_f32_impl();
+#endif
+
+const KernelsF32* avx2_kernels_f32() {
+#ifdef LUMEN_DENSE_HAVE_AVX2
+  return dense::avx2_available() ? &avx2_kernels_f32_impl() : nullptr;
+#else
+  return nullptr;
+#endif
+}
+
+const KernelsF32& active_kernels_f32() {
+  if (dense::active_backend() == dense::Backend::kAvx2) {
+    if (const KernelsF32* k = avx2_kernels_f32()) return *k;
+  }
+  return scalar_kernels_f32();
+}
+
+namespace {
+
+constexpr size_t kNoGather = static_cast<size_t>(-1);
+
+size_t pad_to(size_t n, size_t pad) { return (n + pad - 1) / pad * pad; }
+
+// ------------------------------------------------------------ KitNET / AE
+//
+// One compiled autoencoder: gather indices, normalization constants, and
+// the two packed weight panels, all as offsets into the owning plan's
+// arena(s) so the whole ensemble is a single contiguous, scoring-ordered
+// block.
+struct AeUnit {
+  size_t in = 0, hidden = 0;
+  size_t hp = 0, dp = 0;      // padded panel widths (hidden / in)
+  size_t gather = kNoGather;  // offset into gather index table
+  // Arena offsets, in scoring order.
+  size_t nmin = 0, inv = 0, enc_wt = 0, enc_b = 0, dec_wt = 0, dec_b = 0;
+  // i8 extras: quantized panels + per-output-channel dequant factors.
+  size_t enc_wq = 0, dec_wq = 0, enc_f = 0, dec_f = 0;
+};
+
+/// Append `n` doubles to the arena, returning their offset.
+template <typename V>
+size_t arena_alloc(V& arena, size_t n) {
+  const size_t off = arena.size();
+  arena.resize(off + n, typename V::value_type(0));
+  return off;
+}
+
+/// Pack an `out x in` row-major weight matrix into the transposed
+/// `in x out_pad` panel layout dense::PackedDense uses (same element
+/// placement, so dense::packed_apply sees an identical panel).
+template <typename T>
+void pack_panel(const double* w, size_t out, size_t in, size_t out_pad,
+                T* dst) {
+  for (size_t o = 0; o < out; ++o) {
+    for (size_t l = 0; l < in; ++l) {
+      dst[l * out_pad + o] = static_cast<T>(w[o * in + l]);
+    }
+  }
+}
+
+/// Per-output-channel int8 quantization: wq[l*out+o] = round(w[o][l]/s_o)
+/// with s_o = max_l |w[o][l]| / 127; factor[o] = s_o / 127 folds the
+/// activation scale (activations quantize to 0..127) into the dequant.
+void quantize_panel(const double* w, size_t out, size_t in, int8_t* wq,
+                    float* factor) {
+  for (size_t o = 0; o < out; ++o) {
+    double maxabs = 0.0;
+    for (size_t l = 0; l < in; ++l) {
+      maxabs = std::max(maxabs, std::fabs(w[o * in + l]));
+    }
+    const double s = maxabs / 127.0;
+    factor[o] = static_cast<float>(s / 127.0);
+    for (size_t l = 0; l < in; ++l) {
+      wq[l * out + o] =
+          s > 0.0 ? static_cast<int8_t>(std::lrint(w[o * in + l] / s)) : 0;
+    }
+  }
+}
+
+/// Compile one AutoEncoderCore into the f64 arena.
+AeUnit lower_ae_f64(const AutoEncoderCore& ae, const size_t* cluster,
+                    size_t cluster_size, std::vector<double>& arena,
+                    std::vector<uint32_t>& gather) {
+  const AutoEncoderCore::ParamsView p = ae.params_view();
+  AeUnit u;
+  u.in = p.dim;
+  u.hidden = p.hidden;
+  u.hp = pad_to(p.hidden, dense::kPackPad);
+  u.dp = pad_to(p.dim, dense::kPackPad);
+  if (cluster != nullptr) {
+    u.gather = gather.size();
+    for (size_t j = 0; j < cluster_size; ++j) {
+      gather.push_back(static_cast<uint32_t>(cluster[j]));
+    }
+  }
+  u.nmin = arena_alloc(arena, u.in);
+  std::copy(p.norm_min, p.norm_min + u.in, arena.begin() + u.nmin);
+  u.inv = arena_alloc(arena, u.in);
+  for (size_t c = 0; c < u.in; ++c) {
+    // Same guarded-reciprocal expression as the reference score_rows.
+    const double range = p.norm_max[c] - p.norm_min[c];
+    arena[u.inv + c] = range > 1e-12 ? 1.0 / range : 0.0;
+  }
+  u.enc_wt = arena_alloc(arena, u.in * u.hp);
+  pack_panel(p.w1, u.hidden, u.in, u.hp, arena.data() + u.enc_wt);
+  u.enc_b = arena_alloc(arena, u.hp);
+  std::copy(p.b1, p.b1 + u.hidden, arena.begin() + u.enc_b);
+  u.dec_wt = arena_alloc(arena, u.hidden * u.dp);
+  pack_panel(p.w2, u.in, u.hidden, u.dp, arena.data() + u.dec_wt);
+  u.dec_b = arena_alloc(arena, u.dp);
+  std::copy(p.b2, p.b2 + u.in, arena.begin() + u.dec_b);
+  return u;
+}
+
+/// Compile one AutoEncoderCore into the f32 arena (panels padded to the
+/// 8-lane width).
+AeUnit lower_ae_f32(const AutoEncoderCore& ae, const size_t* cluster,
+                    size_t cluster_size, std::vector<float>& arena,
+                    std::vector<uint32_t>& gather) {
+  const AutoEncoderCore::ParamsView p = ae.params_view();
+  AeUnit u;
+  u.in = p.dim;
+  u.hidden = p.hidden;
+  u.hp = pad_to(p.hidden, kPackPadF32);
+  u.dp = pad_to(p.dim, kPackPadF32);
+  if (cluster != nullptr) {
+    u.gather = gather.size();
+    for (size_t j = 0; j < cluster_size; ++j) {
+      gather.push_back(static_cast<uint32_t>(cluster[j]));
+    }
+  }
+  u.nmin = arena_alloc(arena, u.in);
+  for (size_t c = 0; c < u.in; ++c) {
+    arena[u.nmin + c] = static_cast<float>(p.norm_min[c]);
+  }
+  u.inv = arena_alloc(arena, u.in);
+  for (size_t c = 0; c < u.in; ++c) {
+    const double range = p.norm_max[c] - p.norm_min[c];
+    arena[u.inv + c] = range > 1e-12 ? static_cast<float>(1.0 / range) : 0.0f;
+  }
+  u.enc_wt = arena_alloc(arena, u.in * u.hp);
+  pack_panel(p.w1, u.hidden, u.in, u.hp, arena.data() + u.enc_wt);
+  u.enc_b = arena_alloc(arena, u.hp);
+  for (size_t o = 0; o < u.hidden; ++o) {
+    arena[u.enc_b + o] = static_cast<float>(p.b1[o]);
+  }
+  u.dec_wt = arena_alloc(arena, u.hidden * u.dp);
+  pack_panel(p.w2, u.in, u.hidden, u.dp, arena.data() + u.dec_wt);
+  u.dec_b = arena_alloc(arena, u.dp);
+  for (size_t o = 0; o < u.in; ++o) {
+    arena[u.dec_b + o] = static_cast<float>(p.b2[o]);
+  }
+  return u;
+}
+
+/// Compile one AutoEncoderCore for int8: f32 normalization/bias/dequant in
+/// `farena`, quantized weight panels (k x out, transposed) in `qarena`.
+AeUnit lower_ae_i8(const AutoEncoderCore& ae, const size_t* cluster,
+                   size_t cluster_size, std::vector<float>& farena,
+                   std::vector<int8_t>& qarena,
+                   std::vector<uint32_t>& gather) {
+  const AutoEncoderCore::ParamsView p = ae.params_view();
+  AeUnit u;
+  u.in = p.dim;
+  u.hidden = p.hidden;
+  u.hp = p.hidden;  // the scalar i8 apply needs no padding
+  u.dp = p.dim;
+  if (cluster != nullptr) {
+    u.gather = gather.size();
+    for (size_t j = 0; j < cluster_size; ++j) {
+      gather.push_back(static_cast<uint32_t>(cluster[j]));
+    }
+  }
+  u.nmin = arena_alloc(farena, u.in);
+  for (size_t c = 0; c < u.in; ++c) {
+    farena[u.nmin + c] = static_cast<float>(p.norm_min[c]);
+  }
+  u.inv = arena_alloc(farena, u.in);
+  for (size_t c = 0; c < u.in; ++c) {
+    const double range = p.norm_max[c] - p.norm_min[c];
+    farena[u.inv + c] = range > 1e-12 ? static_cast<float>(1.0 / range) : 0.0f;
+  }
+  u.enc_b = arena_alloc(farena, u.hidden);
+  for (size_t o = 0; o < u.hidden; ++o) {
+    farena[u.enc_b + o] = static_cast<float>(p.b1[o]);
+  }
+  u.dec_b = arena_alloc(farena, u.in);
+  for (size_t o = 0; o < u.in; ++o) {
+    farena[u.dec_b + o] = static_cast<float>(p.b2[o]);
+  }
+  u.enc_f = arena_alloc(farena, u.hidden);
+  u.enc_wq = arena_alloc(qarena, u.in * u.hidden);
+  quantize_panel(p.w1, u.hidden, u.in, qarena.data() + u.enc_wq,
+                 farena.data() + u.enc_f);
+  u.dec_f = arena_alloc(farena, u.in);
+  u.dec_wq = arena_alloc(qarena, u.hidden * u.in);
+  quantize_panel(p.w2, u.in, u.hidden, qarena.data() + u.dec_wq,
+                 farena.data() + u.dec_f);
+  return u;
+}
+
+/// y[m x out] = dequant(xq[m x k] (stride ldx) * wq[k x out]) + bias:
+/// int32 accumulation, per-output-channel dequant factor. Row i depends
+/// only on row i of xq (sequential-k order), like the float kernels.
+void i8_apply(size_t m, size_t out, size_t k, const uint8_t* xq, size_t ldx,
+              const int8_t* wq, const float* factor, const float* bias,
+              int32_t* acc, float* y, size_t ldy) {
+  for (size_t i = 0; i < m; ++i) {
+    const uint8_t* xi = xq + i * ldx;
+    float* yi = y + i * ldy;
+    std::fill(acc, acc + out, 0);
+    for (size_t l = 0; l < k; ++l) {
+      const int32_t xl = xi[l];
+      if (xl == 0) continue;
+      const int8_t* wrow = wq + l * out;
+      for (size_t o = 0; o < out; ++o) acc[o] += xl * wrow[o];
+    }
+    for (size_t o = 0; o < out; ++o) {
+      yi[o] = bias[o] + factor[o] * static_cast<float>(acc[o]);
+    }
+  }
+}
+
+void quantize_unit_f32(size_t n, const float* x, uint8_t* q) {
+  // x is in [0,1] by construction (clamped normalization / sigmoid), so the
+  // activation scale is a fixed 127.
+  for (size_t i = 0; i < n; ++i) {
+    q[i] = static_cast<uint8_t>(std::lrintf(x[i] * 127.0f));
+  }
+}
+
+// The fused f64 KitNET/AE plan: the reference score_rows arithmetic, with
+// the gather, the normalization constants, and every panel resident in one
+// arena and the per-call reciprocal-range computation hoisted to compile
+// time.
+class KitnetPlanF64 final : public Plan {
+ public:
+  KitnetPlanF64(const KitNet* net, const AutoEncoderCore& single,
+                double threshold) {
+    threshold_ = threshold;
+    if (net != nullptr) {
+      const auto& clusters = net->clusters();
+      size_t dim = 0;
+      for (const auto& cl : clusters) {
+        for (size_t c : cl) dim = std::max(dim, c + 1);
+      }
+      dim_ = dim;
+      for (size_t k = 0; k < clusters.size(); ++k) {
+        aes_.push_back(lower_ae_f64(*net->ensemble_core(k),
+                                    clusters[k].data(), clusters[k].size(),
+                                    arena_, gather_));
+      }
+      output_ = lower_ae_f64(*net->output_core(), nullptr, 0, arena_, gather_);
+    } else {
+      dim_ = single.dim();
+      output_ = lower_ae_f64(single, nullptr, 0, arena_, gather_);
+    }
+    weight_bytes_ = arena_.size() * sizeof(double) +
+                    gather_.size() * sizeof(uint32_t);
+  }
+
+  const char* kind() const override { return aes_.empty() ? "autoencoder" : "kitnet"; }
+
+  void score_rows(const double* x, size_t m, size_t ldx, double* out,
+                  Scratch& s) const override {
+    if (aes_.empty()) {
+      run_ae(output_, x, m, ldx, out, 1, s);
+      return;
+    }
+    const size_t n_cl = aes_.size();
+    s.d.resize(m * n_cl);
+    for (size_t k = 0; k < n_cl; ++k) {
+      run_ae(aes_[k], x, m, ldx, s.d.data() + k, n_cl, s);
+    }
+    run_ae(output_, s.d.data(), m, n_cl, out, 1, s);
+  }
+
+ private:
+  /// Score the unit over the m x * source block; write the per-row RMSE to
+  /// out[i * out_stride]. Bit-identical to AutoEncoderCore::score_rows on
+  /// the gathered sub-block.
+  void run_ae(const AeUnit& u, const double* src, size_t m, size_t lds,
+              double* out, size_t out_stride, Scratch& s) const {
+    const double* ar = arena_.data();
+    const double* nmin = ar + u.nmin;
+    const double* inv = ar + u.inv;
+    s.a.resize(m * u.in);
+    for (size_t i = 0; i < m; ++i) {
+      const double* xi = src + i * lds;
+      double* zi = s.a.data() + i * u.in;
+      if (u.gather != kNoGather) {
+        const uint32_t* g = gather_.data() + u.gather;
+        for (size_t j = 0; j < u.in; ++j) {
+          zi[j] = std::clamp((xi[g[j]] - nmin[j]) * inv[j], 0.0, 1.0);
+        }
+      } else {
+        for (size_t j = 0; j < u.in; ++j) {
+          zi[j] = std::clamp((xi[j] - nmin[j]) * inv[j], 0.0, 1.0);
+        }
+      }
+    }
+    s.b.resize(m * u.hp);
+    dense::packed_apply(m, u.hp, u.in, s.a.data(), u.in, ar + u.enc_wt,
+                        ar + u.enc_b, s.b.data(), u.hp);
+    for (size_t i = 0; i < m; ++i) {
+      dense::sigmoid_sweep(u.hidden, s.b.data() + i * u.hp);
+    }
+    s.c.resize(m * u.dp);
+    dense::packed_apply(m, u.dp, u.hidden, s.b.data(), u.hp, ar + u.dec_wt,
+                        ar + u.dec_b, s.c.data(), u.dp);
+    for (size_t i = 0; i < m; ++i) {
+      double* yi = s.c.data() + i * u.dp;
+      dense::sigmoid_sweep(u.in, yi);
+      const double* zi = s.a.data() + i * u.in;
+      double mse = 0.0;
+      for (size_t c = 0; c < u.in; ++c) {
+        const double e = yi[c] - zi[c];
+        mse += e * e;
+      }
+      out[i * out_stride] = std::sqrt(mse / static_cast<double>(u.in));
+    }
+  }
+
+  std::vector<double> arena_;
+  std::vector<uint32_t> gather_;
+  std::vector<AeUnit> aes_;  // empty for a single-AE plan
+  AeUnit output_;
+};
+
+// The f32 KitNET/AE plan: identical structure in float, 8-lane panels.
+class KitnetPlanF32 final : public Plan {
+ public:
+  KitnetPlanF32(const KitNet* net, const AutoEncoderCore& single,
+                double threshold) {
+    precision_ = Precision::kF32;
+    threshold_ = threshold;
+    if (net != nullptr) {
+      const auto& clusters = net->clusters();
+      size_t dim = 0;
+      for (const auto& cl : clusters) {
+        for (size_t c : cl) dim = std::max(dim, c + 1);
+      }
+      dim_ = dim;
+      for (size_t k = 0; k < clusters.size(); ++k) {
+        aes_.push_back(lower_ae_f32(*net->ensemble_core(k),
+                                    clusters[k].data(), clusters[k].size(),
+                                    arena_, gather_));
+      }
+      output_ = lower_ae_f32(*net->output_core(), nullptr, 0, arena_, gather_);
+    } else {
+      dim_ = single.dim();
+      output_ = lower_ae_f32(single, nullptr, 0, arena_, gather_);
+    }
+    weight_bytes_ =
+        arena_.size() * sizeof(float) + gather_.size() * sizeof(uint32_t);
+  }
+
+  const char* kind() const override {
+    return aes_.empty() ? "autoencoder" : "kitnet";
+  }
+
+  void score_rows(const double* x, size_t m, size_t ldx, double* out,
+                  Scratch& s) const override {
+    const KernelsF32& kf = active_kernels_f32();
+    // One f64->f32 conversion of the source rows, shared by every cluster.
+    s.fx.resize(m * dim_);
+    for (size_t i = 0; i < m; ++i) {
+      const double* xi = x + i * ldx;
+      float* fi = s.fx.data() + i * dim_;
+      for (size_t c = 0; c < dim_; ++c) fi[c] = static_cast<float>(xi[c]);
+    }
+    if (aes_.empty()) {
+      run_ae(kf, output_, s.fx.data(), m, dim_, nullptr, 0, out, s);
+      return;
+    }
+    const size_t n_cl = aes_.size();
+    s.fd.resize(m * n_cl);
+    for (size_t k = 0; k < n_cl; ++k) {
+      run_ae(kf, aes_[k], s.fx.data(), m, dim_, s.fd.data() + k, n_cl,
+             nullptr, s);
+    }
+    run_ae(kf, output_, s.fd.data(), m, n_cl, nullptr, 0, out, s);
+  }
+
+ private:
+  /// fout (stride fstride) receives f32 RMSEs for ensemble units; out
+  /// receives f64 scores for the output unit (exactly one is non-null).
+  void run_ae(const KernelsF32& kf, const AeUnit& u, const float* src,
+              size_t m, size_t lds, float* fout, size_t fstride, double* out,
+              Scratch& s) const {
+    const float* ar = arena_.data();
+    const float* nmin = ar + u.nmin;
+    const float* inv = ar + u.inv;
+    s.fa.resize(m * u.in);
+    for (size_t i = 0; i < m; ++i) {
+      const float* xi = src + i * lds;
+      float* zi = s.fa.data() + i * u.in;
+      if (u.gather != kNoGather) {
+        const uint32_t* g = gather_.data() + u.gather;
+        for (size_t j = 0; j < u.in; ++j) {
+          zi[j] = std::clamp((xi[g[j]] - nmin[j]) * inv[j], 0.0f, 1.0f);
+        }
+      } else {
+        for (size_t j = 0; j < u.in; ++j) {
+          zi[j] = std::clamp((xi[j] - nmin[j]) * inv[j], 0.0f, 1.0f);
+        }
+      }
+    }
+    // Sigmoid runs over the whole m x padded block in one sweep: rows are
+    // contiguous at stride hp/dp, both multiples of the 8-lane pack width,
+    // so every row lands on full SIMD chunks regardless of m (batch-size
+    // invariance holds) and the padded lanes — never read downstream — cost
+    // one wasted lane instead of a per-row kernel dispatch. f64 plans keep
+    // the per-row sweep: their contract is bit-identity with the reference
+    // path, whose chunk boundaries are per-row.
+    s.fb.resize(m * u.hp);
+    kf.packed_apply(m, u.hp, u.in, s.fa.data(), u.in, ar + u.enc_wt,
+                    ar + u.enc_b, s.fb.data(), u.hp);
+    kf.sigmoid_sweep(m * u.hp, s.fb.data());
+    s.fc.resize(m * u.dp);
+    kf.packed_apply(m, u.dp, u.hidden, s.fb.data(), u.hp, ar + u.dec_wt,
+                    ar + u.dec_b, s.fc.data(), u.dp);
+    kf.sigmoid_sweep(m * u.dp, s.fc.data());
+    for (size_t i = 0; i < m; ++i) {
+      float* yi = s.fc.data() + i * u.dp;
+      const float* zi = s.fa.data() + i * u.in;
+      float mse = 0.0f;
+      for (size_t c = 0; c < u.in; ++c) {
+        const float e = yi[c] - zi[c];
+        mse += e * e;
+      }
+      const float rmse = std::sqrt(mse / static_cast<float>(u.in));
+      if (fout != nullptr) {
+        fout[i * fstride] = rmse;
+      } else {
+        out[i] = static_cast<double>(rmse);
+      }
+    }
+  }
+
+  std::vector<float> arena_;
+  std::vector<uint32_t> gather_;
+  std::vector<AeUnit> aes_;
+  AeUnit output_;
+};
+
+// The int8 KitNET/AE plan: weights quantized per output channel at compile
+// time; activations are in [0,1] by construction so they quantize to 0..127
+// with a fixed scale. Accumulation is int32; dequant, bias, and sigmoid run
+// in f32; the RMSE compares against the *unquantized* f32 input.
+class KitnetPlanI8 final : public Plan {
+ public:
+  KitnetPlanI8(const KitNet* net, const AutoEncoderCore& single,
+               double threshold) {
+    precision_ = Precision::kI8;
+    threshold_ = threshold;
+    if (net != nullptr) {
+      const auto& clusters = net->clusters();
+      size_t dim = 0;
+      for (const auto& cl : clusters) {
+        for (size_t c : cl) dim = std::max(dim, c + 1);
+      }
+      dim_ = dim;
+      for (size_t k = 0; k < clusters.size(); ++k) {
+        aes_.push_back(lower_ae_i8(*net->ensemble_core(k), clusters[k].data(),
+                                   clusters[k].size(), farena_, qarena_,
+                                   gather_));
+      }
+      output_ =
+          lower_ae_i8(*net->output_core(), nullptr, 0, farena_, qarena_, gather_);
+    } else {
+      dim_ = single.dim();
+      output_ = lower_ae_i8(single, nullptr, 0, farena_, qarena_, gather_);
+    }
+    weight_bytes_ = farena_.size() * sizeof(float) + qarena_.size() +
+                    gather_.size() * sizeof(uint32_t);
+  }
+
+  const char* kind() const override {
+    return aes_.empty() ? "autoencoder" : "kitnet";
+  }
+
+  void score_rows(const double* x, size_t m, size_t ldx, double* out,
+                  Scratch& s) const override {
+    s.fx.resize(m * dim_);
+    for (size_t i = 0; i < m; ++i) {
+      const double* xi = x + i * ldx;
+      float* fi = s.fx.data() + i * dim_;
+      for (size_t c = 0; c < dim_; ++c) fi[c] = static_cast<float>(xi[c]);
+    }
+    if (aes_.empty()) {
+      run_ae(output_, s.fx.data(), m, dim_, nullptr, 0, out, s);
+      return;
+    }
+    const size_t n_cl = aes_.size();
+    s.fd.resize(m * n_cl);
+    for (size_t k = 0; k < n_cl; ++k) {
+      run_ae(aes_[k], s.fx.data(), m, dim_, s.fd.data() + k, n_cl, nullptr,
+             s);
+    }
+    run_ae(output_, s.fd.data(), m, n_cl, nullptr, 0, out, s);
+  }
+
+ private:
+  void run_ae(const AeUnit& u, const float* src, size_t m, size_t lds,
+              float* fout, size_t fstride, double* out, Scratch& s) const {
+    const float* fr = farena_.data();
+    const float* nmin = fr + u.nmin;
+    const float* inv = fr + u.inv;
+    s.fa.resize(m * u.in);   // f32 normalized input (RMSE target)
+    s.qa.resize(m * u.in);   // quantized input
+    s.fb.resize(m * u.hidden);
+    s.qb.resize(m * u.hidden);
+    s.fc.resize(m * u.in);
+    s.ia.resize(std::max(u.hidden, u.in));
+    for (size_t i = 0; i < m; ++i) {
+      const float* xi = src + i * lds;
+      float* zi = s.fa.data() + i * u.in;
+      if (u.gather != kNoGather) {
+        const uint32_t* g = gather_.data() + u.gather;
+        for (size_t j = 0; j < u.in; ++j) {
+          zi[j] = std::clamp((xi[g[j]] - nmin[j]) * inv[j], 0.0f, 1.0f);
+        }
+      } else {
+        for (size_t j = 0; j < u.in; ++j) {
+          zi[j] = std::clamp((xi[j] - nmin[j]) * inv[j], 0.0f, 1.0f);
+        }
+      }
+      quantize_unit_f32(u.in, zi, s.qa.data() + i * u.in);
+    }
+    i8_apply(m, u.hidden, u.in, s.qa.data(), u.in, qarena_.data() + u.enc_wq,
+             fr + u.enc_f, fr + u.enc_b, s.ia.data(), s.fb.data(), u.hidden);
+    sigmoid_sweep_f32_k(m * u.hidden, s.fb.data());
+    for (size_t i = 0; i < m; ++i) {
+      quantize_unit_f32(u.hidden, s.fb.data() + i * u.hidden,
+                        s.qb.data() + i * u.hidden);
+    }
+    i8_apply(m, u.in, u.hidden, s.qb.data(), u.hidden,
+             qarena_.data() + u.dec_wq, fr + u.dec_f, fr + u.dec_b,
+             s.ia.data(), s.fc.data(), u.in);
+    sigmoid_sweep_f32_k(m * u.in, s.fc.data());
+    for (size_t i = 0; i < m; ++i) {
+      const float* yi = s.fc.data() + i * u.in;
+      const float* zi = s.fa.data() + i * u.in;
+      float mse = 0.0f;
+      for (size_t c = 0; c < u.in; ++c) {
+        const float e = yi[c] - zi[c];
+        mse += e * e;
+      }
+      const float rmse = std::sqrt(mse / static_cast<float>(u.in));
+      if (fout != nullptr) {
+        fout[i * fstride] = rmse;
+      } else {
+        out[i] = static_cast<double>(rmse);
+      }
+    }
+  }
+
+  std::vector<float> farena_;
+  std::vector<int8_t> qarena_;
+  std::vector<uint32_t> gather_;
+  std::vector<AeUnit> aes_;
+  AeUnit output_;
+};
+
+// ------------------------------------------------------------ Forest / Tree
+//
+// Flattened SoA node tables: feature / threshold / child-offset / leaf-value
+// parallel arrays for every tree in one block. Leaves carry feature -1, so
+// traversal descends until the loaded feature goes negative — it stops at
+// the leaf's actual depth like the reference walk (a fixed max-depth bound
+// pays the tree's worst case on every row) and takes the same
+// `x[feat] <= thr` branches to the same leaf, bit-identical to predict_row.
+class ForestPlan final : public Plan {
+ public:
+  ForestPlan(const std::vector<const DecisionTree*>& trees, bool single_tree,
+             size_t dim) {
+    single_tree_ = single_tree;
+    dim_ = dim;
+    threshold_ = 0.5;
+    supervised_ = true;
+    inv_ = trees.empty() ? 0.0 : 1.0 / static_cast<double>(trees.size());
+    for (const DecisionTree* t : trees) {
+      const int32_t base = static_cast<int32_t>(feat_.size());
+      root_.push_back(base);
+      const auto& nodes = t->nodes();
+      if (nodes.empty()) {
+        // An empty tree scores 0; represent it as a single zero leaf.
+        feat_.push_back(-1);
+        thr_.push_back(0.0);
+        left_.push_back(base);
+        right_.push_back(base);
+        value_.push_back(0.0);
+        continue;
+      }
+      for (const auto& nd : nodes) {
+        if (nd.feature >= 0) {
+          feat_.push_back(nd.feature);
+          thr_.push_back(nd.threshold);
+          left_.push_back(base + nd.left);
+          right_.push_back(base + nd.right);
+        } else {
+          feat_.push_back(-1);
+          thr_.push_back(0.0);
+          left_.push_back(base);
+          right_.push_back(base);
+        }
+        value_.push_back(nd.p_malicious);
+      }
+    }
+    weight_bytes_ = feat_.size() * (sizeof(int32_t) * 3 + sizeof(double) * 2) +
+                    root_.size() * sizeof(int32_t);
+  }
+
+  const char* kind() const override { return single_tree_ ? "tree" : "forest"; }
+
+  void score_rows(const double* x, size_t m, size_t ldx, double* out,
+                  Scratch&) const override {
+    const int32_t* feat = feat_.data();
+    const double* thr = thr_.data();
+    const int32_t* left = left_.data();
+    const int32_t* right = right_.data();
+    const size_t n_trees = root_.size();
+    for (size_t i = 0; i < m; ++i) {
+      const double* xi = x + i * ldx;
+      double acc = 0.0;
+      for (size_t t = 0; t < n_trees; ++t) {
+        int32_t id = root_[t];
+        for (int32_t f = feat[id]; f >= 0; f = feat[id]) {
+          id = xi[f] <= thr[id] ? left[id] : right[id];
+        }
+        acc += value_[static_cast<size_t>(id)];
+      }
+      out[i] = single_tree_ ? acc : acc * inv_;
+    }
+  }
+
+ private:
+  std::vector<int32_t> feat_, left_, right_, root_;
+  std::vector<double> thr_, value_;
+  double inv_ = 0.0;
+  bool single_tree_ = false;
+};
+
+// ------------------------------------------------------------------- GMM
+//
+// The folded quadratic form copied into one arena; scoring replicates
+// Gmm::score_block (two GEMMs + per-row logsumexp) in kScoreBlock chunks.
+class GmmPlan final : public Plan {
+ public:
+  GmmPlan(const Gmm::FoldedView& v, double threshold) {
+    dim_ = v.dim;
+    k_ = v.k;
+    threshold_ = threshold;
+    w1_ = arena_alloc(arena_, v.k * v.dim);
+    std::copy(v.w1, v.w1 + v.k * v.dim, arena_.begin() + w1_);
+    w2_ = arena_alloc(arena_, v.k * v.dim);
+    std::copy(v.w2, v.w2 + v.k * v.dim, arena_.begin() + w2_);
+    cst_ = arena_alloc(arena_, v.k);
+    std::copy(v.cst, v.cst + v.k, arena_.begin() + cst_);
+    weight_bytes_ = arena_.size() * sizeof(double);
+  }
+
+  const char* kind() const override { return "gmm"; }
+
+  void score_rows(const double* x, size_t m, size_t ldx, double* out,
+                  Scratch& s) const override {
+    for (size_t lo = 0; lo < m; lo += dense::kScoreBlock) {
+      const size_t mb = std::min(dense::kScoreBlock, m - lo);
+      block(x + lo * ldx, mb, ldx, out + lo, s);
+    }
+  }
+
+ private:
+  void block(const double* x, size_t m, size_t ldx, double* out,
+             Scratch& s) const {
+    s.a.resize(m * dim_);
+    for (size_t i = 0; i < m; ++i) {
+      const double* xi = x + i * ldx;
+      double* qi = s.a.data() + i * dim_;
+      for (size_t d = 0; d < dim_; ++d) qi[d] = xi[d] * xi[d];
+    }
+    s.b.resize(m * k_);
+    dense::gemm_nt(m, k_, dim_, s.a.data(), dim_, arena_.data() + w1_, dim_,
+                   arena_.data() + cst_, 0.0, s.b.data(), k_);
+    dense::gemm_nt(m, k_, dim_, x, ldx, arena_.data() + w2_, dim_, nullptr,
+                   1.0, s.b.data(), k_);
+    for (size_t i = 0; i < m; ++i) {
+      const double* li = s.b.data() + i * k_;
+      double maxl = -std::numeric_limits<double>::max();
+      for (size_t c = 0; c < k_; ++c) maxl = std::max(maxl, li[c]);
+      double denom = 0.0;
+      for (size_t c = 0; c < k_; ++c) denom += std::exp(li[c] - maxl);
+      out[i] = -(maxl + std::log(denom));
+    }
+  }
+
+  std::vector<double> arena_;
+  size_t k_ = 0;
+  size_t w1_ = 0, w2_ = 0, cst_ = 0;
+};
+
+// ------------------------------------------------------------------ OCSVM
+//
+// Compact support panel (vectors, alphas, norms) in one arena; scoring
+// replicates OneClassSvm::score's blocked sq_dist_batch + exp + GEMV.
+class OcsvmPlan final : public Plan {
+ public:
+  OcsvmPlan(const OneClassSvm::SupportView& v, double threshold) {
+    dim_ = v.dim;
+    n_sv_ = v.n_sv;
+    gamma_ = v.gamma;
+    rho_ = v.rho;
+    threshold_ = threshold;
+    svx_ = arena_alloc(arena_, v.n_sv * v.dim);
+    std::copy(v.sv_x, v.sv_x + v.n_sv * v.dim, arena_.begin() + svx_);
+    alpha_ = arena_alloc(arena_, v.n_sv);
+    std::copy(v.sv_alpha, v.sv_alpha + v.n_sv, arena_.begin() + alpha_);
+    norms_ = arena_alloc(arena_, v.n_sv);
+    std::copy(v.sv_norms, v.sv_norms + v.n_sv, arena_.begin() + norms_);
+    weight_bytes_ = arena_.size() * sizeof(double);
+  }
+
+  const char* kind() const override { return "ocsvm"; }
+
+  void score_rows(const double* x, size_t m, size_t ldx, double* out,
+                  Scratch& s) const override {
+    for (size_t lo = 0; lo < m; lo += dense::kScoreBlock) {
+      const size_t mb = std::min(dense::kScoreBlock, m - lo);
+      block(x + lo * ldx, mb, ldx, out + lo, s);
+    }
+  }
+
+ private:
+  void block(const double* x, size_t m, size_t ldx, double* out,
+             Scratch& s) const {
+    s.a.resize(m * n_sv_);
+    dense::sq_dist_batch(m, n_sv_, dim_, x, ldx, arena_.data() + svx_, dim_,
+                         /*xn=*/nullptr, arena_.data() + norms_, s.a.data(),
+                         n_sv_);
+    double* kmat = s.a.data();
+    for (size_t i = 0; i < m * n_sv_; ++i) kmat[i] *= -gamma_;
+    dense::exp_sweep(m * n_sv_, kmat);
+    dense::gemv(m, n_sv_, kmat, n_sv_, arena_.data() + alpha_, nullptr, out);
+    for (size_t i = 0; i < m; ++i) out[i] = rho_ - out[i];
+  }
+
+  std::vector<double> arena_;
+  size_t n_sv_ = 0;
+  size_t svx_ = 0, alpha_ = 0, norms_ = 0;
+  double gamma_ = 0.0, rho_ = 0.0;
+};
+
+// ------------------------------------------------------------- linear family
+//
+// The standardizer folded into an effective hyperplane at compile time
+// (exactly the per-call fold the batched reference does), one GEMV at score
+// time plus the family's margin squash.
+class LinearPlan final : public Plan {
+ public:
+  enum class Squash { kNone, kSigmoid, kSigmoid2x };
+
+  /// Standardized family (LinearSvm / LogisticRegression).
+  LinearPlan(const LinearModel::WeightsView& v, Squash squash) {
+    dim_ = v.dim;
+    squash_ = squash;
+    threshold_ = 0.5;
+    supervised_ = true;
+    w_ = arena_alloc(arena_, v.dim);
+    for (size_t c = 0; c < v.dim; ++c) {
+      arena_[w_ + c] = v.w[c] * v.inv_sd[c];
+    }
+    b_ = v.b - dense::dot(v.dim, arena_.data() + w_, v.mean);
+    weight_bytes_ = arena_.size() * sizeof(double);
+  }
+
+  /// Linear one-class SVM: out = rho - w.x, no squash, no standardizer.
+  LinearPlan(const LinearOneClassSvm::PlaneView& v, double threshold) {
+    dim_ = v.dim;
+    squash_ = Squash::kNone;
+    negate_ = true;
+    threshold_ = threshold;
+    w_ = arena_alloc(arena_, v.dim);
+    std::copy(v.w, v.w + v.dim, arena_.begin() + w_);
+    b_ = v.rho;
+    weight_bytes_ = arena_.size() * sizeof(double);
+  }
+
+  const char* kind() const override {
+    return negate_ ? "linear_ocsvm" : "linear";
+  }
+
+  void score_rows(const double* x, size_t m, size_t ldx, double* out,
+                  Scratch&) const override {
+    dense::gemv(m, dim_, x, ldx, arena_.data() + w_, nullptr, out);
+    if (negate_) {
+      for (size_t i = 0; i < m; ++i) out[i] = b_ - out[i];
+      return;
+    }
+    switch (squash_) {
+      case Squash::kNone:
+        for (size_t i = 0; i < m; ++i) out[i] += b_;
+        break;
+      case Squash::kSigmoid:
+        for (size_t i = 0; i < m; ++i) {
+          out[i] = 1.0 / (1.0 + std::exp(-(out[i] + b_)));
+        }
+        break;
+      case Squash::kSigmoid2x:
+        for (size_t i = 0; i < m; ++i) {
+          out[i] = 1.0 / (1.0 + std::exp(-2.0 * (out[i] + b_)));
+        }
+        break;
+    }
+  }
+
+ private:
+  std::vector<double> arena_;
+  size_t w_ = 0;
+  double b_ = 0.0;
+  Squash squash_ = Squash::kNone;
+  bool negate_ = false;
+};
+
+// -------------------------------------------------------------------- kNN
+//
+// Compacted training matrix + labels + the fit-time squared row norms;
+// scoring is the shared GEMM-expansion scan (the norms are copied from the
+// model, so results are bit-identical to Knn::score).
+class KnnPlan final : public Plan {
+ public:
+  KnnPlan(const FeatureTable& train, const std::vector<double>& sqnorm,
+          size_t k) {
+    dim_ = train.cols;
+    n_train_ = train.rows;
+    k_ = std::min(k, train.rows);
+    threshold_ = 0.5;
+    supervised_ = true;
+    data_ = train.data;
+    labels_ = train.labels;
+    sqnorm_ = sqnorm;
+    weight_bytes_ = (data_.size() + sqnorm_.size()) * sizeof(double) +
+                    labels_.size() * sizeof(int);
+  }
+
+  const char* kind() const override { return "knn"; }
+
+  void score_rows(const double* x, size_t m, size_t ldx, double* out,
+                  Scratch& s) const override {
+    knn_score_rows_batched(x, m, ldx, data_.data(), n_train_, dim_,
+                           labels_.data(), sqnorm_.data(), k_, out, s.a,
+                           s.nn);
+  }
+
+ private:
+  std::vector<double> data_;
+  std::vector<double> sqnorm_;  // ||t||^2 per training row
+  std::vector<int> labels_;
+  size_t n_train_ = 0, k_ = 0;
+};
+
+// ---------------------------------------------------------------- adapter
+
+class PlanModel final : public Model {
+ public:
+  PlanModel(PlanPtr plan, std::string name)
+      : plan_(std::move(plan)), name_(std::move(name)) {}
+
+  void fit(const FeatureTable&) override {
+    // Compiled plans are immutable artifacts; refit the source model and
+    // recompile instead.
+  }
+
+  std::vector<double> score(const FeatureTable& X) const override {
+    std::vector<double> out(X.rows, 0.0);
+    // dim() is the minimum row width the plan reads (for tree plans it is
+    // the highest feature any split references + 1, which can be narrower
+    // than the training table); wider rows are fine — ldx carries X.cols.
+    if (X.cols < plan_->dim()) return out;
+    const size_t nblocks =
+        (X.rows + dense::kScoreBlock - 1) / dense::kScoreBlock;
+    parallel_for(
+        0, nblocks,
+        [&](size_t blk) {
+          const size_t lo = blk * dense::kScoreBlock;
+          const size_t hi = std::min(X.rows, lo + dense::kScoreBlock);
+          thread_local Scratch scratch;
+          plan_->score_rows(X.data.data() + lo * X.cols, hi - lo, X.cols,
+                            out.data() + lo, scratch);
+        },
+        /*min_parallel=*/2);
+    return out;
+  }
+
+  std::vector<int> predict(const FeatureTable& X) const override {
+    return threshold_predict(score(X), plan_->threshold());
+  }
+
+  std::string name() const override { return name_; }
+  bool is_supervised() const override { return plan_->supervised(); }
+
+ private:
+  PlanPtr plan_;
+  std::string name_;
+};
+
+Error err(const std::string& what) { return Error::make("compile", what); }
+
+}  // namespace
+
+// ------------------------------------------------------------ entry points
+
+Result<PlanPtr> compile_kitnet(const KitNet& net, const Options& opts) {
+  if (net.output_core() == nullptr) return err("KitNet is not fitted");
+  for (size_t k = 0; k < net.clusters().size(); ++k) {
+    if (!net.ensemble_core(k)->sealed()) {
+      return err("KitNet ensemble is not sealed (train, then fit())");
+    }
+  }
+  if (!net.output_core()->sealed()) return err("KitNet output AE not sealed");
+  switch (opts.precision) {
+    case Precision::kF64:
+      return PlanPtr(std::make_shared<KitnetPlanF64>(
+          &net, *net.output_core(), net.threshold()));
+    case Precision::kF32:
+      return PlanPtr(std::make_shared<KitnetPlanF32>(
+          &net, *net.output_core(), net.threshold()));
+    case Precision::kI8:
+      return PlanPtr(std::make_shared<KitnetPlanI8>(&net, *net.output_core(),
+                                                    net.threshold()));
+  }
+  return err("unknown precision");
+}
+
+Result<PlanPtr> compile_autoencoder(const AutoEncoderCore& ae,
+                                    double threshold, const Options& opts) {
+  if (!ae.sealed()) return err("AutoEncoder core is not sealed");
+  switch (opts.precision) {
+    case Precision::kF64:
+      return PlanPtr(std::make_shared<KitnetPlanF64>(nullptr, ae, threshold));
+    case Precision::kF32:
+      return PlanPtr(std::make_shared<KitnetPlanF32>(nullptr, ae, threshold));
+    case Precision::kI8:
+      return PlanPtr(std::make_shared<KitnetPlanI8>(nullptr, ae, threshold));
+  }
+  return err("unknown precision");
+}
+
+Result<PlanPtr> compile(const Model& model, const Options& opts) {
+  if (const auto* kit = dynamic_cast<const KitNet*>(&model)) {
+    return compile_kitnet(*kit, opts);
+  }
+  if (const auto* aed = dynamic_cast<const AutoEncoderDetector*>(&model)) {
+    if (aed->core() == nullptr) return err("AutoEncoder is not fitted");
+    return compile_autoencoder(*aed->core(), aed->threshold(), opts);
+  }
+  if (const auto* rf = dynamic_cast<const RandomForest*>(&model)) {
+    if (rf->trees().empty()) return err("RandomForest is not fitted");
+    std::vector<const DecisionTree*> trees;
+    size_t dim = 1;
+    for (const auto& t : rf->trees()) {
+      trees.push_back(&t);
+      for (const auto& nd : t.nodes()) {
+        if (nd.feature >= 0) {
+          dim = std::max(dim, static_cast<size_t>(nd.feature) + 1);
+        }
+      }
+    }
+    return PlanPtr(std::make_shared<ForestPlan>(trees, false, dim));
+  }
+  if (const auto* dt = dynamic_cast<const DecisionTree*>(&model)) {
+    if (dt->nodes().empty()) return err("DecisionTree is not fitted");
+    std::vector<const DecisionTree*> trees = {dt};
+    size_t dim = 1;
+    for (const auto& nd : dt->nodes()) {
+      if (nd.feature >= 0) {
+        dim = std::max(dim, static_cast<size_t>(nd.feature) + 1);
+      }
+    }
+    return PlanPtr(std::make_shared<ForestPlan>(trees, true, dim));
+  }
+  if (const auto* gmm = dynamic_cast<const Gmm*>(&model)) {
+    const Gmm::FoldedView v = gmm->folded_view();
+    if (v.w1 == nullptr) return err("GMM is not fitted");
+    return PlanPtr(std::make_shared<GmmPlan>(v, gmm->threshold()));
+  }
+  if (const auto* svm = dynamic_cast<const OneClassSvm*>(&model)) {
+    const OneClassSvm::SupportView v = svm->support_view();
+    if (v.sv_x == nullptr) return err("OneClassSVM is not fitted");
+    return PlanPtr(std::make_shared<OcsvmPlan>(v, svm->threshold()));
+  }
+  if (const auto* losvm = dynamic_cast<const LinearOneClassSvm*>(&model)) {
+    const LinearOneClassSvm::PlaneView v = losvm->plane_view();
+    if (v.w == nullptr) return err("LinearOCSVM is not fitted");
+    return PlanPtr(std::make_shared<LinearPlan>(v, losvm->threshold()));
+  }
+  if (const auto* lin = dynamic_cast<const LinearModel*>(&model)) {
+    const LinearModel::WeightsView v = lin->weights_view();
+    if (v.w == nullptr) return err("linear model is not fitted");
+    const bool logistic =
+        dynamic_cast<const LogisticRegression*>(&model) != nullptr;
+    return PlanPtr(std::make_shared<LinearPlan>(
+        v, logistic ? LinearPlan::Squash::kSigmoid
+                    : LinearPlan::Squash::kSigmoid2x));
+  }
+  if (const auto* knn = dynamic_cast<const Knn*>(&model)) {
+    const Knn::TrainView v = knn->train_view();
+    if (v.train == nullptr) return err("kNN is not fitted");
+    return PlanPtr(std::make_shared<KnnPlan>(*v.train, *v.sqnorm, v.k));
+  }
+  return err("no compiled form for model '" + model.name() + "'");
+}
+
+ModelPtr wrap(PlanPtr plan, std::string display_name) {
+  return std::make_shared<PlanModel>(std::move(plan),
+                                     std::move(display_name));
+}
+
+}  // namespace lumen::ml::compiled

@@ -1,0 +1,125 @@
+// AVX2/FMA float32 kernels for the compiled inference plans. Like
+// dense_avx2.cpp, this is compiled with -mavx2 -mfma and selected only
+// after the runtime cpuid check, so nothing here may leak into a header.
+//
+// The f32 panels pad output columns to 8 (kPackPadF32), so every column
+// chunk is one full __m256 vector: a KitNET-sized layer (~10 x 8) is a
+// single register column held across the whole k loop. exp uses the
+// Cephes single-precision polynomial (~1 ulp over the clamped range).
+#include "ml/compiled.h"
+
+#ifdef LUMEN_DENSE_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+namespace lumen::ml::compiled {
+
+namespace {
+
+// ------------------------------------------------------------- vector exp
+//
+// Cephes expf lifted lane-wise: reduce x = n*ln2 + r with the ln2 split in
+// two parts for accuracy, evaluate the degree-5 polynomial for exp(r),
+// scale by 2^n through the exponent bits. Inputs are clamped to +-88.37
+// (the finite float range), so sigmoid saturates cleanly at 0/1.
+
+inline __m256 exp8(__m256 x) {
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 c1 = _mm256_set1_ps(0.693359375f);
+  const __m256 c2 = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 p0 = _mm256_set1_ps(1.9875691500e-4f);
+  const __m256 p1 = _mm256_set1_ps(1.3981999507e-3f);
+  const __m256 p2 = _mm256_set1_ps(8.3334519073e-3f);
+  const __m256 p3 = _mm256_set1_ps(4.1665795894e-2f);
+  const __m256 p4 = _mm256_set1_ps(1.6666665459e-1f);
+  const __m256 p5 = _mm256_set1_ps(5.0000001201e-1f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+
+  x = _mm256_max_ps(_mm256_set1_ps(-88.3762626647949f),
+                    _mm256_min_ps(_mm256_set1_ps(88.3762626647949f), x));
+
+  // n = round(x / ln2)
+  __m256 n = _mm256_round_ps(_mm256_mul_ps(x, log2e),
+                             _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  // r = x - n * ln2 (two-part ln2 keeps r accurate)
+  __m256 r = _mm256_fnmadd_ps(n, c1, x);
+  r = _mm256_fnmadd_ps(n, c2, r);
+  const __m256 r2 = _mm256_mul_ps(r, r);
+
+  __m256 p = p0;
+  p = _mm256_fmadd_ps(p, r, p1);
+  p = _mm256_fmadd_ps(p, r, p2);
+  p = _mm256_fmadd_ps(p, r, p3);
+  p = _mm256_fmadd_ps(p, r, p4);
+  p = _mm256_fmadd_ps(p, r, p5);
+  p = _mm256_fmadd_ps(p, r2, _mm256_add_ps(r, one));
+
+  // * 2^n via the exponent bits
+  const __m256i ni = _mm256_cvtps_epi32(n);
+  const __m256i pow2 =
+      _mm256_slli_epi32(_mm256_add_epi32(ni, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(p, _mm256_castsi256_ps(pow2));
+}
+
+inline __m256 sigmoid8(__m256 v) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = exp8(_mm256_sub_ps(_mm256_setzero_ps(), v));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+void sigmoid_sweep_f32_k(size_t n, float* x) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, sigmoid8(_mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] = 1.0f / (1.0f + std::exp(-x[i]));
+}
+
+// Fused packed-layer kernel, f32: wt is the pre-transposed k x np panel
+// with np a multiple of 8. Each 8-column chunk accumulates bias +
+// sequential-k FMAs in registers across the whole k loop, so row i's
+// result is independent of the batch size m (the packed_apply contract).
+void packed_apply_f32_k(size_t m, size_t np, size_t k, const float* x,
+                        size_t ldx, const float* wt, const float* bias,
+                        float* y, size_t ldy) {
+  for (size_t i = 0; i < m; ++i) {
+    const float* xi = x + i * ldx;
+    float* yi = y + i * ldy;
+    size_t j = 0;
+    for (; j + 16 <= np; j += 16) {
+      __m256 acc0 = _mm256_loadu_ps(bias + j);
+      __m256 acc1 = _mm256_loadu_ps(bias + j + 8);
+      const float* wp = wt + j;
+      for (size_t l = 0; l < k; ++l) {
+        const __m256 xv = _mm256_set1_ps(xi[l]);
+        acc0 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(wp + l * np), acc0);
+        acc1 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(wp + l * np + 8), acc1);
+      }
+      _mm256_storeu_ps(yi + j, acc0);
+      _mm256_storeu_ps(yi + j + 8, acc1);
+    }
+    for (; j < np; j += 8) {
+      __m256 acc = _mm256_loadu_ps(bias + j);
+      const float* wp = wt + j;
+      for (size_t l = 0; l < k; ++l) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(xi[l]),
+                              _mm256_loadu_ps(wp + l * np), acc);
+      }
+      _mm256_storeu_ps(yi + j, acc);
+    }
+  }
+}
+
+}  // namespace
+
+const KernelsF32& avx2_kernels_f32_impl() {
+  static const KernelsF32 k = {packed_apply_f32_k, sigmoid_sweep_f32_k};
+  return k;
+}
+
+}  // namespace lumen::ml::compiled
+
+#endif  // LUMEN_DENSE_HAVE_AVX2

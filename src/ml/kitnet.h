@@ -40,6 +40,13 @@ class KitNet : public Model {
   const std::vector<std::vector<size_t>>& clusters() const { return clusters_; }
   double threshold() const { return threshold_; }
 
+  /// Ensemble internals for the model compiler (ml/compiled.*): the fitted
+  /// per-cluster cores and the output core (null before fit).
+  const AutoEncoderCore* ensemble_core(size_t k) const {
+    return ensemble_[k].get();
+  }
+  const AutoEncoderCore* output_core() const { return output_.get(); }
+
   /// Reusable buffers for allocation-free single-row scoring. One scratch
   /// serves the whole ensemble plus the output autoencoder.
   struct ScoreScratch {

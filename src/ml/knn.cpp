@@ -1,7 +1,10 @@
 #include "ml/knn.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
+#include <utility>
 
 #include "common/parallel.h"
 #include "ml/dense.h"
@@ -23,9 +26,46 @@ void Knn::fit(const FeatureTable& X) {
     std::sort(idx.begin(), idx.end());
     train_ = X.select_rows(idx);
   }
-  train_norms_.resize(train_.rows);
+  train_sqnorm_.resize(train_.rows);
   dense::row_sq_norms(train_.rows, train_.cols, train_.data.data(),
-                      train_.cols, train_norms_.data());
+                      train_.cols, train_sqnorm_.data());
+}
+
+void knn_score_rows_batched(const double* x, size_t m, size_t ldx,
+                            const double* train, size_t n_train, size_t cols,
+                            const int* labels, const double* train_sqnorm,
+                            size_t k, double* out, std::vector<double>& dist,
+                            std::vector<std::pair<double, int>>& heap) {
+  // Sub-block the queries so the distance matrix stays kScoreBlock x
+  // n_train regardless of m — callers already chunk at kScoreBlock, but the
+  // compiled plan may see larger micro-batches.
+  for (size_t lo = 0; lo < m; lo += dense::kScoreBlock) {
+    const size_t mb = std::min(dense::kScoreBlock, m - lo);
+    dist.resize(mb * n_train);
+    dense::sq_dist_batch(mb, n_train, cols, x + lo * ldx, ldx, train, cols,
+                         /*xn=*/nullptr, train_sqnorm, dist.data(), n_train);
+    for (size_t i = 0; i < mb; ++i) {
+      const double* di = dist.data() + i * n_train;
+      // Max-heap of the k best (distance, label) pairs — the same pair
+      // ordering score_perrow's partial_sort uses, label tie-breaks
+      // included, so the selected multiset matches the reference scan.
+      heap.clear();
+      for (size_t t = 0; t < n_train; ++t) {
+        const std::pair<double, int> p{di[t], labels[t]};
+        if (heap.size() < k) {
+          heap.push_back(p);
+          std::push_heap(heap.begin(), heap.end());
+        } else if (p < heap.front()) {
+          std::pop_heap(heap.begin(), heap.end());
+          heap.back() = p;
+          std::push_heap(heap.begin(), heap.end());
+        }
+      }
+      double pos = 0.0;
+      for (const auto& p : heap) pos += p.second;
+      out[lo + i] = pos / static_cast<double>(k);
+    }
+  }
 }
 
 std::vector<double> Knn::score(const FeatureTable& X) const {
@@ -39,28 +79,12 @@ std::vector<double> Knn::score(const FeatureTable& X) const {
       [&](size_t blk) {
         const size_t lo = blk * dense::kScoreBlock;
         const size_t hi = std::min(X.rows, lo + dense::kScoreBlock);
-        const size_t m = hi - lo;
-        thread_local std::vector<double> dmat;
-        thread_local std::vector<std::pair<double, int>> dist;
-        dmat.resize(m * train_.rows);
-        dense::sq_dist_batch(m, train_.rows, X.cols,
-                             X.data.data() + lo * X.cols, X.cols,
-                             train_.data.data(), train_.cols,
-                             /*xn=*/nullptr, train_norms_.data(), dmat.data(),
-                             train_.rows);
-        dist.resize(train_.rows);
-        for (size_t i = 0; i < m; ++i) {
-          const double* di = dmat.data() + i * train_.rows;
-          for (size_t t = 0; t < train_.rows; ++t) {
-            dist[t] = {di[t], train_.labels[t]};
-          }
-          std::partial_sort(dist.begin(),
-                            dist.begin() + static_cast<std::ptrdiff_t>(k),
-                            dist.end());
-          double pos = 0.0;
-          for (size_t j = 0; j < k; ++j) pos += dist[j].second;
-          out[lo + i] = pos / static_cast<double>(k);
-        }
+        thread_local std::vector<double> dist;
+        thread_local std::vector<std::pair<double, int>> heap;
+        knn_score_rows_batched(X.data.data() + lo * X.cols, hi - lo, X.cols,
+                               train_.data.data(), train_.rows, train_.cols,
+                               train_.labels.data(), train_sqnorm_.data(), k,
+                               out.data() + lo, dist, heap);
       },
       /*min_parallel=*/2);
   return out;

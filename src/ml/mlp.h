@@ -161,6 +161,22 @@ class AutoEncoderCore {
   size_t dim() const { return dim_; }
   size_t hidden() const { return hidden_; }
 
+  /// Read-only view of the fitted parameters for the model compiler
+  /// (ml/compiled.*): raw layer weights plus the normalization ranges.
+  struct ParamsView {
+    size_t dim = 0, hidden = 0;
+    const double* w1 = nullptr;  // hidden x dim
+    const double* b1 = nullptr;  // hidden
+    const double* w2 = nullptr;  // dim x hidden
+    const double* b2 = nullptr;  // dim
+    const double* norm_min = nullptr;  // dim
+    const double* norm_max = nullptr;  // dim
+  };
+  ParamsView params_view() const {
+    return {dim_,       hidden_,    w1_.data(),       b1_.data(),
+            w2_.data(), b2_.data(), norm_min_.data(), norm_max_.data()};
+  }
+
  private:
   std::vector<double> normalize(std::span<const double> x) const;
   void normalize_into(std::span<const double> x, std::vector<double>& z) const;
@@ -199,6 +215,9 @@ class AutoEncoderDetector : public Model {
   bool is_supervised() const override { return false; }
 
   double threshold() const { return threshold_; }
+
+  /// The fitted core (null before fit) — for the model compiler.
+  const AutoEncoderCore* core() const { return ae_.get(); }
 
   /// Pre-PR reference path (row-at-a-time score_sample loop).
   std::vector<double> score_perrow(const FeatureTable& X) const;
