@@ -41,7 +41,15 @@ int main() {
       ds.id.c_str(), ds.packets());
   std::printf("produced %zu rows x %zu damped-statistic features\n\n",
               feats->rows, feats->cols);
-  std::printf("%s\n", report.value().profile_table().c_str());
+  // Telemetry-first profile: rebuild the rows from the process registry's
+  // span records (what a scraper sees) instead of the report's cached copy.
+  std::printf("%s\n",
+              core::render_op_profile(
+                  core::profile_from_spans(
+                      telemetry::Registry::process().snapshot(),
+                      report.value().span_ids, "engine.op."),
+                  report.value().peak_bytes)
+                  .c_str());
 
   // The paper's point about a single shared extraction pass: the same
   // template with a typo fails BEFORE execution.

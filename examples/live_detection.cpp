@@ -123,25 +123,30 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ingest: %s\n", stats_r.error().message.c_str());
     return 1;
   }
-  const core::IngestStats& st = stats_r.value();
+  // Accounting comes straight off the telemetry registry — the same
+  // counters a monitoring agent scrapes (IngestStats is a compatibility
+  // façade over these; see core/ingest.h).
+  const telemetry::Snapshot snap = registry.snapshot();
 
   std::printf(
       "\n%zu alerts over %llu streamed packets (%zu truly malicious).\n",
-      sink.total_alerts(), static_cast<unsigned long long>(st.scored),
+      sink.total_alerts(),
+      static_cast<unsigned long long>(snap.counter_value("gateway.scored")),
       sink.total_true());
   std::printf(
       "ingest stats: enqueued=%llu dropped=%llu parse_skipped=%llu "
       "scored=%llu alerted=%llu queue_high_water=%zu\n",
-      static_cast<unsigned long long>(st.enqueued),
-      static_cast<unsigned long long>(st.dropped),
-      static_cast<unsigned long long>(st.parse_skipped),
-      static_cast<unsigned long long>(st.scored),
-      static_cast<unsigned long long>(st.alerted), st.queue_high_water);
+      static_cast<unsigned long long>(snap.counter_value("gateway.enqueued")),
+      static_cast<unsigned long long>(snap.counter_value("gateway.dropped")),
+      static_cast<unsigned long long>(
+          snap.counter_value("gateway.parse_skipped")),
+      static_cast<unsigned long long>(snap.counter_value("gateway.scored")),
+      static_cast<unsigned long long>(snap.counter_value("gateway.alerted")),
+      static_cast<size_t>(snap.gauge_value("gateway.queue.high_water")));
 
   // The same numbers, as the Prometheus text a /metrics endpoint would
   // serve (counters and gauges only; histogram series elided for brevity).
   std::printf("\nPrometheus scrape excerpt:\n");
-  const telemetry::Snapshot snap = registry.snapshot();
   telemetry::Snapshot scalars;
   scalars.counters = snap.counters;
   scalars.gauges = snap.gauges;

@@ -70,7 +70,14 @@ int main(int argc, char** argv) {
     std::printf("  %-10s %.4f\n", name.c_str(), value);
   }
 
+  // The profile is rebuilt from the telemetry spans the run recorded into
+  // the process registry — the same records a /metrics scraper sees.
   std::printf("\nEngine profile (per-operation time and memory):\n%s\n",
-              report.value().profile_table().c_str());
+              core::render_op_profile(
+                  core::profile_from_spans(
+                      telemetry::Registry::process().snapshot(),
+                      report.value().span_ids, "engine.op."),
+                  report.value().peak_bytes)
+                  .c_str());
   return 0;
 }

@@ -172,18 +172,19 @@ int main() {
     std::fprintf(stderr, "ingest: %s\n", stats_r.error().message.c_str());
     return 1;
   }
-  const core::IngestStats& st = stats_r.value();
+  // Accounting straight from the shared registry (IngestStats is a
+  // compatibility façade over the same counters).
+  const telemetry::Snapshot snap = registry.snapshot();
 
   std::printf(
       "\n%zu epochs, %zu group-window rows, %zu alerted rows over %llu "
       "streamed packets.\n",
       sink.epochs(), sink.total_rows(), sink.total_alerts(),
-      static_cast<unsigned long long>(st.scored));
+      static_cast<unsigned long long>(snap.counter_value("gateway.scored")));
 
   // The chain's own instruments sit next to the runtime's in the shared
   // registry — this is what a /metrics endpoint would serve mid-run.
   std::printf("\nPrometheus scrape excerpt:\n");
-  const telemetry::Snapshot snap = registry.snapshot();
   telemetry::Snapshot scalars;
   scalars.counters = snap.counters;
   scalars.gauges = snap.gauges;

@@ -1,0 +1,89 @@
+// One-pass Options normalization with a single named diagnostic.
+//
+// Every subsystem that takes an Options struct (engine, ingest runtime,
+// gateway front-end) normalizes it the same way: clamp each field into its
+// valid range, remember which fields moved, and surface ONE human-readable
+// line naming every adjustment — callers log it once instead of guessing
+// which of their settings were silently rewritten. This header extracts
+// that pattern so the subsystems share the rendering and the "only report
+// what actually changed" discipline.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+namespace lumen {
+
+/// Accumulates "field was -> now" adjustments while a normalized() walks an
+/// Options struct, then renders them as one diagnostic line. Stateless
+/// between uses: construct one per normalization pass.
+class OptionNormalizer {
+ public:
+  /// `component` prefixes the diagnostic ("ingest", "engine", "frontend").
+  explicit OptionNormalizer(std::string component)
+      : component_(std::move(component)) {}
+
+  /// Clamp `v` into [lo, hi]; records "<name> <was> -> <now>" if it moved.
+  template <typename T>
+  void clamp(T& v, T lo, T hi, const char* name) {
+    const T was = v;
+    v = std::clamp(v, lo, hi);
+    if (v != was) note(name, to_text(was), to_text(v));
+  }
+
+  /// Force `v` to `now` for a reason the range vocabulary can't express
+  /// (e.g. a policy rewritten because the backing structure can't honor
+  /// it). `was`/`now` are caller-rendered names. No-op if already equal.
+  template <typename T>
+  void replace(T& v, T now, const char* name, const std::string& was_text,
+               const std::string& now_text) {
+    if (v == now) return;
+    v = now;
+    note(name, was_text, now_text);
+  }
+
+  /// Reset an empty string field to its default (names rendered quoted).
+  void default_if_empty(std::string& v, const char* name,
+                        const std::string& dflt) {
+    if (!v.empty()) return;
+    v = dflt;
+    note(name, "\"\"", "\"" + dflt + "\"");
+  }
+
+  bool adjusted() const { return !adjustments_.empty(); }
+
+  /// "" when nothing moved, else
+  /// "<component>: Options clamped: a 4 -> 8, b 0 -> 1".
+  std::string diagnostic() const {
+    if (adjustments_.empty()) return "";
+    return component_ + ": Options clamped: " + adjustments_;
+  }
+
+  /// Writes diagnostic() through `out` if non-null (the normalized()
+  /// calling convention: a nullable out-param for the message).
+  void emit(std::string* out) const {
+    if (out != nullptr) *out = diagnostic();
+  }
+
+ private:
+  void note(const char* name, const std::string& was, const std::string& now) {
+    if (!adjustments_.empty()) adjustments_ += ", ";
+    adjustments_ += std::string(name) + " " + was + " -> " + now;
+  }
+
+  static std::string to_text(size_t v) { return std::to_string(v); }
+  static std::string to_text(int v) { return std::to_string(v); }
+  static std::string to_text(double v) {
+    // Trim std::to_string's fixed six decimals down to something readable.
+    std::string s = std::to_string(v);
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s;
+  }
+
+  std::string component_;
+  std::string adjustments_;
+};
+
+}  // namespace lumen

@@ -1,8 +1,11 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <set>
+
+#include "common/options.h"
 
 namespace lumen::core {
 
@@ -194,7 +197,8 @@ Result<PipelineReport> Engine::run(const PipelineSpec& spec, OpContext& ctx,
   return report;
 }
 
-std::string PipelineReport::profile_table() const {
+std::string render_op_profile(const std::vector<OpProfile>& profile,
+                              size_t peak_bytes) {
   std::string out =
       "op                    output                time(ms)   out_bytes  freed\n";
   char line[160];
@@ -207,6 +211,30 @@ std::string PipelineReport::profile_table() const {
   std::snprintf(line, sizeof(line), "peak resident: %zu bytes\n", peak_bytes);
   out += line;
   return out;
+}
+
+std::string PipelineReport::profile_table() const {
+  return render_op_profile(profile, peak_bytes);
+}
+
+Engine::Options Engine::Options::normalized(Options opts,
+                                            std::string* diagnostic) {
+  OptionNormalizer norm("engine");
+  norm.default_if_empty(opts.instrument_prefix, "instrument_prefix", "engine.");
+  std::vector<std::string> unique;
+  unique.reserve(opts.keep.size());
+  for (std::string& name : opts.keep) {
+    if (std::find(unique.begin(), unique.end(), name) == unique.end()) {
+      unique.push_back(std::move(name));
+    }
+  }
+  size_t keep_count = opts.keep.size();
+  norm.replace(keep_count, unique.size(), "keep",
+               std::to_string(opts.keep.size()) + " names",
+               std::to_string(unique.size()) + " unique");
+  opts.keep = std::move(unique);
+  norm.emit(diagnostic);
+  return opts;
 }
 
 }  // namespace lumen::core

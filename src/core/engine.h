@@ -35,6 +35,13 @@ std::vector<OpProfile> profile_from_spans(const telemetry::Snapshot& snap,
                                           const std::vector<uint64_t>& span_ids,
                                           std::string_view op_prefix);
 
+/// Render profile rows as an aligned text table plus the peak-resident
+/// footer. This is the one renderer: PipelineReport::profile_table() is a
+/// façade over it, and telemetry-first consumers call it directly on rows
+/// they rebuilt with profile_from_spans — no PipelineReport needed.
+std::string render_op_profile(const std::vector<OpProfile>& profile,
+                              size_t peak_bytes);
+
 struct PipelineReport {
   /// Bindings still alive at the end of the run (pipeline results).
   std::map<std::string, Value> bindings;
@@ -74,10 +81,18 @@ class Engine {
     telemetry::Registry* registry = &telemetry::Registry::process();
     /// Prepended to every instrument and span name this engine records.
     std::string instrument_prefix = "engine.";
+
+    /// Returns a copy with out-of-range fields adjusted: duplicate `keep`
+    /// names deduplicated (keeping first occurrence) and an empty
+    /// instrument_prefix reset to "engine.". When anything moved and
+    /// `diagnostic` is non-null, it receives one line naming every
+    /// adjustment (same contract as IngestRuntime::Options::normalized).
+    static Options normalized(Options opts, std::string* diagnostic);
   };
 
   Engine() : Engine(Options{}) {}
-  explicit Engine(Options opts) : opts_(std::move(opts)) {}
+  explicit Engine(Options opts)
+      : opts_(Options::normalized(std::move(opts), nullptr)) {}
 
   /// Static analysis only: unknown ops, undefined inputs, kind mismatches.
   /// `seed` optionally pre-populates the binding environment (name -> value

@@ -10,27 +10,45 @@
 #include <utility>
 
 #include "common/flat_map.h"
+#include "common/options.h"
 #include "common/spsc_ring.h"
 #include "core/stream_op.h"
 #include "netio/parse.h"
 
 namespace lumen::core {
 
+const char* overflow_policy_name(OverflowPolicy p) {
+  switch (p) {
+    case OverflowPolicy::kBlock:
+      return "kBlock";
+    case OverflowPolicy::kDropOldest:
+      return "kDropOldest";
+    case OverflowPolicy::kDropNewest:
+      return "kDropNewest";
+  }
+  return "unknown";
+}
+
 BoundedPacketQueue::BoundedPacketQueue(size_t capacity, OverflowPolicy policy)
     : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
 
-bool BoundedPacketQueue::push(netio::SourcePacket p) {
+netio::FeedStatus BoundedPacketQueue::offer(netio::SourcePacket&& p) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (policy_ == OverflowPolicy::kBlock) {
-    not_full_.wait(lock,
-                   [this] { return q_.size() < capacity_ || closed_; });
-    if (closed_) return false;
-  } else if (q_.size() >= capacity_) {
-    if (closed_) return false;
-    q_.pop_front();
-    note_drop_locked();
-  } else if (closed_) {
-    return false;
+  if (closed_) return netio::FeedStatus::kClosed;
+  bool evicted = false;
+  if (q_.size() >= capacity_) {
+    switch (policy_) {
+      case OverflowPolicy::kBlock:
+        return netio::FeedStatus::kBusy;  // p untouched; caller waits
+      case OverflowPolicy::kDropOldest:
+        q_.pop_front();
+        note_drop_locked();
+        evicted = true;  // enqueue p in the freed slot below
+        break;
+      case OverflowPolicy::kDropNewest:
+        note_drop_locked();
+        return netio::FeedStatus::kShed;  // p discarded
+    }
   }
   const bool was_empty = q_.empty();
   q_.push_back(std::move(p));
@@ -40,7 +58,28 @@ bool BoundedPacketQueue::push(netio::SourcePacket p) {
   // Consumers only sleep on an empty queue, so only the empty->non-empty
   // transition needs a wakeup; steady-state pushes skip the notify.
   if (was_empty) not_empty_.notify_one();
-  return true;
+  return evicted ? netio::FeedStatus::kShed : netio::FeedStatus::kAccepted;
+}
+
+bool BoundedPacketQueue::wait_notfull() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] { return q_.size() < capacity_ || closed_; });
+  return !closed_;
+}
+
+bool BoundedPacketQueue::push(netio::SourcePacket p) {
+  for (;;) {
+    switch (offer(std::move(p))) {
+      case netio::FeedStatus::kAccepted:
+      case netio::FeedStatus::kShed:
+        return true;
+      case netio::FeedStatus::kClosed:
+        return false;
+      case netio::FeedStatus::kBusy:
+        if (!wait_notfull()) return false;
+        break;  // room appeared (or raced away): retry the offer
+    }
+  }
 }
 
 bool BoundedPacketQueue::pop(netio::SourcePacket& out) {
@@ -180,26 +219,22 @@ uint64_t FlowShardRouter::flow_hash(const netio::RawPacket& pkt) const {
 
 IngestRuntime::Options IngestRuntime::Options::normalized(
     Options opts, std::string* diagnostic) {
-  std::string adjustments;
-  const auto clamp_field = [&adjustments](size_t& v, size_t lo, size_t hi,
-                                          const char* name) {
-    const size_t was = v;
-    v = std::clamp(v, lo, hi);
-    if (v == was) return;
-    if (!adjustments.empty()) adjustments += ", ";
-    adjustments += std::string(name) + " " + std::to_string(was) + " -> " +
-                   std::to_string(v);
-  };
-  clamp_field(opts.queue_capacity, 1, size_t{1} << 24, "queue_capacity");
-  clamp_field(opts.consumers, 1, 256, "consumers");
+  OptionNormalizer norm("ingest");
+  norm.clamp(opts.queue_capacity, size_t{1}, size_t{1} << 24,
+             "queue_capacity");
+  norm.clamp(opts.consumers, size_t{1}, size_t{256}, "consumers");
   // shards = 0 selects single-queue mode, so only the upper bound applies.
-  clamp_field(opts.shards, 0, 256, "shards");
-  clamp_field(opts.consumer_batch, 1, 65536, "consumer_batch");
-  clamp_field(opts.score_batch, 1, 65536, "score_batch");
-  if (diagnostic != nullptr) {
-    *diagnostic =
-        adjustments.empty() ? "" : "ingest: Options clamped: " + adjustments;
+  norm.clamp(opts.shards, size_t{0}, size_t{256}, "shards");
+  norm.clamp(opts.consumer_batch, size_t{1}, size_t{65536}, "consumer_batch");
+  norm.clamp(opts.score_batch, size_t{1}, size_t{65536}, "score_batch");
+  // SPSC shard rings cannot evict their head, so kDropOldest has no
+  // sharded implementation; rewrite to the policy that exists and say so
+  // (the constructor also bumps `<prefix>policy_degraded`).
+  if (opts.shards > 0 && opts.overflow == OverflowPolicy::kDropOldest) {
+    norm.replace(opts.overflow, OverflowPolicy::kDropNewest, "overflow",
+                 "kDropOldest", "kDropNewest (SPSC shard rings cannot evict)");
   }
+  norm.emit(diagnostic);
   return opts;
 }
 
@@ -233,11 +268,109 @@ class RingFeed : public PacketFeed {
   SpscRing<netio::SourcePacket>& r_;
 };
 
+/// Producer-side FrameFeed over the shared queue (single-queue mode): the
+/// non-blocking face any SourceDriver pushes through. Counts enqueued on
+/// every accepted/shed packet — exactly where the old producer loop did.
+class QueueFrameFeed : public netio::FrameFeed {
+ public:
+  QueueFrameFeed(BoundedPacketQueue& q, telemetry::Counter& enqueued,
+                 telemetry::Counter& dropped)
+      : q_(q), enqueued_(enqueued), dropped_(dropped) {}
+
+  netio::FeedStatus offer(netio::SourcePacket& p) override {
+    const netio::FeedStatus s = q_.offer(std::move(p));
+    if (s == netio::FeedStatus::kAccepted || s == netio::FeedStatus::kShed)
+      enqueued_.add(1);
+    return s;
+  }
+  bool wait_ready() override { return q_.wait_notfull(); }
+  void account_shed(uint64_t n) override {
+    // Frames the front-end shed before they reached the queue: count them
+    // enqueued AND dropped so conservation spans the socket path.
+    enqueued_.add(n);
+    dropped_.add(n);
+  }
+
+ private:
+  BoundedPacketQueue& q_;
+  telemetry::Counter& enqueued_;
+  telemetry::Counter& dropped_;
+};
+
+/// Producer-side FrameFeed over the shard router + SPSC rings: routes each
+/// offered frame by flow hash, then try-pushes into the owning ring.
+/// Mirrors per-shard routed counts into telemetry in periodic flushes via
+/// the caller-supplied closure, never per packet.
+class ShardFrameFeed : public netio::FrameFeed {
+ public:
+  ShardFrameFeed(const FlowShardRouter& router,
+                 std::vector<std::unique_ptr<SpscRing<netio::SourcePacket>>>&
+                     rings,
+                 OverflowPolicy policy, telemetry::Counter& enqueued,
+                 telemetry::Counter& dropped, std::vector<uint64_t>& routed,
+                 std::function<void()> flush_telemetry)
+      : router_(router),
+        rings_(rings),
+        policy_(policy),
+        enqueued_(enqueued),
+        dropped_(dropped),
+        routed_(routed),
+        flush_telemetry_(std::move(flush_telemetry)) {}
+
+  netio::FeedStatus offer(netio::SourcePacket& p) override {
+    const size_t s = router_.shard_of(p.pkt);
+    SpscRing<netio::SourcePacket>& ring = *rings_[s];
+    if (ring.try_push(&p, 1) == 1) {
+      account(s);
+      return netio::FeedStatus::kAccepted;
+    }
+    if (ring.closed()) return netio::FeedStatus::kClosed;
+    if (policy_ == OverflowPolicy::kBlock) {
+      busy_shard_ = s;
+      return netio::FeedStatus::kBusy;
+    }
+    // kDropNewest (kDropOldest was rewritten at normalization): shed the
+    // incoming packet, still counted enqueued + routed like the old loop.
+    dropped_.add(1);
+    account(s);
+    return netio::FeedStatus::kShed;
+  }
+  bool wait_ready() override {
+    return rings_[busy_shard_]->wait_notfull();
+  }
+  void account_shed(uint64_t n) override {
+    enqueued_.add(n);
+    dropped_.add(n);
+  }
+
+ private:
+  void account(size_t shard) {
+    enqueued_.add(1);
+    ++routed_[shard];
+    if (++since_flush_ >= 8192) {
+      since_flush_ = 0;
+      if (flush_telemetry_) flush_telemetry_();
+    }
+  }
+
+  const FlowShardRouter& router_;
+  std::vector<std::unique_ptr<SpscRing<netio::SourcePacket>>>& rings_;
+  OverflowPolicy policy_;
+  telemetry::Counter& enqueued_;
+  telemetry::Counter& dropped_;
+  std::vector<uint64_t>& routed_;
+  std::function<void()> flush_telemetry_;
+  size_t busy_shard_ = 0;
+  uint64_t since_flush_ = 0;
+};
+
 }  // namespace
 
 IngestRuntime::IngestRuntime(Options opts, ScorerFactory factory,
                              AlertSink* sink)
     : sink_(sink) {
+  const bool policy_degraded =
+      opts.shards > 0 && opts.overflow == OverflowPolicy::kDropOldest;
   std::string diag;
   opts_ = Options::normalized(std::move(opts), &diag);
   if (!diag.empty()) std::cerr << diag << "\n";
@@ -257,6 +390,8 @@ IngestRuntime::IngestRuntime(Options opts, ScorerFactory factory,
   scored_ = &reg_->counter(p + "scored");
   alerted_ = &reg_->counter(p + "alerted");
   swaps_applied_ = &reg_->counter(p + "swaps_applied");
+  policy_degraded_ = &reg_->counter(p + "policy_degraded");
+  if (policy_degraded) policy_degraded_->add(1);
   if (extended_) {
     queue_depth_ = &reg_->gauge(p + "queue.depth");
     queue_high_water_ = &reg_->gauge(p + "queue.high_water");
@@ -295,6 +430,34 @@ void IngestRuntime::deploy(ScorerFactory factory) {
   scorer_slot_->publish(std::make_unique<ScorerFactory>(std::move(factory)));
 }
 
+bool IngestRuntime::register_tenant(uint32_t tenant, ScorerFactory factory) {
+  if (tenant == 0 || !factory) return false;
+  if (running_.load(std::memory_order_acquire)) return false;
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (!inserted) return false;
+  it->second.slot = std::make_unique<ModelSlot<ScorerFactory>>(
+      std::make_unique<ScorerFactory>(std::move(factory)),
+      effective_consumers());
+  const std::string tp =
+      opts_.instrument_prefix + "tenant" + std::to_string(tenant) + ".";
+  it->second.scored = &reg_->counter(tp + "scored");
+  it->second.alerted = &reg_->counter(tp + "alerted");
+  it->second.swaps_applied = &reg_->counter(tp + "swaps_applied");
+  return true;
+}
+
+bool IngestRuntime::deploy(uint32_t tenant, ScorerFactory factory) {
+  if (tenant == 0) {
+    deploy(std::move(factory));
+    return true;
+  }
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return false;
+  it->second.slot->publish(
+      std::make_unique<ScorerFactory>(std::move(factory)));
+  return true;
+}
+
 void IngestRuntime::consume(size_t id, PacketFeed& feed,
                             std::unique_ptr<PacketScorer> scorer,
                             uint64_t scorer_version, netio::LinkType link) {
@@ -314,42 +477,103 @@ void IngestRuntime::consume(size_t id, PacketFeed& feed,
     double score = 0.0;
     double threshold = 0.0;
     bool alerted = false;
+    uint32_t tenant = 0;
+  };
+  /// A consumer's scoring state for one tenant: its own scorer instance
+  /// (isolated streaming state) tracking its own hot-swap slot. Tenant 0
+  /// seeds from the scorer run() built; other tenants build lazily on
+  /// first packet — from their registered slot, or from the default slot
+  /// for unregistered ids (isolated instance, shared factory).
+  struct TenantCtx {
+    std::unique_ptr<PacketScorer> scorer;
+    uint64_t version = 0;
+    ModelSlot<ScorerFactory>* slot = nullptr;
+    TenantState* state = nullptr;  // registered tenants only
+  };
+  std::unordered_map<uint32_t, TenantCtx> ctxs;
+  {
+    TenantCtx c0;
+    c0.scorer = std::move(scorer);
+    c0.version = scorer_version;
+    c0.slot = scorer_slot_.get();
+    ctxs.emplace(0, std::move(c0));
+  }
+  // Hot-swap check at the batch boundary, per tenant seen in the batch: a
+  // ModelSlot pin is two atomic loads plus one store — the cost of
+  // noticing a deploy() — and the rebuild only runs when the observed
+  // epoch moved, so swapping tenant A never rebuilds tenant B.
+  const auto pin_ctx = [&](uint32_t t) -> TenantCtx& {
+    auto it = ctxs.find(t);
+    if (it == ctxs.end()) {
+      TenantCtx c;
+      c.slot = scorer_slot_.get();
+      auto reg = tenants_.find(t);
+      if (reg != tenants_.end()) {
+        c.slot = reg->second.slot.get();
+        c.state = &reg->second;
+      }
+      const auto pinned = c.slot->pin(id);
+      c.scorer = (*pinned.value)(id);
+      if (!c.scorer) {
+        throw std::runtime_error("ingest: scorer factory returned null for "
+                                 "tenant " +
+                                 std::to_string(t) + ", consumer " +
+                                 std::to_string(id));
+      }
+      c.version = pinned.version;
+      it = ctxs.emplace(t, std::move(c)).first;
+      return it->second;
+    }
+    TenantCtx& c = it->second;
+    const auto pinned = c.slot->pin(id);
+    if (pinned.version != c.version) {
+      auto next = (*pinned.value)(id);
+      if (!next) {
+        throw std::runtime_error(
+            "ingest: hot-swapped scorer factory returned null for "
+            "consumer " +
+            std::to_string(id));
+      }
+      c.scorer = std::move(next);
+      c.version = pinned.version;
+      swaps_applied_->add(1);
+      if (c.state != nullptr) c.state->swaps_applied->add(1);
+    }
+    return c;
   };
   ShardInstruments* si =
       id < shard_instruments_.size() ? &shard_instruments_[id] : nullptr;
   std::vector<netio::SourcePacket> batch;
   std::vector<netio::PacketView> parsed;
+  std::vector<uint32_t> tenant_of;      // aligned with parsed
+  std::vector<uint32_t> batch_tenants;  // distinct, first-appearance order
+  std::vector<uint64_t> t_scored, t_alerted;  // aligned with batch_tenants
   std::vector<double> scores;
+  std::vector<double> thresholds;  // aligned with parsed (mixed path only)
+  std::vector<netio::PacketView> scratch_views;
+  std::vector<double> scratch_scores;
+  std::vector<size_t> scratch_idx;
   std::vector<Scored> pending;
   batch.reserve(opts_.consumer_batch);
   parsed.reserve(opts_.consumer_batch);
+  tenant_of.reserve(opts_.consumer_batch);
   scores.reserve(opts_.consumer_batch);
   pending.reserve(opts_.consumer_batch);
   while (feed.claim(batch, opts_.consumer_batch) > 0) {
-    // Hot-swap check at the batch boundary: a ModelSlot pin is two atomic
-    // loads plus one store — the cost of noticing a deploy() — and the
-    // rebuild itself only runs when the observed epoch moved.
-    {
-      const auto pinned = scorer_slot_->pin(id);
-      if (pinned.version != scorer_version) {
-        auto next = (*pinned.value)(id);
-        if (!next) {
-          throw std::runtime_error(
-              "ingest: hot-swapped scorer factory returned null for "
-              "consumer " +
-              std::to_string(id));
-        }
-        scorer = std::move(next);
-        scorer_version = pinned.version;
-        swaps_applied_->add(1);
-      }
+    batch_tenants.clear();
+    for (const netio::SourcePacket& sp : batch) {
+      if (std::find(batch_tenants.begin(), batch_tenants.end(), sp.tenant) ==
+          batch_tenants.end())
+        batch_tenants.push_back(sp.tenant);
     }
+    for (uint32_t t : batch_tenants) pin_ctx(t);
     uint64_t skipped = 0, scored = 0, alerted = 0;
     Clock::time_point t0, t1, t2;
     // Stage 1 — extract: parse the whole batch (views borrow the packet
     // bytes in `batch`, which outlives the flush below).
     if (extended_) t0 = Clock::now();
     parsed.clear();
+    tenant_of.clear();
     for (netio::SourcePacket& sp : batch) {
       auto p = netio::parse_packet(sp.pkt, link, sp.capture_index);
       if (!p.ok()) {
@@ -357,38 +581,103 @@ void IngestRuntime::consume(size_t id, PacketFeed& feed,
         continue;
       }
       parsed.push_back(p.value());
+      tenant_of.push_back(sp.tenant);
     }
     if (extended_) t1 = Clock::now();
-    // Stage 2 — score, in consumption order (scorer state is per-consumer).
-    // The claimed batch is scored in score_batch-row micro-batches through
-    // the fused PacketScorer::score_batch path; per-packet alert ordering
-    // is preserved because scores land positionally in `scores` and the
-    // alert/sink pass below walks them in consumption order. A tail chunk
-    // is just a smaller micro-batch — the batch-invariance contract makes
-    // its scores identical either way.
+    // Stage 2 — score, in consumption order (scorer state is per-consumer
+    // per-tenant). The claimed batch is scored in score_batch-row
+    // micro-batches through the fused PacketScorer::score_batch path;
+    // per-packet alert ordering is preserved because scores land
+    // positionally in `scores` and the alert/sink pass below walks them in
+    // consumption order. A tail chunk is just a smaller micro-batch — the
+    // batch-invariance contract makes its scores identical either way.
     scores.resize(parsed.size());
-    for (size_t lo = 0; lo < parsed.size(); lo += opts_.score_batch) {
-      const size_t n = std::min(opts_.score_batch, parsed.size() - lo);
-      scorer->score_batch(
-          std::span<const netio::PacketView>(parsed.data() + lo, n),
-          scores.data() + lo);
-      if (extended_) score_batch_rows_->record(static_cast<double>(n));
+    const bool single_tenant = batch_tenants.size() <= 1;
+    double uniform_threshold = 0.0;
+    if (single_tenant) {
+      // Fast path (a replay run, or a gateway serving one tenant): exactly
+      // the historic single-scorer batch loop, bit for bit.
+      PacketScorer& sc =
+          *ctxs.at(batch_tenants.empty() ? 0 : batch_tenants[0]).scorer;
+      for (size_t lo = 0; lo < parsed.size(); lo += opts_.score_batch) {
+        const size_t n = std::min(opts_.score_batch, parsed.size() - lo);
+        sc.score_batch(
+            std::span<const netio::PacketView>(parsed.data() + lo, n),
+            scores.data() + lo);
+        if (extended_) score_batch_rows_->record(static_cast<double>(n));
+      }
+      uniform_threshold = sc.threshold();
+    } else {
+      // Mixed batch: partition by tenant preserving each tenant's arrival
+      // order, score each partition contiguously through that tenant's
+      // scorer, and scatter results back positionally. Equivalent to
+      // having claimed each tenant's packets in separate batches.
+      thresholds.resize(parsed.size());
+      for (uint32_t t : batch_tenants) {
+        scratch_idx.clear();
+        scratch_views.clear();
+        for (size_t i = 0; i < parsed.size(); ++i) {
+          if (tenant_of[i] != t) continue;
+          scratch_idx.push_back(i);
+          scratch_views.push_back(parsed[i]);
+        }
+        if (scratch_idx.empty()) continue;  // all of t's packets skipped
+        TenantCtx& ctx = ctxs.at(t);
+        scratch_scores.resize(scratch_views.size());
+        for (size_t lo = 0; lo < scratch_views.size();
+             lo += opts_.score_batch) {
+          const size_t n =
+              std::min(opts_.score_batch, scratch_views.size() - lo);
+          ctx.scorer->score_batch(
+              std::span<const netio::PacketView>(scratch_views.data() + lo,
+                                                 n),
+              scratch_scores.data() + lo);
+          if (extended_) score_batch_rows_->record(static_cast<double>(n));
+        }
+        const double thr = ctx.scorer->threshold();
+        for (size_t k = 0; k < scratch_idx.size(); ++k) {
+          scores[scratch_idx[k]] = scratch_scores[k];
+          thresholds[scratch_idx[k]] = thr;
+        }
+      }
     }
-    const double threshold = scorer->threshold();
+    t_scored.assign(batch_tenants.size(), 0);
+    t_alerted.assign(batch_tenants.size(), 0);
+    uint32_t run_tenant = 0;
+    size_t run_ti = 0;
+    bool run_valid = false;
     for (size_t i = 0; i < parsed.size(); ++i) {
       const netio::PacketView& view = parsed[i];
       const double score = scores[i];
+      const double threshold =
+          single_tenant ? uniform_threshold : thresholds[i];
       const bool is_alert = score > threshold;
       ++scored;
       if (is_alert) ++alerted;
+      const uint32_t t = tenant_of[i];
+      if (!run_valid || t != run_tenant) {
+        run_tenant = t;
+        run_ti = static_cast<size_t>(
+            std::find(batch_tenants.begin(), batch_tenants.end(), t) -
+            batch_tenants.begin());
+        run_valid = true;
+      }
+      ++t_scored[run_ti];
+      if (is_alert) ++t_alerted[run_ti];
       if (sink_ != nullptr) {
-        pending.push_back(Scored{view, score, threshold, is_alert});
+        pending.push_back(Scored{view, score, threshold, is_alert, t});
       }
     }
     if (extended_) t2 = Clock::now();
     if (skipped != 0) parse_skipped_->add(skipped);
     if (scored != 0) scored_->add(scored);
     if (alerted != 0) alerted_->add(alerted);
+    for (size_t ti = 0; ti < batch_tenants.size(); ++ti) {
+      TenantState* ts = ctxs.at(batch_tenants[ti]).state;
+      if (ts == nullptr) continue;
+      if (t_scored[ti] != 0) ts->scored->add(t_scored[ti]);
+      if (t_alerted[ti] != 0) ts->alerted->add(t_alerted[ti]);
+    }
     if (si != nullptr) {
       if (skipped != 0) si->parse_skipped->add(skipped);
       if (scored != 0) si->scored->add(scored);
@@ -401,7 +690,7 @@ void IngestRuntime::consume(size_t id, PacketFeed& feed,
         sink_->on_packet(p.view, p.score, p.alerted);
         if (p.alerted) {
           sink_->on_alert(Alert{p.view.ts, p.view.index, p.score,
-                                p.threshold, id});
+                                p.threshold, id, p.tenant});
         }
       }
     }
@@ -479,7 +768,7 @@ void IngestRuntime::consume_pipeline(size_t id, PacketFeed& feed,
 }
 
 Result<IngestStats> IngestRuntime::drive(
-    netio::PacketSource& source,
+    netio::SourceDriver& driver,
     const std::function<void(size_t, PacketFeed&, netio::LinkType)>&
         consumer_body) {
   // Per-run façade semantics over cumulative instruments: re-baseline now.
@@ -488,12 +777,15 @@ Result<IngestStats> IngestRuntime::drive(
                    alerted_->value()};
   high_water_snapshot_ = 0;
   stop_.store(false);
-  if (opts_.shards > 0) return drive_sharded(source, consumer_body);
-  return drive_single_queue(source, consumer_body);
+  running_.store(true, std::memory_order_release);
+  auto result = opts_.shards > 0 ? drive_sharded(driver, consumer_body)
+                                 : drive_single_queue(driver, consumer_body);
+  running_.store(false, std::memory_order_release);
+  return result;
 }
 
 Result<IngestStats> IngestRuntime::drive_single_queue(
-    netio::PacketSource& source,
+    netio::SourceDriver& driver,
     const std::function<void(size_t, PacketFeed&, netio::LinkType)>&
         consumer_body) {
   BoundedPacketQueue queue(opts_.queue_capacity, opts_.overflow);
@@ -509,7 +801,7 @@ Result<IngestStats> IngestRuntime::drive_single_queue(
     // snapshots only materialized after run() returned).
     queue.attach_telemetry(queue_depth_, queue_high_water_, dropped_);
   }
-  const netio::LinkType link = source.link();
+  const netio::LinkType link = driver.link();
   QueueFeed feed(queue);
 
   // Consumers follow the parallel.h exception convention: the first failure
@@ -528,12 +820,11 @@ Result<IngestStats> IngestRuntime::drive_single_queue(
     });
   }
 
-  // Producer loop on the calling thread.
-  netio::SourcePacket sp;
-  while (!stop_.load(std::memory_order_relaxed) && source.next(sp)) {
-    if (!queue.push(std::move(sp))) break;  // closed: consumer died or stop
-    enqueued_->add(1);
-  }
+  // The driver runs on the calling thread, pushing through the feed; a
+  // closed queue (consumer death) surfaces as kClosed and the driver
+  // returns, exactly where the old push loop broke.
+  QueueFrameFeed ffeed(queue, *enqueued_, *dropped_);
+  Result<void> driven = driver.drive(ffeed, stop_);
   queue.close();
   for (auto& t : threads) t.join();
 
@@ -544,15 +835,16 @@ Result<IngestStats> IngestRuntime::drive_single_queue(
   for (auto& err : errors) {
     if (err) std::rethrow_exception(err);
   }
+  if (!driven.ok()) return driven.error();
   return stats();
 }
 
 Result<IngestStats> IngestRuntime::drive_sharded(
-    netio::PacketSource& source,
+    netio::SourceDriver& driver,
     const std::function<void(size_t, PacketFeed&, netio::LinkType)>&
         consumer_body) {
   const size_t n_shards = opts_.shards;
-  const netio::LinkType link = source.link();
+  const netio::LinkType link = driver.link();
   FlowShardRouter router(n_shards, link);
 
   std::vector<std::unique_ptr<SpscRing<netio::SourcePacket>>> rings;
@@ -590,9 +882,10 @@ Result<IngestStats> IngestRuntime::drive_sharded(
     });
   }
 
-  // Producer loop: route by flow hash, push into the owning shard's ring.
-  // Per-shard routed counts and ring high-water marks are mirrored into
-  // telemetry in periodic flushes, never per packet.
+  // The driver runs on the calling thread; the shard feed routes each
+  // offered frame by flow hash into the owning ring. Per-shard routed
+  // counts and ring high-water marks are mirrored into telemetry in
+  // periodic flushes, never per packet.
   std::vector<uint64_t> routed(n_shards, 0);
   std::vector<uint64_t> routed_flushed(n_shards, 0);
   const auto flush_shard_telemetry = [&] {
@@ -605,37 +898,9 @@ Result<IngestStats> IngestRuntime::drive_sharded(
           static_cast<double>(rings[i]->high_water()));
     }
   };
-  netio::SourcePacket sp;
-  uint64_t since_flush = 0;
-  while (!stop_.load(std::memory_order_relaxed) && source.next(sp)) {
-    const size_t s = router.shard_of(sp.pkt);
-    SpscRing<netio::SourcePacket>& ring = *rings[s];
-    bool accepted = ring.try_push(&sp, 1) == 1;
-    if (!accepted) {
-      if (ring.closed()) break;  // consumer died: wind down the run
-      if (opts_.overflow == OverflowPolicy::kDropOldest) {
-        // An SPSC producer cannot evict the head (the consumer owns it),
-        // so the policy degrades to shedding the incoming packet. It is
-        // still counted enqueued below, preserving the invariant
-        // scored + parse_skipped == enqueued - dropped.
-        dropped_->add(1);
-      } else {
-        while (ring.wait_notfull()) {
-          if (ring.try_push(&sp, 1) == 1) {
-            accepted = true;
-            break;
-          }
-        }
-        if (!accepted) break;  // closed while blocked: consumer died
-      }
-    }
-    enqueued_->add(1);
-    ++routed[s];
-    if (++since_flush >= 8192) {
-      since_flush = 0;
-      flush_shard_telemetry();
-    }
-  }
+  ShardFrameFeed ffeed(router, rings, opts_.overflow, *enqueued_, *dropped_,
+                       routed, flush_shard_telemetry);
+  Result<void> driven = driver.drive(ffeed, stop_);
   for (auto& r : rings) r->close();
   for (auto& t : threads) t.join();
 
@@ -647,10 +912,16 @@ Result<IngestStats> IngestRuntime::drive_sharded(
   for (auto& err : errors) {
     if (err) std::rethrow_exception(err);
   }
+  if (!driven.ok()) return driven.error();
   return stats();
 }
 
 Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
+  netio::ReplayDriver driver(source);
+  return run(driver);
+}
+
+Result<IngestStats> IngestRuntime::run(netio::SourceDriver& driver) {
   const size_t n_consumers = effective_consumers();
   if (pipeline_factory_) {
     std::vector<std::unique_ptr<StreamPipeline>> pipes;
@@ -677,7 +948,7 @@ Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
         }
       });
     }
-    return drive(source,
+    return drive(driver,
                  [this, &pipes](size_t id, PacketFeed& feed,
                                 netio::LinkType link) {
                    consume_pipeline(id, feed, *pipes[id], link);
@@ -700,7 +971,7 @@ Result<IngestStats> IngestRuntime::run(netio::PacketSource& source) {
                                        std::to_string(c));
     }
   }
-  return drive(source,
+  return drive(driver,
                [this, &scorers, &versions](size_t id, PacketFeed& feed,
                                            netio::LinkType link) {
                  consume(id, feed, std::move(scorers[id]), versions[id], link);

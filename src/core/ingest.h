@@ -1,8 +1,14 @@
 // Gateway ingestion runtime: decouples packet capture from detection.
 //
+// Packets enter through the unified front-end API (netio/frontend.h): any
+// netio::SourceDriver — replay/pcap/fault adapters or the event-driven
+// socket gateway — pushes SourcePackets into the runtime's FrameFeed.
+// run(PacketSource&) survives as a thin wrapper over a ReplayDriver, so
+// the historic pull-based call sites are byte-identical.
+//
 // Single-queue mode (the default):
 //
-//   PacketSource -> BoundedPacketQueue -> N consumer threads -> AlertSink
+//   SourceDriver -> BoundedPacketQueue -> N consumer threads -> AlertSink
 //
 // One producer (the calling thread) pulls packets from a netio::PacketSource
 // into a bounded ring queue with an explicit overflow policy; each consumer
@@ -15,7 +21,7 @@
 //
 // Flow-sharded mode (Options::shards > 0):
 //
-//   PacketSource -> FlowShardRouter -> SpscRing[shard] -> shard consumer
+//   SourceDriver -> FlowShardRouter -> SpscRing[shard] -> shard consumer
 //
 // The producer hashes each frame's canonical flow identity (the same
 // IP-pair channel key the Kitsune feature extractor groups by, falling
@@ -43,11 +49,13 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/model_slot.h"
 #include "common/telemetry.h"
 #include "core/stream.h"
+#include "netio/frontend.h"
 #include "netio/source.h"
 
 namespace lumen::core {
@@ -56,7 +64,17 @@ namespace lumen::core {
 enum class OverflowPolicy : uint8_t {
   kBlock,       // wait for a consumer to free a slot (lossless, backpressure)
   kDropOldest,  // evict the oldest queued packet (bounded latency, lossy)
+  /// Shed the INCOMING packet (bounded latency, lossy). This is the only
+  /// lossy policy an SPSC shard ring can implement — its producer cannot
+  /// evict the head the consumer owns — so Options::normalized rewrites
+  /// kDropOldest to kDropNewest in sharded mode with a named diagnostic
+  /// and a `<prefix>policy_degraded` counter bump, instead of the historic
+  /// silent degradation. Shed packets still count enqueued AND dropped,
+  /// preserving scored + parse_skipped == enqueued - dropped.
+  kDropNewest,
 };
+
+const char* overflow_policy_name(OverflowPolicy p);
 
 /// Bounded MPSC-style ring queue of packets. push() honors the overflow
 /// policy; pop() blocks until a packet arrives or the queue is closed and
@@ -66,8 +84,19 @@ class BoundedPacketQueue {
   BoundedPacketQueue(size_t capacity, OverflowPolicy policy);
 
   /// Enqueue one packet. Returns false only when the queue was closed
-  /// before a slot became available.
+  /// before a slot became available. Implemented as offer()+wait_notfull()
+  /// loops, so push semantics are exactly the non-blocking primitives'.
   bool push(netio::SourcePacket p);
+
+  /// Non-blocking enqueue honoring the overflow policy: kAccepted (taken),
+  /// kShed (queue full under a drop policy — for kDropOldest the oldest
+  /// packet was evicted and `p` taken, for kDropNewest `p` itself was
+  /// discarded; a drop is counted either way), kBusy (full under kBlock;
+  /// `p` untouched — retry after wait_notfull()), kClosed.
+  netio::FeedStatus offer(netio::SourcePacket&& p);
+
+  /// Block until the queue has room or is closed; true when room exists.
+  bool wait_notfull();
 
   /// Dequeue one packet, blocking while the queue is open and empty.
   /// Returns false when the queue is closed and fully drained.
@@ -193,6 +222,7 @@ struct Alert {
   double score = 0.0;
   double threshold = 0.0;
   size_t consumer = 0;  // which consumer thread scored it
+  uint32_t tenant = 0;  // tenant the packet belonged to (0 = default)
 };
 
 /// Receives scored packets and alerts. The runtime serializes all calls
@@ -323,10 +353,12 @@ class IngestRuntime {
     /// (sharded mode; rounded up to a power of two by SpscRing).
     size_t queue_capacity = 4096;
     /// In sharded mode an SPSC ring's producer cannot evict (the consumer
-    /// owns the head), so kDropOldest degrades to dropping the INCOMING
-    /// packet when its shard ring is full. The accounting invariant
-    /// (scored + parse_skipped == enqueued - dropped) holds either way;
-    /// kBlock is identical in both modes.
+    /// owns the head), so kDropOldest is unimplementable there:
+    /// normalized() rewrites it to kDropNewest with a named diagnostic and
+    /// a `<prefix>policy_degraded` counter bump — no silent degradation.
+    /// The accounting invariant (scored + parse_skipped == enqueued -
+    /// dropped) holds under every policy; kBlock and kDropNewest behave
+    /// identically in both modes.
     OverflowPolicy overflow = OverflowPolicy::kBlock;
     /// Consumer threads in single-queue mode. Ignored when shards > 0
     /// (sharded mode runs exactly one consumer per shard).
@@ -392,7 +424,17 @@ class IngestRuntime {
   /// until the stream ends (or request_stop()) and every consumer has
   /// joined. Returns the run's statistics; an Error if a scorer could not
   /// be built. The first exception thrown by a consumer is rethrown here.
+  /// Thin wrapper: adapts the source with a netio::ReplayDriver and calls
+  /// the driver overload below — packet-for-packet identical semantics.
   Result<IngestStats> run(netio::PacketSource& source);
+
+  /// Drive any netio::SourceDriver — the socket gateway front-end, a
+  /// replay adapter, or custom push-based producers — into this runtime.
+  /// The driver runs on the calling thread and pushes into a FrameFeed
+  /// wrapping the queue (single-queue mode) or the shard router + rings
+  /// (sharded mode) under the non-blocking backpressure contract
+  /// documented in netio/frontend.h.
+  Result<IngestStats> run(netio::SourceDriver& driver);
 
   /// Ask a running run() to wind down early (callable from any thread).
   /// The queue is closed; consumers drain what is already buffered.
@@ -409,6 +451,26 @@ class IngestRuntime {
   /// irreplaceable window state mid-stream, so there deploys only take
   /// effect for the next run().
   void deploy(ScorerFactory factory);
+
+  /// Register a tenant with its own scorer factory BEFORE run(): packets
+  /// whose SourcePacket::tenant matches score through a dedicated ModelSlot
+  /// and dedicated per-consumer scorer instances, fully isolated from
+  /// every other tenant's streaming state. Per-tenant counters
+  /// (`<prefix>tenant<t>.scored/alerted/swaps_applied`) are created here.
+  /// Returns false for tenant 0 (the default slot), a duplicate
+  /// registration, a null factory, or a call while run() is in flight.
+  /// Unregistered tenant ids still work: they score through per-tenant
+  /// scorer instances built from the DEFAULT factory (isolated state, no
+  /// dedicated slot or counters).
+  bool register_tenant(uint32_t tenant, ScorerFactory factory);
+
+  /// Hot-swap exactly one tenant's scorer (callable from any thread while
+  /// run() is in flight): publishes into that tenant's ModelSlot, so
+  /// consumers rebuild only that tenant's scorer at their next batch
+  /// boundary — no other tenant's scorer or state is touched. tenant 0
+  /// forwards to deploy(factory) (the default slot). Returns false if the
+  /// tenant was never registered.
+  bool deploy(uint32_t tenant, ScorerFactory factory);
 
   /// Consumer threads a run spawns: shards (one per shard) in sharded
   /// mode, else Options::consumers.
@@ -436,25 +498,36 @@ class IngestRuntime {
     telemetry::Gauge* ring_high_water = nullptr;
   };
 
+  /// Per-tenant isolation state: a dedicated hot-swap slot plus the
+  /// tenant's counters (created at register_tenant time). The map is
+  /// immutable while run() is in flight, so consumers read it lock-free.
+  struct TenantState {
+    std::unique_ptr<ModelSlot<ScorerFactory>> slot;
+    telemetry::Counter* scored = nullptr;
+    telemetry::Counter* alerted = nullptr;
+    telemetry::Counter* swaps_applied = nullptr;
+  };
+
   void consume(size_t id, PacketFeed& feed,
                std::unique_ptr<PacketScorer> scorer, uint64_t scorer_version,
                netio::LinkType link);
   void consume_pipeline(size_t id, PacketFeed& feed, StreamPipeline& pipe,
                         netio::LinkType link);
-  /// Shared run skeleton: conduits + producer loop + consumer threads
-  /// running `consumer_body(id, feed, link)` + graceful drain/join/rethrow.
-  /// Picks single-queue or sharded plumbing off opts_.shards; the two
-  /// public modes only differ in what the body does per batch.
+  /// Shared run skeleton: conduits + driver on the calling thread +
+  /// consumer threads running `consumer_body(id, feed, link)` + graceful
+  /// drain/join/rethrow. Picks single-queue or sharded plumbing off
+  /// opts_.shards; the two public modes only differ in what the body does
+  /// per batch.
   Result<IngestStats> drive(
-      netio::PacketSource& source,
+      netio::SourceDriver& driver,
       const std::function<void(size_t, PacketFeed&, netio::LinkType)>&
           consumer_body);
   Result<IngestStats> drive_single_queue(
-      netio::PacketSource& source,
+      netio::SourceDriver& driver,
       const std::function<void(size_t, PacketFeed&, netio::LinkType)>&
           consumer_body);
   Result<IngestStats> drive_sharded(
-      netio::PacketSource& source,
+      netio::SourceDriver& driver,
       const std::function<void(size_t, PacketFeed&, netio::LinkType)>&
           consumer_body);
 
@@ -466,6 +539,10 @@ class IngestRuntime {
   /// replace it while consumers run (see deploy()). Sized to
   /// effective_consumers(); consumers pin it once per batch.
   std::unique_ptr<ModelSlot<ScorerFactory>> scorer_slot_;
+  /// Registered tenants (see register_tenant). Mutated only while no run
+  /// is in flight; consumers and deploy(tenant, …) read it concurrently.
+  std::unordered_map<uint32_t, TenantState> tenants_;
+  std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::mutex sink_mu_;
 
@@ -479,6 +556,9 @@ class IngestRuntime {
   telemetry::Counter* scored_ = nullptr;
   telemetry::Counter* alerted_ = nullptr;
   telemetry::Counter* swaps_applied_ = nullptr;
+  /// Bumped once per construction whose normalized() rewrote kDropOldest
+  /// to kDropNewest for sharded mode (see OverflowPolicy::kDropNewest).
+  telemetry::Counter* policy_degraded_ = nullptr;
   telemetry::Gauge* queue_depth_ = nullptr;
   telemetry::Gauge* queue_high_water_ = nullptr;
   std::vector<ShardInstruments> shard_instruments_;  // extended_ && sharded

@@ -27,6 +27,10 @@ namespace lumen::netio {
 struct SourcePacket {
   RawPacket pkt;
   uint32_t capture_index = 0;
+  /// Tenant the packet belongs to (0 = default tenant). Socket streams set
+  /// this from their authenticated hello; replay sources leave it 0 unless
+  /// a ReplayDriver is constructed with an explicit tenant.
+  uint32_t tenant = 0;
 };
 
 /// Pull-based packet producer. Implementations are single-threaded: the

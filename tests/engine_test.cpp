@@ -256,6 +256,28 @@ TEST(Engine, RebindingReplacesValue) {
   ASSERT_TRUE(report.ok()) << report.error().message;
 }
 
+TEST(EngineOptions, NormalizedDedupesKeepAndDefaultsPrefix) {
+  Engine::Options o;
+  o.keep = {"features", "metrics", "features", "labels", "metrics"};
+  o.instrument_prefix = "";
+  std::string diag;
+  const Engine::Options n = Engine::Options::normalized(o, &diag);
+  const std::vector<std::string> want = {"features", "metrics", "labels"};
+  EXPECT_EQ(want, n.keep);  // first occurrence wins
+  EXPECT_EQ("engine.", n.instrument_prefix);
+  EXPECT_NE(std::string::npos, diag.find("engine"));
+  EXPECT_NE(std::string::npos, diag.find("keep"));
+  EXPECT_NE(std::string::npos, diag.find("instrument_prefix"));
+
+  // Already-normal options come back untouched with no diagnostic.
+  Engine::Options clean;
+  clean.keep = {"a", "b"};
+  std::string diag2;
+  const Engine::Options n2 = Engine::Options::normalized(clean, &diag2);
+  EXPECT_EQ(clean.keep, n2.keep);
+  EXPECT_EQ("", diag2);
+}
+
 TEST(Engine, RuntimeErrorNamesTheOp) {
   // one_hot on a missing column passes type check but fails at run time.
   auto spec = PipelineSpec::parse(R"([

@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build-asan}"
 
 cmake -B "$BUILD" -S . -DLUMEN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD" -j --target netio_test pcap_test ingest_test ingest_batch_equiv_test ingest_shard_test spsc_ring_test stream_engine_test dense_test compiled_model_test telemetry_test
+cmake --build "$BUILD" -j --target netio_test pcap_test ingest_test ingest_batch_equiv_test ingest_shard_test frontend_test spsc_ring_test stream_engine_test dense_test compiled_model_test telemetry_test
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 
@@ -19,10 +19,11 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 "$BUILD/tests/ingest_test"
 "$BUILD/tests/ingest_batch_equiv_test"
 "$BUILD/tests/ingest_shard_test"
+"$BUILD/tests/frontend_test"
 "$BUILD/tests/spsc_ring_test"
 "$BUILD/tests/stream_engine_test"
 "$BUILD/tests/dense_test"
 "$BUILD/tests/compiled_model_test"
 "$BUILD/tests/telemetry_test"
 
-echo "ASan: netio_test + pcap_test + ingest_test + ingest_batch_equiv_test + ingest_shard_test + spsc_ring_test + stream_engine_test + dense_test + compiled_model_test + telemetry_test clean"
+echo "ASan: netio_test + pcap_test + ingest_test + ingest_batch_equiv_test + ingest_shard_test + frontend_test + spsc_ring_test + stream_engine_test + dense_test + compiled_model_test + telemetry_test clean"

@@ -9,7 +9,11 @@
 #    hosts: 4-shard drain must reach 2x the 1-shard drain; single-core
 #    hosts: the 1-shard drain must stay within 10% of the single-queue
 #    drain), if the sharded record stream diverged from the single-queue
-#    one, or if the hot-swap run lost packets or never applied a swap.
+#    one, or if the hot-swap run lost packets or never applied a swap;
+#    fail the socket gate if the loopback TCP gateway drain falls below
+#    0.8x the in-process replay drain, if the socket-ingested record
+#    stream diverged from replay, or if per-connection accounting lost
+#    frames.
 #  * bench_ml — fail if any model's batched dense-kernel scoring path is
 #    slower than the pre-PR per-row path it replaced.
 #  * bench_telemetry — fail if full instrumentation costs the ingest
@@ -300,6 +304,36 @@ if awk -v s="${SWAPS:-0}" 'BEGIN { exit !(s < 1) }'; then
 fi
 
 echo "check_bench: sharded records identical, hot swap applied ${SWAPS}x and accounted"
+
+# --- socket front-end: gateway drain, alert identity, accounting ---------
+SOCK_VS_REPLAY="$(json_num "$JSON" socket_vs_replay)"
+[ -n "$SOCK_VS_REPLAY" ] || {
+  echo "check_bench: could not parse socket section from $JSON" >&2
+  exit 1
+}
+
+# The gateway adds an epoll loop, framing decode, and a loopback byte copy
+# on top of the replay path; that overhead must stay within 20% of the
+# in-process drain.
+if awk -v r="$SOCK_VS_REPLAY" 'BEGIN { exit !(r < 0.8) }'; then
+  echo "check_bench: FAIL — socket drain at ${SOCK_VS_REPLAY}x of replay drain (need >= 0.8x)" >&2
+  exit 1
+fi
+
+# Alert identity is a correctness gate, not a perf one: the wire carries
+# the exact capture index and timestamp, so socket-ingested records must
+# match in-process replay bit for bit.
+if [ "$(json_num "$JSON" socket_alerts_identical)" != "true" ]; then
+  echo "check_bench: FAIL — socket record stream diverged from in-process replay" >&2
+  exit 1
+fi
+
+if [ "$(json_num "$JSON" socket_accounted)" != "true" ]; then
+  echo "check_bench: FAIL — socket run lost frames (per-connection accounting broke)" >&2
+  exit 1
+fi
+
+echo "check_bench: socket drain ${SOCK_VS_REPLAY}x of replay, records identical, per-connection accounting exact"
 
 # --- bench_ml: batched scoring must not lose to the per-row path ---------
 "$BUILD/bench/bench_ml"

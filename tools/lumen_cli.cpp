@@ -182,7 +182,13 @@ int cmd_run(const Args& args) {
       std::printf("  %zu rows x %zu columns\n", t->rows, t->cols);
     }
   }
-  std::printf("\n%s", report.value().profile_table().c_str());
+  std::printf("\n%s",
+              core::render_op_profile(
+                  core::profile_from_spans(
+                      telemetry::Registry::process().snapshot(),
+                      report.value().span_ids, "engine.op."),
+                  report.value().peak_bytes)
+                  .c_str());
   return 0;
 }
 
